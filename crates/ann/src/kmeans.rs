@@ -1,0 +1,275 @@
+//! Seeded Lloyd's k-means over embedding rows.
+//!
+//! Used as the IVF coarse quantizer and available standalone (e.g. for the
+//! user-type cluster analyses of Figure 5). Distances are Euclidean; for
+//! cosine-style clustering, pre-normalize the rows.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sisg_embedding::Matrix;
+
+/// K-means parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when the fraction of points changing assignment drops below
+    /// this threshold.
+    pub tolerance: f64,
+    /// Seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 16,
+            max_iters: 25,
+            tolerance: 0.002,
+            seed: 42,
+        }
+    }
+}
+
+/// The clustering output.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// `k × dim` centroid matrix (row = centroid).
+    pub centroids: Vec<f32>,
+    /// Cluster assignment per input row.
+    pub assignment: Vec<u32>,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Iterations actually run.
+    pub iterations: usize,
+}
+
+impl KmeansResult {
+    /// Centroid `c` as a slice.
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.centroids.len() / self.dim
+        }
+    }
+
+    /// Indices of the rows assigned to each cluster.
+    pub fn clusters(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.k()];
+        for (row, &c) in self.assignment.iter().enumerate() {
+            out[c as usize].push(row as u32);
+        }
+        out
+    }
+}
+
+/// Squared Euclidean distance between two vectors.
+#[inline]
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Runs k-means over the rows of `data`.
+///
+/// `k` is clamped to the number of rows. Initialization is k-means++
+/// (distance-weighted seeding), which avoids the empty-cluster pathologies
+/// of uniform seeding on Zipf-shaped data.
+pub fn kmeans(data: &Matrix, config: &KmeansConfig) -> KmeansResult {
+    let n = data.rows();
+    let dim = data.dim();
+    let k = config.k.clamp(1, n.max(1));
+    if n == 0 {
+        return KmeansResult {
+            centroids: Vec::new(),
+            assignment: Vec::new(),
+            dim,
+            iterations: 0,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x63A5);
+    // k-means++ seeding.
+    let mut centroids = vec![0.0f32; k * dim];
+    let first = rng.gen_range(0..n);
+    centroids[..dim].copy_from_slice(data.row(first));
+    let mut best_d2: Vec<f32> = (0..n)
+        .map(|i| squared_distance(data.row(i), &centroids[..dim]))
+        .collect();
+    for c in 1..k {
+        let total: f64 = best_d2.iter().map(|&d| d as f64).sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut u = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in best_d2.iter().enumerate() {
+                u -= d as f64;
+                if u <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        let (dst, src) = (c * dim, data.row(chosen));
+        centroids[dst..dst + dim].copy_from_slice(src);
+        for i in 0..n {
+            let d = squared_distance(data.row(i), &centroids[dst..dst + dim]);
+            if d < best_d2[i] {
+                best_d2[i] = d;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0u32; n];
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        let mut changed = 0usize;
+        for i in 0..n {
+            let row = data.row(i);
+            let mut best = 0u32;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = squared_distance(row, &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c as u32;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed += 1;
+            }
+        }
+        // Recompute centroids; re-seed empty clusters from the farthest
+        // points so k stays effective.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for i in 0..n {
+            let c = assignment[i] as usize;
+            counts[c] += 1;
+            for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(data.row(i)) {
+                *s += v as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                let fallback = rng.gen_range(0..n);
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(data.row(fallback));
+            } else {
+                for d in 0..dim {
+                    centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
+                }
+            }
+        }
+        if iter > 0 && (changed as f64 / n as f64) < config.tolerance {
+            break;
+        }
+    }
+
+    KmeansResult {
+        centroids,
+        assignment,
+        dim,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight blobs around (±5, …).
+    fn blob_matrix(n_per: usize, dim: usize) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Vec::with_capacity(2 * n_per * dim);
+        for blob in 0..2 {
+            let center = if blob == 0 { -5.0f32 } else { 5.0 };
+            for _ in 0..n_per {
+                for _ in 0..dim {
+                    data.push(center + rng.gen_range(-0.3..0.3));
+                }
+            }
+        }
+        Matrix::from_data(2 * n_per, dim, data)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let m = blob_matrix(50, 4);
+        let r = kmeans(
+            &m,
+            &KmeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.k(), 2);
+        // All of blob 0 in one cluster, all of blob 1 in the other.
+        let first = r.assignment[0];
+        assert!(r.assignment[..50].iter().all(|&a| a == first));
+        assert!(r.assignment[50..].iter().all(|&a| a != first));
+        // Centroids land near ±5.
+        let c0 = r.centroid(first as usize);
+        assert!(c0.iter().all(|&v| (v.abs() - 5.0).abs() < 0.5));
+    }
+
+    #[test]
+    fn k_clamped_to_rows() {
+        let m = blob_matrix(2, 3); // 4 rows
+        let r = kmeans(
+            &m,
+            &KmeansConfig {
+                k: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.k(), 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = Matrix::zeros(0, 4);
+        let r = kmeans(&m, &KmeansConfig::default());
+        assert_eq!(r.k(), 0);
+        assert!(r.assignment.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = blob_matrix(30, 4);
+        let a = kmeans(&m, &KmeansConfig::default());
+        let b = kmeans(&m, &KmeansConfig::default());
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn clusters_partition_rows() {
+        let m = blob_matrix(25, 4);
+        let r = kmeans(
+            &m,
+            &KmeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+        );
+        let total: usize = r.clusters().iter().map(Vec::len).sum();
+        assert_eq!(total, 50);
+    }
+}

@@ -1,0 +1,148 @@
+//! Recall@K of an ANN index against exact brute force — the metric by
+//! which `nprobe` / `ef_search` are tuned before an index is allowed to
+//! serve the matching stage.
+
+use crate::AnnIndex;
+use sisg_corpus::TokenId;
+use sisg_embedding::{retrieve_top_k, Matrix};
+use std::time::Instant;
+
+/// Result of one recall evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecallReport {
+    /// Evaluated cutoff.
+    pub k: usize,
+    /// Number of queries.
+    pub queries: usize,
+    /// Mean fraction of the exact top-K retrieved by the index.
+    pub recall: f64,
+    /// Mean index search latency (seconds/query).
+    pub ann_seconds_per_query: f64,
+    /// Mean brute-force latency (seconds/query).
+    pub exact_seconds_per_query: f64,
+}
+
+impl RecallReport {
+    /// Speedup of the index over the exact scan.
+    pub fn speedup(&self) -> f64 {
+        if self.ann_seconds_per_query > 0.0 {
+            self.exact_seconds_per_query / self.ann_seconds_per_query
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Evaluates `index` on the given query rows of `vectors` against an exact
+/// scan of the same matrix.
+pub fn recall_at_k(
+    index: &dyn AnnIndex,
+    vectors: &Matrix,
+    query_rows: &[u32],
+    k: usize,
+) -> RecallReport {
+    assert!(!query_rows.is_empty(), "need at least one query");
+    let n = vectors.rows() as u32;
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    let mut ann_time = 0.0f64;
+    let mut exact_time = 0.0f64;
+    for &q in query_rows {
+        let query = vectors.row(q as usize);
+        let t = Instant::now();
+        let approx = index.search(query, k);
+        ann_time += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let exact = retrieve_top_k(query, vectors, (0..n).map(TokenId), k, None);
+        exact_time += t.elapsed().as_secs_f64();
+        for e in exact {
+            total += 1;
+            if approx.iter().any(|h| h.id == e.token) {
+                hits += 1;
+            }
+        }
+    }
+    RecallReport {
+        k,
+        queries: query_rows.len(),
+        recall: if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        },
+        ann_seconds_per_query: ann_time / query_rows.len() as f64,
+        exact_seconds_per_query: exact_time / query_rows.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::{IvfConfig, IvfIndex};
+
+    fn random_matrix(n: usize, dim: usize, seed: u64) -> Matrix {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_data(
+            n,
+            dim,
+            (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn exact_index_has_perfect_recall() {
+        /// Brute-force "index" as a control.
+        struct Exact<'a>(&'a Matrix);
+        impl AnnIndex for Exact<'_> {
+            fn search(&self, query: &[f32], k: usize) -> Vec<crate::Hit> {
+                retrieve_top_k(query, self.0, (0..self.0.rows() as u32).map(TokenId), k, None)
+                    .into_iter()
+                    .map(|n| crate::Hit {
+                        id: n.token,
+                        score: n.score,
+                    })
+                    .collect()
+            }
+            fn len(&self) -> usize {
+                self.0.rows()
+            }
+        }
+        let m = random_matrix(150, 6, 1);
+        let report = recall_at_k(&Exact(&m), &m, &[0, 10, 20], 5);
+        assert!((report.recall - 1.0).abs() < 1e-12);
+        assert_eq!(report.queries, 3);
+    }
+
+    #[test]
+    fn recall_improves_with_more_probes() {
+        let m = random_matrix(600, 8, 2);
+        let queries: Vec<u32> = (0..600).step_by(40).collect();
+        let narrow = IvfIndex::build(
+            &m,
+            IvfConfig {
+                nlist: 32,
+                nprobe: 1,
+                ..Default::default()
+            },
+        );
+        let wide = IvfIndex::build(
+            &m,
+            IvfConfig {
+                nlist: 32,
+                nprobe: 16,
+                ..Default::default()
+            },
+        );
+        let r_narrow = recall_at_k(&narrow, &m, &queries, 10);
+        let r_wide = recall_at_k(&wide, &m, &queries, 10);
+        assert!(
+            r_wide.recall > r_narrow.recall,
+            "more probes must not hurt: {} vs {}",
+            r_wide.recall,
+            r_narrow.recall
+        );
+        assert!(r_wide.recall > 0.9, "16/32 probes should recall >0.9");
+    }
+}

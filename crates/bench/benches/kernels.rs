@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks of the hot kernels: the inner loops whose
+//! cost dominates a 9.5-trillion-sample production run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sisg_corpus::TokenId;
+use sisg_embedding::math::{axpy, cosine, dot};
+use sisg_embedding::{retrieve_top_k, Matrix};
+use sisg_sgns::sgd::train_pair;
+use sisg_sgns::sigmoid::SigmoidTable;
+use sisg_sgns::{NoiseTable, PairSampler, WindowMode};
+use std::time::Duration;
+
+fn bench_vector_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_math");
+    group.measurement_time(Duration::from_secs(2));
+    for dim in [32usize, 128] {
+        let x: Vec<f32> = (0..dim).map(|i| i as f32 * 0.01).collect();
+        let mut y: Vec<f32> = (0..dim).map(|i| 1.0 - i as f32 * 0.01).collect();
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |b, _| {
+            b.iter(|| dot(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("axpy", dim), &dim, |b, _| {
+            b.iter(|| axpy(black_box(0.01), black_box(&x), black_box(&mut y)))
+        });
+        group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |b, _| {
+            b.iter(|| cosine(black_box(&x), black_box(&y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_noise_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_table");
+    group.measurement_time(Duration::from_secs(2));
+    for vocab in [10_000usize, 1_000_000] {
+        let freqs: Vec<u64> = (0..vocab).map(|i| (i as u64 % 1000) + 1).collect();
+        let table = NoiseTable::from_freqs(&freqs, 0.75);
+        let mut rng = StdRng::seed_from_u64(7);
+        group.bench_with_input(BenchmarkId::new("sample", vocab), &vocab, |b, _| {
+            b.iter(|| table.sample(black_box(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sgd_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgd");
+    group.measurement_time(Duration::from_secs(2));
+    for (dim, negatives) in [(32usize, 5usize), (32, 20), (128, 20)] {
+        let input = Matrix::uniform_init(1000, dim, 1);
+        let output = Matrix::uniform_init(1000, dim, 2);
+        let sigmoid = SigmoidTable::new();
+        let negs: Vec<TokenId> = (2..2 + negatives as u32).map(TokenId).collect();
+        let mut grad = vec![0.0f32; dim];
+        group.bench_with_input(
+            BenchmarkId::new("train_pair", format!("d{dim}_n{negatives}")),
+            &dim,
+            |b, _| {
+                b.iter(|| {
+                    train_pair(
+                        &input,
+                        &output,
+                        TokenId(0),
+                        TokenId(1),
+                        black_box(&negs),
+                        0.025,
+                        &sigmoid,
+                        &mut grad,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retrieval");
+    group.measurement_time(Duration::from_secs(2));
+    for n in [10_000usize, 100_000] {
+        let m = Matrix::uniform_init(n, 32, 3);
+        let query: Vec<f32> = (0..32).map(|i| (i as f32).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("top200", n), &n, |b, _| {
+            b.iter(|| {
+                retrieve_top_k(
+                    black_box(&query),
+                    &m,
+                    (0..n as u32).map(TokenId),
+                    200,
+                    None,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_sampling");
+    group.measurement_time(Duration::from_secs(2));
+    let seq: Vec<TokenId> = (0..200u32).map(TokenId).collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut out = Vec::with_capacity(4096);
+    for (name, mode) in [
+        ("symmetric", WindowMode::Symmetric),
+        ("right_only", WindowMode::RightOnly),
+    ] {
+        let sampler = PairSampler {
+            window: 10,
+            mode,
+            dynamic: false,
+        };
+        group.bench_function(BenchmarkId::new("window10_len200", name), |b| {
+            b.iter(|| sampler.pairs_into(black_box(&seq), &mut rng, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vector_math,
+    bench_noise_sampling,
+    bench_sgd_step,
+    bench_retrieval,
+    bench_pair_sampling
+);
+criterion_main!(benches);

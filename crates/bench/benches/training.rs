@@ -1,0 +1,67 @@
+//! Criterion end-to-end benchmarks: small full training runs per variant
+//! and the ablation axes DESIGN.md calls out (window size, negatives).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sisg_core::{SisgModel, Variant};
+use sisg_corpus::{CorpusConfig, GeneratedCorpus};
+use sisg_sgns::SgnsConfig;
+use std::time::Duration;
+
+fn bench_corpus() -> GeneratedCorpus {
+    let mut cfg = CorpusConfig::tiny();
+    cfg.n_sessions = 600;
+    GeneratedCorpus::generate(cfg)
+}
+
+fn small_config() -> SgnsConfig {
+    SgnsConfig {
+        dim: 16,
+        window: 2,
+        negatives: 5,
+        epochs: 1,
+        ..Default::default()
+    }
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let cfg = small_config();
+    let mut group = c.benchmark_group("train_variant");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for variant in [Variant::Sgns, Variant::SisgF, Variant::SisgFUD] {
+        group.bench_function(BenchmarkId::from_parameter(variant.name()), |b| {
+            b.iter(|| SisgModel::train(&corpus, variant, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hyperparams(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let mut group = c.benchmark_group("train_hyperparams");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for negatives in [5usize, 20] {
+        let cfg = SgnsConfig {
+            negatives,
+            ..small_config()
+        };
+        group.bench_function(BenchmarkId::new("negatives", negatives), |b| {
+            b.iter(|| SisgModel::train(&corpus, Variant::Sgns, &cfg))
+        });
+    }
+    for window in [2usize, 5] {
+        let cfg = SgnsConfig {
+            window,
+            ..small_config()
+        };
+        group.bench_function(BenchmarkId::new("window", window), |b| {
+            b.iter(|| SisgModel::train(&corpus, Variant::Sgns, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_hyperparams);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Regenerates **Figure 5**: t-SNE of user-type embeddings.
+//!
+//! The figure shows male and female user types concentrating in different
+//! regions of the plane, with age clusters within each region. We quantify
+//! both claims with silhouette scores (label = gender, label = age bucket)
+//! and dump the 2-D coordinates for plotting.
+
+use sisg_bench::{env_usize, offline_corpus, offline_sgns_config, results_dir};
+use sisg_core::{SisgModel, Variant};
+use sisg_corpus::UserTypeId;
+use sisg_eval::tsne::{knn_purity, silhouette, tsne_2d, TsneConfig};
+use sisg_eval::ExperimentTable;
+
+fn main() {
+    let corpus = offline_corpus();
+    let sgns = offline_sgns_config();
+    eprintln!("training SISG-F-U...");
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns);
+
+    // Collect user-type embeddings with their demographics, keeping only
+    // types that actually occur in sessions (zero-frequency ones were never
+    // trained). Cap the point count: exact t-SNE is O(n²).
+    let max_points = env_usize("SISG_TSNE_POINTS", 1_200);
+    let space = model.space();
+    let mut data: Vec<f32> = Vec::new();
+    let mut genders: Vec<u32> = Vec::new();
+    let mut ages: Vec<u32> = Vec::new();
+    let mut kept = 0usize;
+    // Count user-type occurrences.
+    let mut type_sessions = vec![0u64; corpus.users.n_user_types() as usize];
+    for s in corpus.sessions.iter() {
+        type_sessions[corpus.users.user_type(s.user).index()] += 1;
+    }
+    for ut in 0..corpus.users.n_user_types() {
+        if kept >= max_points {
+            break;
+        }
+        if type_sessions[ut as usize] < 2 {
+            continue;
+        }
+        let key = corpus.users.type_key(UserTypeId(ut));
+        if key.gender > 1 {
+            continue; // the figure plots the two major genders
+        }
+        data.extend_from_slice(model.token_input(space.user_type(UserTypeId(ut))));
+        genders.push(key.gender as u32);
+        ages.push(key.age as u32);
+        kept += 1;
+    }
+    eprintln!("embedding {kept} user types with t-SNE...");
+    let points = tsne_2d(&data, sgns.dim, &TsneConfig::default());
+
+    let sil_gender = silhouette(&points, &genders);
+    let sil_age = silhouette(&points, &ages);
+    // (gender, age) cells are the actual blobs the generator plants.
+    let cells: Vec<u32> = genders
+        .iter()
+        .zip(&ages)
+        .map(|(&g, &a)| g * 16 + a)
+        .collect();
+    let sil_cell = silhouette(&points, &cells);
+    let purity_gender = knn_purity(&points, &genders, 10);
+    let purity_age = knn_purity(&points, &ages, 10);
+    // Baseline: silhouette under randomly permuted labels should be ~0.
+    let mut shuffled = genders.clone();
+    let n = shuffled.len();
+    for i in (1..n).rev() {
+        // Deterministic LCG shuffle — good enough for a null baseline.
+        let j = (i.wrapping_mul(0x5DEECE66D).wrapping_add(11)) % (i + 1);
+        shuffled.swap(i, j);
+    }
+    let sil_null = silhouette(&points, &shuffled);
+
+    let mut table = ExperimentTable::new(
+        "Figure 5 — user-type embedding structure (silhouette of t-SNE layout)",
+        &["labeling", "silhouette"],
+    );
+    table.push_row(vec!["gender (F vs M)".into(), format!("{sil_gender:.3}")]);
+    table.push_row(vec!["age bucket".into(), format!("{sil_age:.3}")]);
+    table.push_row(vec!["gender x age cell".into(), format!("{sil_cell:.3}")]);
+    table.push_row(vec!["shuffled labels (null)".into(), format!("{sil_null:.3}")]);
+    table.push_row(vec![
+        "kNN purity, gender (vs 0.5 prior)".into(),
+        format!("{purity_gender:.3}"),
+    ]);
+    table.push_row(vec![
+        "kNN purity, age (vs ~0.2 prior)".into(),
+        format!("{purity_age:.3}"),
+    ]);
+    print!("{}", table.render());
+    println!(
+        "\nclaim check: gender silhouette {} null baseline ({})",
+        if sil_gender > sil_null + 0.05 { "clearly above" } else { "NOT above" },
+        sil_null
+    );
+
+    // Dump points for external plotting.
+    #[derive(serde::Serialize)]
+    struct Point {
+        x: f32,
+        y: f32,
+        gender: u32,
+        age: u32,
+    }
+    let dump: Vec<Point> = points
+        .iter()
+        .zip(genders.iter().zip(&ages))
+        .map(|(p, (&g, &a))| Point {
+            x: p[0],
+            y: p[1],
+            gender: g,
+            age: a,
+        })
+        .collect();
+    let path = results_dir().join("fig5_tsne_points.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&dump).expect("serialize"))
+        .expect("write points");
+    let tpath = results_dir().join("fig5_tsne.json");
+    table.write_json(&tpath).expect("write results");
+    println!("wrote {} and {}", tpath.display(), path.display());
+}

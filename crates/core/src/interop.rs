@@ -1,0 +1,211 @@
+//! word2vec interchange for whole SISG models.
+//!
+//! Closes the loop on the paper's practicability claim: enriched sequences
+//! go *out* as text ([`sisg_corpus::enrich::EnrichedCorpus::write_text`]),
+//! an external word2vec tool trains them, and its vectors come back *in*
+//! here — or equally, vectors trained by this workspace export to any
+//! downstream consumer that reads the standard format. Input and output
+//! matrices are exchanged as two separate files since the classic format
+//! only carries one matrix (most tools discard output vectors; SISG's
+//! directional similarity needs them).
+
+use crate::model::SisgModel;
+use crate::variants::Variant;
+use sisg_corpus::vocab::TokenSpace;
+use sisg_corpus::TokenId;
+use sisg_embedding::word2vec::{read_text, write_text, W2vParseError};
+use sisg_embedding::{EmbeddingStore, Matrix};
+use std::io::{self, BufRead, Write};
+
+/// Writes the model's *input* matrix in word2vec text format, tokens named
+/// in the paper's encoding.
+pub fn export_input<W: Write>(model: &SisgModel, out: &mut W) -> io::Result<()> {
+    let space = model.space().clone();
+    write_text(
+        model.store().input_matrix(),
+        move |i| space.describe(TokenId(i as u32)),
+        out,
+    )
+}
+
+/// Writes the model's *output* matrix (same naming).
+pub fn export_output<W: Write>(model: &SisgModel, out: &mut W) -> io::Result<()> {
+    let space = model.space().clone();
+    write_text(
+        model.store().output_matrix(),
+        move |i| space.describe(TokenId(i as u32)),
+        out,
+    )
+}
+
+/// Errors raised while importing external vectors.
+#[derive(Debug, PartialEq)]
+pub enum ImportError {
+    /// The file itself was malformed.
+    Parse(W2vParseError),
+    /// A token name did not parse under the given [`TokenSpace`].
+    UnknownToken(String),
+    /// The file's dimensionality disagrees between input and output files.
+    DimMismatch {
+        /// Input-matrix dimensionality.
+        input: usize,
+        /// Output-matrix dimensionality.
+        output: usize,
+    },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Parse(e) => write!(f, "parse error: {e}"),
+            ImportError::UnknownToken(t) => write!(f, "unknown token '{t}'"),
+            ImportError::DimMismatch { input, output } => {
+                write!(f, "dim mismatch: input {input}, output {output}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<W2vParseError> for ImportError {
+    fn from(e: W2vParseError) -> Self {
+        ImportError::Parse(e)
+    }
+}
+
+/// Reads one word2vec file into a matrix laid out by `space` (rows the file
+/// does not mention stay zero). Returns the matrix and its dimensionality.
+fn import_matrix<R: BufRead>(
+    space: &TokenSpace,
+    input: R,
+) -> Result<(Matrix, usize), ImportError> {
+    let (names, parsed) = read_text(input)?;
+    let dim = parsed.dim();
+    let mut matrix = Matrix::zeros(space.len(), dim);
+    for (row, name) in names.iter().enumerate() {
+        let token = space
+            .parse(name)
+            .ok_or_else(|| ImportError::UnknownToken(name.clone()))?;
+        matrix.row_mut(token.index()).copy_from_slice(parsed.row(row));
+    }
+    Ok((matrix, dim))
+}
+
+/// Builds a [`SisgModel`] from externally trained vectors: an input-matrix
+/// file plus an optional output-matrix file (required for `-D` variants;
+/// zeros otherwise).
+pub fn import_model<R1: BufRead, R2: BufRead>(
+    variant: Variant,
+    space: TokenSpace,
+    input_file: R1,
+    output_file: Option<R2>,
+) -> Result<SisgModel, ImportError> {
+    let (input, in_dim) = import_matrix(&space, input_file)?;
+    let output = match output_file {
+        Some(f) => {
+            let (output, out_dim) = import_matrix(&space, f)?;
+            if out_dim != in_dim {
+                return Err(ImportError::DimMismatch {
+                    input: in_dim,
+                    output: out_dim,
+                });
+            }
+            output
+        }
+        None => Matrix::zeros(space.len(), in_dim),
+    };
+    let store = EmbeddingStore::from_matrices(input, output);
+    Ok(SisgModel::from_store(variant, space, store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::{CorpusConfig, GeneratedCorpus, ItemId};
+    use sisg_sgns::SgnsConfig;
+
+    fn trained() -> SisgModel {
+        let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+        let cfg = SgnsConfig {
+            dim: 8,
+            window: 3,
+            negatives: 3,
+            epochs: 1,
+            ..Default::default()
+        };
+        SisgModel::train(&corpus, Variant::SisgFUD, &cfg).0
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_retrieval() {
+        let model = trained();
+        let mut input = Vec::new();
+        let mut output = Vec::new();
+        export_input(&model, &mut input).unwrap();
+        export_output(&model, &mut output).unwrap();
+
+        let back = import_model(
+            Variant::SisgFUD,
+            model.space().clone(),
+            &input[..],
+            Some(&output[..]),
+        )
+        .unwrap();
+        for q in [ItemId(0), ItemId(7), ItemId(100)] {
+            let a: Vec<u32> = model.similar_items(q, 10).iter().map(|n| n.token.0).collect();
+            let b: Vec<u32> = back.similar_items(q, 10).iter().map(|n| n.token.0).collect();
+            assert_eq!(a, b, "retrieval diverges after roundtrip for {q:?}");
+        }
+    }
+
+    #[test]
+    fn import_without_output_matrix_works_for_symmetric() {
+        let model = trained();
+        let mut input = Vec::new();
+        export_input(&model, &mut input).unwrap();
+        let back = import_model(
+            Variant::SisgF,
+            model.space().clone(),
+            &input[..],
+            None::<&[u8]>,
+        )
+        .unwrap();
+        assert_eq!(back.store().dim(), model.store().dim());
+    }
+
+    #[test]
+    fn unknown_tokens_are_rejected() {
+        let model = trained();
+        let bogus = b"1 2\nnot_a_real_token_9 0.1 0.2\n";
+        let err = import_model(
+            Variant::SisgF,
+            model.space().clone(),
+            &bogus[..],
+            None::<&[u8]>,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ImportError::UnknownToken(_)));
+    }
+
+    #[test]
+    fn dim_mismatch_is_rejected() {
+        let model = trained();
+        let input = b"1 2\nitem_0 0.1 0.2\n";
+        let output = b"1 3\nitem_0 0.1 0.2 0.3\n";
+        let err = import_model(
+            Variant::SisgFUD,
+            model.space().clone(),
+            &input[..],
+            Some(&output[..]),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ImportError::DimMismatch {
+                input: 2,
+                output: 3
+            }
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! SISG — the Side-Information-enhanced Skip-Gram framework of
+//! *"Billion-scale Recommendation with Heterogeneous Side Information at
+//! Taobao"* (ICDE 2020).
+//!
+//! The framework is deliberately thin (that is its "practicability" selling
+//! point): behavior sequences are enriched with item SI tokens and user-type
+//! tokens (Eq. 4, implemented in [`sisg_corpus::enrich`]), fed to a standard
+//! SGNS engine ([`sisg_sgns`]), and item similarity is read off the learned
+//! vectors — by cosine for symmetric variants, or by the asymmetric
+//! `input·output` product for the directional (`-D`) variants
+//! (Section II-C).
+//!
+//! This crate provides:
+//!
+//! - [`variants::Variant`] — the six model variants of Table III
+//!   (`SGNS`, `SISG-F`, `SISG-U`, `SISG-F-U`, `SISG-F-U-D`, plus the extra
+//!   `SISG-D` ablation);
+//! - [`model::SisgModel`] — training plus item-to-item retrieval in the
+//!   joint semantic space;
+//! - [`cold_start`] — Eq. (6) cold-item inference and Figure-4-style
+//!   cold-user recommendation via user-type vector averaging;
+//! - [`recommender::Recommender`] — the high-level matching-stage API.
+
+#![warn(missing_docs)]
+
+pub mod cold_start;
+pub mod interop;
+pub mod model;
+pub mod recommender;
+pub mod serving;
+pub mod variants;
+
+pub use model::{SisgModel, SisgTrainReport};
+pub use recommender::{Recommendation, Recommender};
+pub use serving::{MatchingService, ServingConfig};
+pub use variants::{SimilarityMode, Variant};

@@ -1,0 +1,306 @@
+//! Training and retrieval for one SISG variant.
+
+use crate::variants::{SimilarityMode, Variant};
+use sisg_corpus::vocab::TokenSpace;
+use sisg_corpus::{
+    Corpus, EnrichedCorpus, GeneratedCorpus, ItemCatalog, ItemId, TokenId, UserRegistry,
+};
+use sisg_embedding::math::normalize;
+use sisg_embedding::{retrieve_top_k, EmbeddingStore, Matrix, Neighbor};
+use sisg_sgns::{train_with_freqs, SgnsConfig, TrainStats};
+
+/// Statistics of one SISG training run.
+#[derive(Debug, Clone)]
+pub struct SisgTrainReport {
+    /// The trained variant.
+    pub variant: Variant,
+    /// Enriched tokens in the training corpus.
+    pub tokens: u64,
+    /// SGNS trainer counters.
+    pub stats: TrainStats,
+}
+
+/// A trained SISG model: the joint item/SI/user-type embedding space plus
+/// the variant's retrieval rule.
+pub struct SisgModel {
+    variant: Variant,
+    space: TokenSpace,
+    store: EmbeddingStore,
+    /// Item input vectors, L2-normalized, for cosine retrieval.
+    item_norm: Matrix,
+    /// Item *output* vectors. Section II-C scores directional similarity
+    /// with the raw inner product `v_i^T v'_j`; we keep it raw (the output
+    /// norm carries a useful popularity prior — L2-normalizing both sides,
+    /// one reading of Section IV-A's "standard cosine similarity", measures
+    /// worse at every K on our corpora; see DESIGN.md §6).
+    item_out: Matrix,
+}
+
+impl std::fmt::Debug for SisgModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SisgModel")
+            .field("variant", &self.variant)
+            .field("tokens", &self.store.n_tokens())
+            .field("dim", &self.store.dim())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SisgModel {
+    /// Trains `variant` on the full generated corpus.
+    pub fn train(
+        corpus: &GeneratedCorpus,
+        variant: Variant,
+        sgns: &SgnsConfig,
+    ) -> (Self, SisgTrainReport) {
+        Self::train_on_sessions(
+            &corpus.sessions,
+            &corpus.catalog,
+            &corpus.users,
+            corpus.config.n_items,
+            variant,
+            sgns,
+        )
+    }
+
+    /// Trains `variant` on an explicit session set (e.g. the training part
+    /// of a next-item split).
+    pub fn train_on_sessions(
+        sessions: &Corpus,
+        catalog: &ItemCatalog,
+        users: &UserRegistry,
+        n_items: u32,
+        variant: Variant,
+        sgns: &SgnsConfig,
+    ) -> (Self, SisgTrainReport) {
+        let enriched = EnrichedCorpus::build_from_sessions(
+            sessions,
+            catalog,
+            users,
+            n_items,
+            variant.enrich_options(),
+        );
+        let mut config = sgns.clone();
+        config.window_mode = variant.window_mode();
+        // Enrichment interleaves SI tokens between items: with 8 SI per item,
+        // two *items* that are w clicks apart sit 9·w tokens apart. Scale the
+        // window so item-item co-occurrence reach matches the plain variant.
+        if variant.uses_si() {
+            config.window = sgns.window * 9;
+        }
+        let (store, stats) = train_with_freqs(&enriched, enriched.vocab().freqs(), &config);
+
+        let report = SisgTrainReport {
+            variant,
+            tokens: enriched.total_tokens(),
+            stats,
+        };
+        let space = enriched.space().clone();
+        let model = Self::from_store(variant, space, store);
+        (model, report)
+    }
+
+    /// Wraps a trained (or deserialized) store.
+    pub fn from_store(variant: Variant, space: TokenSpace, store: EmbeddingStore) -> Self {
+        let n_items = space.n_items() as usize;
+        let dim = store.dim();
+        let mut item_norm = Matrix::zeros(n_items, dim);
+        let mut item_out = Matrix::zeros(n_items, dim);
+        for i in 0..n_items {
+            item_norm
+                .row_mut(i)
+                .copy_from_slice(store.input(TokenId(i as u32)));
+            normalize(item_norm.row_mut(i));
+            item_out
+                .row_mut(i)
+                .copy_from_slice(store.output(TokenId(i as u32)));
+        }
+        Self {
+            variant,
+            space,
+            store,
+            item_norm,
+            item_out,
+        }
+    }
+
+    /// The trained variant.
+    #[inline]
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The token layout of the joint embedding space.
+    #[inline]
+    pub fn space(&self) -> &TokenSpace {
+        &self.space
+    }
+
+    /// The raw embedding store (input + output matrices).
+    #[inline]
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// Similarity of recommending `b` after `a`, under the variant's rule.
+    /// Asymmetric for `-D` variants: `similarity(a, b) ≠ similarity(b, a)`.
+    pub fn similarity(&self, a: ItemId, b: ItemId) -> f32 {
+        match self.variant.similarity_mode() {
+            SimilarityMode::CosineInput => sisg_embedding::math::dot(
+                self.item_norm.row(a.index()),
+                self.item_norm.row(b.index()),
+            ),
+            SimilarityMode::InputOutput => sisg_embedding::math::dot(
+                self.store.input(self.space.item(a)),
+                self.item_out.row(b.index()),
+            ),
+        }
+    }
+
+    /// The `k` best items to show after `query` (`S_K(v)` of Eq. 5).
+    pub fn similar_items(&self, query: ItemId, k: usize) -> Vec<Neighbor> {
+        match self.variant.similarity_mode() {
+            SimilarityMode::CosineInput => {
+                let q = self.item_norm.row(query.index());
+                retrieve_top_k(
+                    q,
+                    &self.item_norm,
+                    (0..self.space.n_items()).map(TokenId),
+                    k,
+                    Some(self.space.item(query)),
+                )
+            }
+            SimilarityMode::InputOutput => {
+                let q = self.store.input(self.space.item(query));
+                retrieve_top_k(
+                    q,
+                    &self.item_out,
+                    (0..self.space.n_items()).map(TokenId),
+                    k,
+                    Some(self.space.item(query)),
+                )
+            }
+        }
+    }
+
+    /// Retrieves the `k` items whose *input* vectors are most cosine-similar
+    /// to an arbitrary query vector (used by cold-start inference, where the
+    /// query is a sum of SI vectors or an averaged user-type vector).
+    pub fn similar_items_to_vector(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        retrieve_top_k(
+            &q,
+            &self.item_norm,
+            (0..self.space.n_items()).map(TokenId),
+            k,
+            None,
+        )
+    }
+
+    /// The input vector of any token (item, SI instance, or user type) in
+    /// the joint space.
+    pub fn token_input(&self, token: TokenId) -> &[f32] {
+        self.store.input(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::CorpusConfig;
+
+    fn small_sgns() -> SgnsConfig {
+        SgnsConfig {
+            dim: 16,
+            window: 4,
+            negatives: 5,
+            epochs: 1,
+            ..Default::default()
+        }
+    }
+
+    fn corpus() -> GeneratedCorpus {
+        GeneratedCorpus::generate(CorpusConfig::tiny())
+    }
+
+    #[test]
+    fn all_variants_train() {
+        let c = corpus();
+        for v in Variant::TABLE_III {
+            let (model, report) = SisgModel::train(&c, v, &small_sgns());
+            assert!(report.stats.pairs > 0, "{v} trained no pairs");
+            assert_eq!(model.variant(), v);
+            let hits = model.similar_items(ItemId(0), 5);
+            assert_eq!(hits.len(), 5);
+            assert!(hits.iter().all(|n| n.token != TokenId(0)));
+        }
+    }
+
+    #[test]
+    fn symmetric_variant_similarity_is_symmetric() {
+        let c = corpus();
+        let (model, _) = SisgModel::train(&c, Variant::Sgns, &small_sgns());
+        let ab = model.similarity(ItemId(1), ItemId(2));
+        let ba = model.similarity(ItemId(2), ItemId(1));
+        assert!((ab - ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn directional_variant_similarity_is_asymmetric() {
+        let c = corpus();
+        let (model, _) = SisgModel::train(&c, Variant::SisgFUD, &small_sgns());
+        // Across many pairs, forward and backward scores must differ.
+        let mut diffs = 0;
+        for a in 0..20u32 {
+            for b in (a + 1)..20u32 {
+                let f = model.similarity(ItemId(a), ItemId(b));
+                let r = model.similarity(ItemId(b), ItemId(a));
+                if (f - r).abs() > 1e-6 {
+                    diffs += 1;
+                }
+            }
+        }
+        assert!(diffs > 100, "only {diffs} asymmetric pairs");
+    }
+
+    #[test]
+    fn enriched_variants_see_more_tokens() {
+        let c = corpus();
+        let (_, plain) = SisgModel::train(&c, Variant::Sgns, &small_sgns());
+        let (_, full) = SisgModel::train(&c, Variant::SisgFU, &small_sgns());
+        assert!(full.tokens > plain.tokens * 8, "SI must multiply tokens");
+    }
+
+    #[test]
+    fn same_category_items_cluster() {
+        let c = corpus();
+        let (model, _) = SisgModel::train(&c, Variant::SisgF, &small_sgns());
+        let mut within = 0.0f64;
+        let mut cross = 0.0f64;
+        let (mut wn, mut cn) = (0u32, 0u32);
+        for a in 0..150u32 {
+            for b in (a + 1)..150u32 {
+                let s = model.similarity(ItemId(a), ItemId(b)) as f64;
+                if c.catalog.leaf_category(ItemId(a)) == c.catalog.leaf_category(ItemId(b)) {
+                    within += s;
+                    wn += 1;
+                } else {
+                    cross += s;
+                    cn += 1;
+                }
+            }
+        }
+        assert!(within / wn as f64 > cross / cn as f64 + 0.05);
+    }
+
+    #[test]
+    fn vector_retrieval_matches_item_retrieval_for_item_vector() {
+        let c = corpus();
+        let (model, _) = SisgModel::train(&c, Variant::Sgns, &small_sgns());
+        let q = model.token_input(TokenId(3)).to_vec();
+        let by_vec = model.similar_items_to_vector(&q, 6);
+        // The item itself must rank first when not excluded.
+        assert_eq!(by_vec[0].token, TokenId(3));
+    }
+}

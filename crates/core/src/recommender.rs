@@ -1,0 +1,154 @@
+//! The high-level matching-stage API.
+//!
+//! A [`Recommender`] bundles a trained [`SisgModel`] with the catalogs it
+//! was trained against and answers the three production queries the paper
+//! describes: similar items for a clicked item (the matching stage proper),
+//! cold-item candidates (Eq. 6), and cold-user candidates (Figure 4).
+
+use crate::cold_start;
+use crate::model::{SisgModel, SisgTrainReport};
+use crate::variants::Variant;
+use sisg_corpus::schema::ItemFeature;
+use sisg_corpus::{GeneratedCorpus, ItemCatalog, ItemId, UserRegistry};
+use sisg_sgns::SgnsConfig;
+
+/// One recommended item with its similarity score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The recommended item.
+    pub item: ItemId,
+    /// Similarity under the model's retrieval rule.
+    pub score: f32,
+}
+
+/// The matching-stage recommender.
+pub struct Recommender {
+    model: SisgModel,
+    catalog: ItemCatalog,
+    users: UserRegistry,
+    report: SisgTrainReport,
+}
+
+impl Recommender {
+    /// Trains `variant` on `corpus` and wraps the result.
+    pub fn train(corpus: &GeneratedCorpus, variant: Variant, sgns: &SgnsConfig) -> Self {
+        let (model, report) = SisgModel::train(corpus, variant, sgns);
+        Self {
+            model,
+            catalog: corpus.catalog.clone(),
+            users: corpus.users.clone(),
+            report,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &SisgModel {
+        &self.model
+    }
+
+    /// The training report.
+    pub fn report(&self) -> &SisgTrainReport {
+        &self.report
+    }
+
+    /// Candidate set for a clicked item — the core matching-stage query.
+    pub fn similar_items(&self, clicked: ItemId, k: usize) -> Vec<Recommendation> {
+        self.model
+            .similar_items(clicked, k)
+            .into_iter()
+            .map(|n| Recommendation {
+                item: ItemId(n.token.0),
+                score: n.score,
+            })
+            .collect()
+    }
+
+    /// Candidates for a brand-new item known only by its SI values.
+    pub fn recommend_for_cold_item(
+        &self,
+        si_values: &[u32; ItemFeature::COUNT],
+        k: usize,
+    ) -> Vec<Recommendation> {
+        cold_start::cold_item_recommendations(&self.model, si_values, k)
+            .into_iter()
+            .map(|n| Recommendation {
+                item: ItemId(n.token.0),
+                score: n.score,
+            })
+            .collect()
+    }
+
+    /// Candidates for a user with no history, from demographics alone.
+    /// Returns `None` when no realized user type matches.
+    pub fn recommend_for_cold_user(
+        &self,
+        gender: Option<u8>,
+        age: Option<u8>,
+        purchase: Option<u8>,
+        k: usize,
+    ) -> Option<Vec<Recommendation>> {
+        cold_start::cold_user_recommendations(&self.model, &self.users, gender, age, purchase, k)
+            .map(|hits| {
+                hits.into_iter()
+                    .map(|n| Recommendation {
+                        item: ItemId(n.token.0),
+                        score: n.score,
+                    })
+                    .collect()
+            })
+    }
+
+    /// The item catalog the recommender serves.
+    pub fn catalog(&self) -> &ItemCatalog {
+        &self.catalog
+    }
+
+    /// The user registry the recommender serves.
+    pub fn users(&self) -> &UserRegistry {
+        &self.users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::CorpusConfig;
+
+    fn recommender() -> Recommender {
+        let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+        let cfg = SgnsConfig {
+            dim: 16,
+            window: 4,
+            negatives: 5,
+            epochs: 1,
+            ..Default::default()
+        };
+        Recommender::train(&corpus, Variant::SisgFUD, &cfg)
+    }
+
+    #[test]
+    fn similar_items_returns_k_scored_results() {
+        let r = recommender();
+        let recs = r.similar_items(ItemId(1), 7);
+        assert_eq!(recs.len(), 7);
+        assert!(recs.iter().all(|rec| rec.item != ItemId(1)));
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn cold_user_path_works_end_to_end() {
+        let r = recommender();
+        let recs = r.recommend_for_cold_user(Some(0), Some(1), None, 5).unwrap();
+        assert_eq!(recs.len(), 5);
+    }
+
+    #[test]
+    fn cold_item_path_works_end_to_end() {
+        let r = recommender();
+        let si = *r.catalog().si_values(ItemId(2));
+        let recs = r.recommend_for_cold_item(&si, 5);
+        assert_eq!(recs.len(), 5);
+    }
+}

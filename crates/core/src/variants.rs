@@ -1,0 +1,149 @@
+//! The model variants of Table III.
+//!
+//! Each variant is a point in a three-axis space: item SI on/off (`-F`),
+//! user types on/off (`-U`), and directional windows + asymmetric
+//! similarity on/off (`-D`). EGES is a separate baseline (crate
+//! [`sisg_eges`](https://docs.rs) in this workspace) since it has its own
+//! architecture.
+
+use sisg_corpus::EnrichOptions;
+use sisg_sgns::WindowMode;
+
+/// How item-to-item similarity is computed after training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarityMode {
+    /// Cosine between input vectors — valid when pairs came from symmetric
+    /// windows.
+    CosineInput,
+    /// `input(v_i) · output(v_j)` — the asymmetric similarity of
+    /// Section II-C, required when sampling used the right context only.
+    InputOutput,
+}
+
+/// The SISG model variants evaluated in Table III, plus one extra ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Classic SGNS on item-only sequences.
+    Sgns,
+    /// SISG-F: item SI injected, symmetric windows.
+    SisgF,
+    /// SISG-U: user types injected, symmetric windows.
+    SisgU,
+    /// SISG-F-U: item SI + user types, symmetric windows.
+    SisgFU,
+    /// SISG-F-U-D: full model — SI, user types, directional windows and
+    /// asymmetric similarity.
+    SisgFUD,
+    /// Extra ablation (not a Table III row): directionality alone, without
+    /// any SI — isolates the `-D` contribution.
+    SisgD,
+}
+
+impl Variant {
+    /// All Table III variants, in the table's row order.
+    pub const TABLE_III: [Variant; 5] = [
+        Variant::Sgns,
+        Variant::SisgF,
+        Variant::SisgU,
+        Variant::SisgFU,
+        Variant::SisgFUD,
+    ];
+
+    /// The paper's name of the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Sgns => "SGNS",
+            Variant::SisgF => "SISG-F",
+            Variant::SisgU => "SISG-U",
+            Variant::SisgFU => "SISG-F-U",
+            Variant::SisgFUD => "SISG-F-U-D",
+            Variant::SisgD => "SISG-D",
+        }
+    }
+
+    /// The sequence enrichment this variant trains on.
+    pub fn enrich_options(self) -> EnrichOptions {
+        match self {
+            Variant::Sgns | Variant::SisgD => EnrichOptions::NONE,
+            Variant::SisgF => EnrichOptions::SI_ONLY,
+            Variant::SisgU => EnrichOptions::USER_TYPES_ONLY,
+            Variant::SisgFU | Variant::SisgFUD => EnrichOptions::FULL,
+        }
+    }
+
+    /// The window mode this variant samples pairs with.
+    pub fn window_mode(self) -> WindowMode {
+        if self.directional() {
+            WindowMode::RightOnly
+        } else {
+            WindowMode::Symmetric
+        }
+    }
+
+    /// How similarity is computed at retrieval time.
+    pub fn similarity_mode(self) -> SimilarityMode {
+        if self.directional() {
+            SimilarityMode::InputOutput
+        } else {
+            SimilarityMode::CosineInput
+        }
+    }
+
+    /// True for the `-D` variants.
+    pub fn directional(self) -> bool {
+        matches!(self, Variant::SisgFUD | Variant::SisgD)
+    }
+
+    /// True when item SI tokens are injected (`-F`).
+    pub fn uses_si(self) -> bool {
+        self.enrich_options().include_si
+    }
+
+    /// True when user-type tokens are injected (`-U`).
+    pub fn uses_user_types(self) -> bool {
+        self.enrich_options().include_user_types
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_rows_match_paper() {
+        let names: Vec<&str> = Variant::TABLE_III.iter().map(|v| v.name()).collect();
+        assert_eq!(
+            names,
+            vec!["SGNS", "SISG-F", "SISG-U", "SISG-F-U", "SISG-F-U-D"]
+        );
+    }
+
+    #[test]
+    fn axes_decompose_correctly() {
+        assert!(!Variant::Sgns.uses_si() && !Variant::Sgns.uses_user_types());
+        assert!(Variant::SisgF.uses_si() && !Variant::SisgF.uses_user_types());
+        assert!(!Variant::SisgU.uses_si() && Variant::SisgU.uses_user_types());
+        assert!(Variant::SisgFU.uses_si() && Variant::SisgFU.uses_user_types());
+        assert!(Variant::SisgFUD.uses_si() && Variant::SisgFUD.uses_user_types());
+        assert!(Variant::SisgFUD.directional());
+        assert!(!Variant::SisgFU.directional());
+    }
+
+    #[test]
+    fn directional_variants_use_asymmetric_similarity() {
+        for v in [Variant::SisgFUD, Variant::SisgD] {
+            assert_eq!(v.window_mode(), WindowMode::RightOnly);
+            assert_eq!(v.similarity_mode(), SimilarityMode::InputOutput);
+        }
+        for v in [Variant::Sgns, Variant::SisgF, Variant::SisgU, Variant::SisgFU] {
+            assert_eq!(v.window_mode(), WindowMode::Symmetric);
+            assert_eq!(v.similarity_mode(), SimilarityMode::CosineInput);
+        }
+    }
+}

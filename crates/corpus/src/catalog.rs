@@ -1,0 +1,308 @@
+//! The item catalog: side-information values for every item.
+//!
+//! Every item carries one discrete value per item feature of Table I. The
+//! synthetic catalog is generated hierarchically so that SI is *informative*
+//! the way it is at Taobao: a leaf category belongs to one top-level
+//! category, shops specialize in few categories, brands concentrate within
+//! categories, and a shop sits in one city. Items also carry a latent
+//! "funnel stage" used by the generator to create the asymmetric click
+//! transitions of Section II-C.
+
+use crate::schema::{ItemFeature, SchemaCardinalities, AGE_BUCKETS, PURCHASE_LEVELS};
+use crate::token::{ItemId, LeafCategoryId};
+use crate::zipf::{zipf_weights, CumulativeSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Side-information values of every item, plus the category hierarchy.
+#[derive(Debug, Clone)]
+pub struct ItemCatalog {
+    cards: SchemaCardinalities,
+    /// Per item: one value per feature slot (order of [`ItemFeature::ALL`]).
+    si: Vec<[u32; ItemFeature::COUNT]>,
+    /// Per item: funnel stage in `[0, 1)`; transitions prefer higher stages.
+    stage: Vec<f32>,
+    /// Items of each leaf category, contiguous.
+    category_items: Vec<Vec<ItemId>>,
+    /// Leaf category → top-level category.
+    leaf_to_top: Vec<u32>,
+}
+
+impl ItemCatalog {
+    /// Generates a catalog of `n_items` items under `cards`, seeded for
+    /// reproducibility.
+    pub fn generate(n_items: u32, cards: SchemaCardinalities, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC47A_7061);
+        let n_leaf = cards.leaf_categories as usize;
+
+        // Hierarchy: leaf → top-level, shop → city.
+        let leaf_to_top: Vec<u32> = (0..n_leaf)
+            .map(|_| rng.gen_range(0..cards.top_level_categories))
+            .collect();
+        let shop_to_city: Vec<u32> = (0..cards.shops)
+            .map(|_| rng.gen_range(0..cards.cities))
+            .collect();
+
+        // Category sizes follow a Zipf law — some categories are huge, most
+        // are tiny. This is what makes HBGP's balance constraint non-trivial.
+        let cat_sampler = CumulativeSampler::new(&zipf_weights(n_leaf, 0.8));
+
+        // Per-category specialization: each category draws its own small pool
+        // of shops, brands, styles and materials; items then pick from the
+        // pool. This concentrates SI values within categories.
+        let mut cat_shops: Vec<Vec<u32>> = Vec::with_capacity(n_leaf);
+        let mut cat_brands: Vec<Vec<u32>> = Vec::with_capacity(n_leaf);
+        let mut cat_styles: Vec<Vec<u32>> = Vec::with_capacity(n_leaf);
+        let mut cat_materials: Vec<Vec<u32>> = Vec::with_capacity(n_leaf);
+        let mut cat_demo: Vec<u32> = Vec::with_capacity(n_leaf);
+        let demo_card = cards.cardinality(ItemFeature::AgeGenderPurchaseLevel);
+        for _ in 0..n_leaf {
+            cat_shops.push(draw_pool(&mut rng, cards.shops, 12));
+            cat_brands.push(draw_pool(&mut rng, cards.brands, 6));
+            cat_styles.push(draw_pool(&mut rng, cards.styles, 5));
+            cat_materials.push(draw_pool(&mut rng, cards.materials, 4));
+            cat_demo.push(rng.gen_range(0..demo_card));
+        }
+
+        let mut si = Vec::with_capacity(n_items as usize);
+        let mut stage = Vec::with_capacity(n_items as usize);
+        let mut category_items: Vec<Vec<ItemId>> = vec![Vec::new(); n_leaf];
+        for item in 0..n_items {
+            let leaf = cat_sampler.sample(&mut rng);
+            let shop = pick(&mut rng, &cat_shops[leaf]);
+            let mut values = [0u32; ItemFeature::COUNT];
+            values[ItemFeature::TopLevelCategory.slot()] = leaf_to_top[leaf];
+            values[ItemFeature::LeafCategory.slot()] = leaf as u32;
+            values[ItemFeature::Shop.slot()] = shop;
+            values[ItemFeature::City.slot()] = shop_to_city[shop as usize];
+            values[ItemFeature::Brand.slot()] = pick(&mut rng, &cat_brands[leaf]);
+            values[ItemFeature::Style.slot()] = pick(&mut rng, &cat_styles[leaf]);
+            values[ItemFeature::Material.slot()] = pick(&mut rng, &cat_materials[leaf]);
+            // Most items of a category share its buyer demographics; a
+            // minority deviates.
+            values[ItemFeature::AgeGenderPurchaseLevel.slot()] = if rng.gen_bool(0.8) {
+                cat_demo[leaf]
+            } else {
+                rng.gen_range(0..demo_card)
+            };
+            si.push(values);
+            stage.push(rng.gen::<f32>());
+            category_items[leaf].push(ItemId(item));
+        }
+
+        Self {
+            cards,
+            si,
+            stage,
+            category_items,
+            leaf_to_top,
+        }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn n_items(&self) -> u32 {
+        self.si.len() as u32
+    }
+
+    /// The value-space cardinalities the catalog was generated under.
+    #[inline]
+    pub fn cardinalities(&self) -> &SchemaCardinalities {
+        &self.cards
+    }
+
+    /// The SI values of `item`, one per feature slot.
+    #[inline]
+    pub fn si_values(&self, item: ItemId) -> &[u32; ItemFeature::COUNT] {
+        &self.si[item.index()]
+    }
+
+    /// The leaf category of `item`.
+    #[inline]
+    pub fn leaf_category(&self, item: ItemId) -> LeafCategoryId {
+        LeafCategoryId(self.si[item.index()][ItemFeature::LeafCategory.slot()])
+    }
+
+    /// The funnel stage of `item` in `[0, 1)`.
+    #[inline]
+    pub fn stage(&self, item: ItemId) -> f32 {
+        self.stage[item.index()]
+    }
+
+    /// The ground-truth *direction* of the transition `a -> b`: forward
+    /// when `b`'s stage lies in the half-circle ahead of `a`'s (stages are
+    /// cyclic so every item always has half the catalog "ahead" of it —
+    /// unlike a linear funnel, sessions never saturate at the top). This is
+    /// antisymmetric: `is_forward(a, b) == !is_forward(b, a)` except on the
+    /// measure-zero boundary.
+    #[inline]
+    pub fn is_forward(&self, a: ItemId, b: ItemId) -> bool {
+        let d = (self.stage[b.index()] - self.stage[a.index()]).rem_euclid(1.0);
+        d > 0.0 && d < 0.5
+    }
+
+    /// All items of a leaf category.
+    #[inline]
+    pub fn items_in_category(&self, leaf: LeafCategoryId) -> &[ItemId] {
+        &self.category_items[leaf.index()]
+    }
+
+    /// Number of leaf categories.
+    #[inline]
+    pub fn n_leaf_categories(&self) -> u32 {
+        self.category_items.len() as u32
+    }
+
+    /// Top-level category of a leaf category.
+    #[inline]
+    pub fn top_level_of(&self, leaf: LeafCategoryId) -> u32 {
+        self.leaf_to_top[leaf.index()]
+    }
+
+    /// Number of SI values shared between two items (0..=8). The generator
+    /// uses this as its ground-truth notion of "items with similar SI should
+    /// be similar" (Section II-B).
+    #[inline]
+    pub fn si_overlap(&self, a: ItemId, b: ItemId) -> u32 {
+        let (sa, sb) = (&self.si[a.index()], &self.si[b.index()]);
+        let mut n = 0;
+        for slot in 0..ItemFeature::COUNT {
+            n += u32::from(sa[slot] == sb[slot]);
+        }
+        n
+    }
+
+    /// Decodes the demographics cross feature `age_gender_purchase_level`
+    /// into `(gender index, age-bucket index, purchase level)`.
+    pub fn decode_demographics(cross: u32) -> (usize, usize, usize) {
+        let n_age = AGE_BUCKETS.len() as u32;
+        let n_pl = PURCHASE_LEVELS as u32;
+        let gender = cross / (n_age * n_pl);
+        let rest = cross % (n_age * n_pl);
+        (gender as usize, (rest / n_pl) as usize, (rest % n_pl) as usize)
+    }
+
+    /// Encodes `(gender index, age-bucket index, purchase level)` into the
+    /// demographics cross feature value.
+    pub fn encode_demographics(gender: usize, age: usize, purchase: usize) -> u32 {
+        debug_assert!(age < AGE_BUCKETS.len() && purchase < PURCHASE_LEVELS && gender < 3);
+        (gender * AGE_BUCKETS.len() * PURCHASE_LEVELS + age * PURCHASE_LEVELS + purchase) as u32
+    }
+}
+
+/// Draws `k` distinct values (or fewer when the space is smaller) from
+/// `0..card`.
+fn draw_pool(rng: &mut StdRng, card: u32, k: usize) -> Vec<u32> {
+    let k = k.min(card as usize);
+    let mut pool = Vec::with_capacity(k);
+    while pool.len() < k {
+        let v = rng.gen_range(0..card);
+        if !pool.contains(&v) {
+            pool.push(v);
+        }
+    }
+    pool
+}
+
+#[inline]
+fn pick(rng: &mut StdRng, pool: &[u32]) -> u32 {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> ItemCatalog {
+        ItemCatalog::generate(2_000, SchemaCardinalities::for_items(2_000), 11)
+    }
+
+    #[test]
+    fn every_item_has_valid_si() {
+        let c = catalog();
+        for i in 0..c.n_items() {
+            let values = c.si_values(ItemId(i));
+            for f in ItemFeature::ALL {
+                assert!(
+                    values[f.slot()] < c.cardinalities().cardinality(f),
+                    "{f:?} out of range for item {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn category_index_is_consistent() {
+        let c = catalog();
+        let mut total = 0;
+        for leaf in 0..c.n_leaf_categories() {
+            for &item in c.items_in_category(LeafCategoryId(leaf)) {
+                assert_eq!(c.leaf_category(item), LeafCategoryId(leaf));
+                total += 1;
+            }
+        }
+        assert_eq!(total, c.n_items());
+    }
+
+    #[test]
+    fn category_sizes_are_skewed() {
+        let c = catalog();
+        let mut sizes: Vec<usize> = (0..c.n_leaf_categories())
+            .map(|l| c.items_in_category(LeafCategoryId(l)).len())
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipf(0.8) over ~50 categories: the largest category should dominate
+        // the median by a wide margin.
+        assert!(sizes[0] >= 4 * sizes[sizes.len() / 2].max(1));
+    }
+
+    #[test]
+    fn si_overlap_within_category_beats_across() {
+        let c = catalog();
+        // Two items of the same category share at least top-level + leaf.
+        let leaf = (0..c.n_leaf_categories())
+            .map(LeafCategoryId)
+            .find(|&l| c.items_in_category(l).len() >= 2)
+            .expect("some category has two items");
+        let items = c.items_in_category(leaf);
+        assert!(c.si_overlap(items[0], items[1]) >= 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ItemCatalog::generate(500, SchemaCardinalities::for_items(500), 3);
+        let b = ItemCatalog::generate(500, SchemaCardinalities::for_items(500), 3);
+        for i in 0..500 {
+            assert_eq!(a.si_values(ItemId(i)), b.si_values(ItemId(i)));
+        }
+    }
+
+    #[test]
+    fn is_forward_is_antisymmetric() {
+        let c = catalog();
+        let mut checked = 0;
+        for a in 0..50u32 {
+            for b in (a + 1)..50u32 {
+                let (a, b) = (ItemId(a), ItemId(b));
+                if c.stage(a) != c.stage(b) {
+                    assert_ne!(c.is_forward(a, b), c.is_forward(b, a));
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 1000);
+        assert!(!c.is_forward(ItemId(0), ItemId(0)), "self transition is not forward");
+    }
+
+    #[test]
+    fn demographics_roundtrip() {
+        for g in 0..3 {
+            for a in 0..AGE_BUCKETS.len() {
+                for p in 0..PURCHASE_LEVELS {
+                    let cross = ItemCatalog::encode_demographics(g, a, p);
+                    assert_eq!(ItemCatalog::decode_demographics(cross), (g, a, p));
+                }
+            }
+        }
+    }
+}

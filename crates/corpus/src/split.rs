@@ -1,0 +1,134 @@
+//! The next-item evaluation protocol of Section IV-A.
+//!
+//! For each behavior sequence `S = (v_1, …, v_p)` the paper first trains on
+//! `(v_1, …, v_{p-2})` and tunes on `v_{p-1}`, then retrains on
+//! `(v_1, …, v_{p-1})` and reports performance on `v_p`. Retrieval queries
+//! use the last training item, i.e. HR@K asks whether the held-out item is
+//! among the K most similar items to its predecessor (Eq. 5).
+
+use crate::session::Corpus;
+use crate::token::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// One evaluation case: given `query` (the last training click of the user's
+/// sequence), is `target` (the held-out next click) retrieved in the top K?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalCase {
+    /// The user owning the sequence.
+    pub user: UserId,
+    /// The last item kept in training.
+    pub query: ItemId,
+    /// The held-out next item.
+    pub target: ItemId,
+}
+
+/// Which stage of the protocol a split serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStage {
+    /// Hold out the last item; tune on `v_{p-1}` (train on `v_1..v_{p-2}`).
+    Validation,
+    /// Hold out only `v_p` (train on `v_1..v_{p-1}`).
+    Test,
+}
+
+/// Training sequences plus the held-out evaluation cases of one stage.
+#[derive(Debug, Clone)]
+pub struct SplitSequences {
+    /// The truncated training corpus.
+    pub train: Corpus,
+    /// One case per sequence long enough to evaluate.
+    pub eval: Vec<EvalCase>,
+}
+
+/// The next-item splitter.
+#[derive(Debug, Clone, Copy)]
+pub struct NextItemSplit {
+    /// Minimum original sequence length required to produce an eval case
+    /// (shorter sequences go entirely to training).
+    pub min_len_for_eval: usize,
+}
+
+impl Default for NextItemSplit {
+    fn default() -> Self {
+        Self {
+            min_len_for_eval: 4,
+        }
+    }
+}
+
+impl NextItemSplit {
+    /// Splits `corpus` for `stage`.
+    ///
+    /// For [`SplitStage::Validation`] the last *two* items are removed from
+    /// training and `(v_{p-2} → v_{p-1})` is the eval case; for
+    /// [`SplitStage::Test`] only `v_p` is removed and `(v_{p-1} → v_p)` is
+    /// the case.
+    pub fn split(&self, corpus: &Corpus, stage: SplitStage) -> SplitSequences {
+        let holdout = match stage {
+            SplitStage::Validation => 2,
+            SplitStage::Test => 1,
+        };
+        let mut train = Corpus::with_capacity(corpus.len(), corpus.total_clicks() as usize);
+        let mut eval = Vec::new();
+        for s in corpus.iter() {
+            if s.len() >= self.min_len_for_eval && s.len() > holdout {
+                let kept = s.len() - holdout;
+                train.push(s.user, &s.items[..kept]);
+                eval.push(EvalCase {
+                    user: s.user,
+                    query: s.items[kept - 1],
+                    target: s.items[kept],
+                });
+            } else {
+                train.push(s.user, s.items);
+            }
+        }
+        SplitSequences { train, eval }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.push(UserId(0), &[ItemId(1), ItemId(2), ItemId(3), ItemId(4), ItemId(5)]);
+        c.push(UserId(1), &[ItemId(7), ItemId(8)]); // too short to evaluate
+        c
+    }
+
+    #[test]
+    fn test_stage_holds_out_last_item() {
+        let s = NextItemSplit::default().split(&corpus(), SplitStage::Test);
+        assert_eq!(s.train.session(0).items.len(), 4);
+        assert_eq!(s.eval.len(), 1);
+        assert_eq!(s.eval[0].query, ItemId(4));
+        assert_eq!(s.eval[0].target, ItemId(5));
+    }
+
+    #[test]
+    fn validation_stage_holds_out_two() {
+        let s = NextItemSplit::default().split(&corpus(), SplitStage::Validation);
+        assert_eq!(s.train.session(0).items.len(), 3);
+        assert_eq!(s.eval[0].query, ItemId(3));
+        assert_eq!(s.eval[0].target, ItemId(4));
+    }
+
+    #[test]
+    fn short_sequences_stay_whole() {
+        let s = NextItemSplit::default().split(&corpus(), SplitStage::Test);
+        assert_eq!(s.train.session(1).items.len(), 2);
+        assert_eq!(s.eval.len(), 1, "short sequence produced no eval case");
+    }
+
+    #[test]
+    fn clicks_are_conserved() {
+        let original = corpus();
+        let s = NextItemSplit::default().split(&original, SplitStage::Test);
+        assert_eq!(
+            s.train.total_clicks() + s.eval.len() as u64,
+            original.total_clicks()
+        );
+    }
+}

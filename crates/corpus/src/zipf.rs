@@ -1,0 +1,117 @@
+//! Power-law sampling utilities for the synthetic workload generator.
+//!
+//! Taobao item popularity is extremely skewed — the paper's ATNS design
+//! exists precisely because "hot items tend to occur in most user behavior
+//! sequences" (Section III-A). The generator therefore draws item popularity
+//! from a Zipf distribution and samples categorical choices through an exact
+//! cumulative-weight table.
+
+use rand::Rng;
+
+/// Zipfian rank weights: weight of rank `r` (0-based) is `1/(r+1)^s`.
+///
+/// Returns unnormalized weights; feed them to [`CumulativeSampler`] or
+/// normalize as needed.
+pub fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
+    (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect()
+}
+
+/// Exact categorical sampler over fixed weights, via a cumulative table and
+/// binary search. O(log n) per draw, O(n) memory; exact for any weights.
+#[derive(Debug, Clone)]
+pub struct CumulativeSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl CumulativeSampler {
+    /// Builds the table.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "no weights to sample from");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0f64;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "all weights are zero");
+        Self {
+            cumulative,
+            total: acc,
+        }
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the sampler has no categories (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one category index proportionally to its weight.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen::<f64>() * self.total;
+        // partition_point returns the first index whose cumulative weight
+        // exceeds u, i.e. the category whose interval contains u.
+        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(4, 1.0);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!(w[2] > w[3]);
+    }
+
+    #[test]
+    fn sampler_matches_weights_empirically() {
+        let s = CumulativeSampler::new(&[1.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 2];
+        for _ in 0..40_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio} not near 3");
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let s = CumulativeSampler::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(s.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn all_zero_weights_panic() {
+        let _ = CumulativeSampler::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no weights")]
+    fn empty_weights_panic() {
+        let _ = CumulativeSampler::new(&[]);
+    }
+}

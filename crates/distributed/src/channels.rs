@@ -1,0 +1,522 @@
+//! True message-passing TNS — Algorithm 1 with vectors actually shipped
+//! between workers over channels.
+//!
+//! The [`crate::runtime`] engine shares the embedding matrices between
+//! threads and *accounts* for the traffic a cluster would generate; this
+//! module is the complementary fidelity check: every worker owns a
+//! **disjoint shard** of the input and output matrices (no shared vector
+//! state at all), and a remote pair really does serialize the target's
+//! input vector into a [`TnsRequest`], cross a crossbeam channel to the
+//! context's owner, get its TNS step executed there (output update +
+//! negatives from the owner's local noise distribution), and return the
+//! input gradient in a [`TnsResponse`] — exactly the lines 7–20 of
+//! Algorithm 1.
+//!
+//! Deadlock freedom: a worker that is blocked waiting for its gradient
+//! reply keeps servicing *incoming* requests in the same loop, and
+//! termination uses a service-while-waiting barrier (an atomic counter the
+//! workers poll while continuing to answer requests) so no TNS call can be
+//! stranded. The hot-set machinery is deliberately out of scope here —
+//! this engine isolates the TNS protocol; ATNS behaviour is covered by the
+//! shared-memory runtime.
+
+use crate::partition::{assign_all, HashPartitioner, PartitionMap};
+use crate::runtime::{DistConfig, PartitionStrategy};
+use crate::HbgpPartitioner;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sisg_corpus::{Corpus, EnrichedCorpus, ItemCatalog, TokenId};
+use sisg_embedding::math::dot;
+use sisg_embedding::{EmbeddingStore, Matrix};
+use sisg_sgns::sigmoid::SigmoidTable;
+use sisg_sgns::{NoiseTable, PairSampler, SubsampleTable};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A remote TNS call: "here is my input vector for `target`; run the step
+/// against `context` on your shard and send the gradient back".
+#[derive(Debug)]
+pub struct TnsRequest {
+    /// Requesting worker (where the response goes).
+    pub from: usize,
+    /// The target token (for accounting; the vector travels alongside).
+    pub target: TokenId,
+    /// The context token, owned by the receiving worker.
+    pub context: TokenId,
+    /// The target's input vector `v_i`.
+    pub input: Vec<f32>,
+    /// Learning rate to apply on the remote side.
+    pub lr: f32,
+}
+
+/// The gradient shipped back to the requester.
+#[derive(Debug)]
+pub struct TnsResponse {
+    /// The target token the gradient belongs to.
+    pub target: TokenId,
+    /// `∂L/∂v_i`, to be applied by the owner of the input vector.
+    pub grad: Vec<f32>,
+}
+
+enum Message {
+    Request(TnsRequest),
+    Response(TnsResponse),
+}
+
+/// Counters of one message-passing run.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelReport {
+    /// Positive pairs processed in total.
+    pub pairs: u64,
+    /// Pairs that crossed a channel (request + response messages each).
+    pub remote_pairs: u64,
+    /// Total messages passed.
+    pub messages: u64,
+    /// Bytes of vector payload actually moved.
+    pub payload_bytes: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// One worker's disjoint shard of the model: dense rows for the tokens it
+/// owns, indexed through the global partition map.
+struct Shard {
+    /// Row index within the shard for each global token (u32::MAX = not
+    /// owned).
+    local_index: Vec<u32>,
+    input: Matrix,
+    output: Matrix,
+}
+
+impl Shard {
+    fn new(partition: &PartitionMap, me: usize, dim: usize, seed: u64) -> Self {
+        let mut local_index = vec![u32::MAX; partition.len()];
+        let mut count = 0u32;
+        for t in 0..partition.len() {
+            if partition.owner(TokenId(t as u32)) == me {
+                local_index[t] = count;
+                count += 1;
+            }
+        }
+        Self {
+            local_index,
+            // Per-worker seed offset: shards only need determinism, not
+            // row-for-row equality with a single-process initialization.
+            input: Matrix::uniform_init(count as usize, dim, seed ^ (me as u64) << 17),
+            output: Matrix::zeros(count as usize, dim),
+        }
+    }
+
+    #[inline]
+    fn row(&self, token: TokenId) -> usize {
+        let r = self.local_index[token.index()];
+        debug_assert_ne!(r, u32::MAX, "token not owned by this shard");
+        r as usize
+    }
+}
+
+/// The local part of a TNS step executed on the context owner's shard:
+/// output updates for the context and negatives, returning the input
+/// gradient.
+fn tns_remote_step(
+    shard: &mut Shard,
+    input: &[f32],
+    context: TokenId,
+    negatives: &[TokenId],
+    lr: f32,
+    sigmoid: &SigmoidTable,
+) -> Vec<f32> {
+    let mut grad = vec![0.0f32; input.len()];
+    let mut step = |token: TokenId, label: f32| {
+        let vp = shard.output.row_mut(shard.row(token));
+        let f = dot(input, vp);
+        let g = (label - sigmoid.sigmoid(f)) * lr;
+        for d in 0..grad.len() {
+            grad[d] += g * vp[d];
+        }
+        for d in 0..vp.len() {
+            vp[d] += g * input[d];
+        }
+    };
+    step(context, 1.0);
+    for &neg in negatives {
+        if neg != context {
+            step(neg, 0.0);
+        }
+    }
+    grad
+}
+
+/// Trains with real message passing. Returns the assembled store and the
+/// message accounting. `config.hot_set_size` is ignored (see module docs).
+pub fn train_distributed_channels(
+    enriched: &EnrichedCorpus,
+    sessions: &Corpus,
+    catalog: &ItemCatalog,
+    config: &DistConfig,
+) -> (EmbeddingStore, ChannelReport) {
+    assert!(config.workers > 0, "need at least one worker");
+    let w = config.workers;
+    let space = enriched.space();
+    let vocab = enriched.vocab();
+    let partition = match config.strategy {
+        PartitionStrategy::Hbgp { beta } => assign_all(
+            &HbgpPartitioner {
+                beta,
+                ..Default::default()
+            },
+            sessions,
+            catalog,
+            space,
+            w,
+            config.seed,
+        ),
+        PartitionStrategy::Hash => {
+            assign_all(&HashPartitioner, sessions, catalog, space, w, config.seed)
+        }
+    };
+    let members = partition.members();
+    let noise_tables: Vec<NoiseTable> = (0..w)
+        .map(|j| {
+            let freqs: Vec<u64> = members[j].iter().map(|t| vocab.freq(*t).max(1)).collect();
+            NoiseTable::from_token_freqs(&members[j], &freqs, config.noise_exponent)
+        })
+        .collect();
+    let subsample = SubsampleTable::new(vocab.freqs(), config.subsample);
+    let sigmoid = SigmoidTable::new();
+    let sampler = PairSampler {
+        window: config.window,
+        mode: config.window_mode,
+        dynamic: false,
+    };
+
+    // One inbox per worker.
+    let (senders, receivers): (Vec<Sender<Message>>, Vec<Receiver<Message>>) =
+        (0..w).map(|_| unbounded()).unzip();
+    let scanning_done = AtomicUsize::new(0);
+    let progress = AtomicU64::new(0);
+    let schedule_pairs: u64 = {
+        let directional = config.window_mode == sisg_sgns::WindowMode::RightOnly;
+        enriched
+            .count_positive_pairs(config.window, directional)
+            .max(1)
+            * config.epochs as u64
+    };
+
+    let start = Instant::now();
+    let mut shards: Vec<Option<(Shard, ChannelReport)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(w);
+        for me in 0..w {
+            let rx = receivers[me].clone();
+            let senders = senders.clone();
+            let partition = &partition;
+            let noise_tables = &noise_tables;
+            let subsample = &subsample;
+            let sigmoid = &sigmoid;
+            let scanning_done = &scanning_done;
+            let progress = &progress;
+            handles.push(scope.spawn(move || {
+                worker(WorkerEnv {
+                    me,
+                    w,
+                    config,
+                    enriched,
+                    partition,
+                    noise_tables,
+                    subsample,
+                    sampler,
+                    sigmoid,
+                    rx,
+                    senders,
+                    scanning_done,
+                    progress,
+                    schedule_pairs,
+                })
+            }));
+        }
+        for h in handles {
+            shards.push(Some(h.join().expect("worker thread panicked")));
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    // Assemble the global store from the shards.
+    let dim = config.dim;
+    let mut input = Matrix::zeros(space.len(), dim);
+    let mut output = Matrix::zeros(space.len(), dim);
+    let mut report = ChannelReport {
+        seconds,
+        ..Default::default()
+    };
+    for (me, slot) in shards.into_iter().enumerate() {
+        let (shard, counters) = slot.expect("shard present");
+        report.pairs += counters.pairs;
+        report.remote_pairs += counters.remote_pairs;
+        report.messages += counters.messages;
+        report.payload_bytes += counters.payload_bytes;
+        for t in 0..space.len() {
+            if partition.owner(TokenId(t as u32)) == me {
+                let r = shard.local_index[t] as usize;
+                input.row_mut(t).copy_from_slice(shard.input.row(r));
+                output.row_mut(t).copy_from_slice(shard.output.row(r));
+            }
+        }
+    }
+    (EmbeddingStore::from_matrices(input, output), report)
+}
+
+struct WorkerEnv<'a> {
+    me: usize,
+    w: usize,
+    config: &'a DistConfig,
+    enriched: &'a EnrichedCorpus,
+    partition: &'a PartitionMap,
+    noise_tables: &'a [NoiseTable],
+    subsample: &'a SubsampleTable,
+    sampler: PairSampler,
+    sigmoid: &'a SigmoidTable,
+    rx: Receiver<Message>,
+    senders: Vec<Sender<Message>>,
+    scanning_done: &'a AtomicUsize,
+    progress: &'a AtomicU64,
+    schedule_pairs: u64,
+}
+
+fn worker(env: WorkerEnv<'_>) -> (Shard, ChannelReport) {
+    let dim = env.config.dim;
+    let mut shard = Shard::new(env.partition, env.me, dim, env.config.seed);
+    let mut counters = ChannelReport::default();
+    let mut rng = StdRng::seed_from_u64(env.config.seed ^ (env.me as u64).wrapping_mul(0xC11A));
+    let mut filtered: Vec<TokenId> = Vec::with_capacity(64);
+    let mut pair_buf: Vec<(TokenId, TokenId)> = Vec::with_capacity(256);
+    let mut negatives: Vec<TokenId> = Vec::with_capacity(env.config.negatives);
+
+    // Handles one incoming message; returns a received gradient if the
+    // message was a response.
+    let handle = |msg: Message,
+                  shard: &mut Shard,
+                  counters: &mut ChannelReport,
+                  rng: &mut StdRng,
+                  negatives: &mut Vec<TokenId>|
+     -> Option<TnsResponse> {
+        match msg {
+            Message::Request(req) => {
+                negatives.clear();
+                for _ in 0..env.config.negatives {
+                    negatives.push(env.noise_tables[env.me].sample(rng));
+                }
+                let grad = tns_remote_step(
+                    shard,
+                    &req.input,
+                    req.context,
+                    negatives,
+                    req.lr,
+                    env.sigmoid,
+                );
+                counters.messages += 1;
+                counters.payload_bytes += (grad.len() * 4) as u64;
+                env.senders[req.from]
+                    .send(Message::Response(TnsResponse {
+                        target: req.target,
+                        grad,
+                    }))
+                    .expect("requester inbox closed");
+                None
+            }
+            Message::Response(resp) => Some(resp),
+        }
+    };
+
+    for _epoch in 0..env.config.epochs {
+        for seq_idx in 0..env.enriched.len() {
+            let seq = env.enriched.sequence(seq_idx);
+            env.subsample.filter_into(seq, &mut rng, &mut filtered);
+            env.sampler.pairs_into(&filtered, &mut rng, &mut pair_buf);
+            for &(target, context) in &pair_buf {
+                if env.partition.owner(target) != env.me {
+                    continue;
+                }
+                let done = env.progress.fetch_add(1, Ordering::Relaxed);
+                let frac = (done as f64 / env.schedule_pairs as f64).min(1.0);
+                let lr = (env.config.learning_rate as f64 * (1.0 - frac))
+                    .max(env.config.min_learning_rate as f64) as f32;
+                counters.pairs += 1;
+
+                let owner = env.partition.owner(context);
+                if owner == env.me {
+                    // Fully local TNS step.
+                    negatives.clear();
+                    for _ in 0..env.config.negatives {
+                        negatives.push(env.noise_tables[env.me].sample(&mut rng));
+                    }
+                    let input: Vec<f32> = shard.input.row(shard.row(target)).to_vec();
+                    let grad = tns_remote_step(
+                        &mut shard,
+                        &input,
+                        context,
+                        &negatives,
+                        lr,
+                        env.sigmoid,
+                    );
+                    let v = shard.input.row_mut(shard.row(target));
+                    for d in 0..v.len() {
+                        v[d] += grad[d];
+                    }
+                } else {
+                    // Ship the input vector; service others while waiting.
+                    counters.remote_pairs += 1;
+                    counters.messages += 1;
+                    let input: Vec<f32> = shard.input.row(shard.row(target)).to_vec();
+                    counters.payload_bytes += (input.len() * 4) as u64;
+                    env.senders[owner]
+                        .send(Message::Request(TnsRequest {
+                            from: env.me,
+                            target,
+                            context,
+                            input,
+                            lr,
+                        }))
+                        .expect("owner inbox closed");
+                    loop {
+                        let msg = env.rx.recv().expect("channel closed while waiting");
+                        if let Some(resp) =
+                            handle(msg, &mut shard, &mut counters, &mut rng, &mut negatives)
+                        {
+                            debug_assert_eq!(resp.target, target);
+                            let v = shard.input.row_mut(shard.row(target));
+                            for d in 0..v.len() {
+                                v[d] += resp.grad[d];
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Service-while-waiting termination: answer requests until every
+    // worker has finished scanning, then drain the inbox.
+    env.scanning_done.fetch_add(1, Ordering::SeqCst);
+    while env.scanning_done.load(Ordering::SeqCst) < env.w {
+        match env.rx.try_recv() {
+            Ok(msg) => {
+                let r = handle(msg, &mut shard, &mut counters, &mut rng, &mut negatives);
+                debug_assert!(r.is_none(), "unexpected response after scan");
+            }
+            Err(_) => std::thread::yield_now(),
+        }
+    }
+    while let Ok(msg) = env.rx.try_recv() {
+        let r = handle(msg, &mut shard, &mut counters, &mut rng, &mut negatives);
+        debug_assert!(r.is_none(), "unexpected response during drain");
+    }
+
+    (shard, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::{CorpusConfig, EnrichOptions, GeneratedCorpus, ItemId};
+    use sisg_embedding::math::cosine;
+
+    fn corpus() -> GeneratedCorpus {
+        GeneratedCorpus::generate(CorpusConfig::tiny())
+    }
+
+    fn config(workers: usize) -> DistConfig {
+        DistConfig {
+            workers,
+            dim: 16,
+            window: 3,
+            negatives: 3,
+            epochs: 1,
+            hot_set_size: 0,
+            sync_interval: 1_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_worker_passes_no_messages() {
+        let gen = corpus();
+        let enriched = EnrichedCorpus::build(&gen, EnrichOptions::NONE);
+        let (store, report) =
+            train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &config(1));
+        assert_eq!(report.remote_pairs, 0);
+        assert_eq!(report.messages, 0);
+        assert!(report.pairs > 10_000);
+        assert_eq!(store.n_tokens(), enriched.space().len());
+    }
+
+    #[test]
+    fn remote_pairs_really_cross_channels() {
+        let gen = corpus();
+        let enriched = EnrichedCorpus::build(&gen, EnrichOptions::NONE);
+        let cfg = DistConfig {
+            strategy: PartitionStrategy::Hash, // maximal cross-worker traffic
+            ..config(4)
+        };
+        let (_, report) =
+            train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &cfg);
+        assert!(report.remote_pairs > 1_000, "hash partition must go remote");
+        // Every remote pair = one request + one response message.
+        assert_eq!(report.messages, report.remote_pairs * 2);
+        // Payload: input vector out + gradient back, dim × 4 bytes each.
+        assert_eq!(report.payload_bytes, report.remote_pairs * 2 * 16 * 4);
+    }
+
+    #[test]
+    fn message_passing_learns_structure() {
+        let gen = corpus();
+        let enriched = EnrichedCorpus::build(&gen, EnrichOptions::NONE);
+        let mut cfg = config(4);
+        cfg.epochs = 2;
+        let (store, _) =
+            train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &cfg);
+        let mut within = 0.0f64;
+        let mut cross = 0.0f64;
+        let (mut wn, mut cn) = (0u32, 0u32);
+        for a in 0..120u32 {
+            for b in (a + 1)..120u32 {
+                let s = cosine(store.input(TokenId(a)), store.input(TokenId(b))) as f64;
+                if gen.catalog.leaf_category(ItemId(a)) == gen.catalog.leaf_category(ItemId(b))
+                {
+                    within += s;
+                    wn += 1;
+                } else {
+                    cross += s;
+                    cn += 1;
+                }
+            }
+        }
+        assert!(
+            within / wn as f64 > cross / cn as f64,
+            "message-passing engine failed to learn category structure"
+        );
+    }
+
+    #[test]
+    fn hbgp_reduces_real_message_traffic() {
+        let gen = corpus();
+        let enriched = EnrichedCorpus::build(&gen, EnrichOptions::NONE);
+        let hbgp_cfg = config(4);
+        let hash_cfg = DistConfig {
+            strategy: PartitionStrategy::Hash,
+            ..config(4)
+        };
+        let (_, hbgp) =
+            train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &hbgp_cfg);
+        let (_, hash) =
+            train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &hash_cfg);
+        assert!(
+            hbgp.payload_bytes < hash.payload_bytes / 2,
+            "HBGP should at least halve real traffic: {} vs {}",
+            hbgp.payload_bytes,
+            hash.payload_bytes
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! The ATNS shared hot set `Q` and its per-worker vector replicas.
+//!
+//! Section III-A: "our implementation of TNS allows the top-K frequent
+//! items to be kept in all partitions at the same time. The corresponding
+//! vectors are then synchronized (averaged) at regular intervals." In
+//! practice `Q` "usually contains the most common SI features such as age,
+//! gender, color, etc." (Section III-C stage 4).
+
+use sisg_corpus::vocab::Vocab;
+use sisg_corpus::TokenId;
+use sisg_embedding::Matrix;
+
+/// The shared hot set: a dense membership/slot index over the token space.
+#[derive(Debug, Clone)]
+pub struct HotSet {
+    /// `slot_plus_one[token] == 0` means "not hot"; otherwise slot+1.
+    slot_plus_one: Vec<u32>,
+    tokens: Vec<TokenId>,
+}
+
+impl HotSet {
+    /// The `k` most frequent tokens of `vocab` (pass `k = 0` to disable
+    /// sharing entirely).
+    pub fn top_k(vocab: &Vocab, k: usize) -> Self {
+        Self::from_tokens(vocab.len(), vocab.top_k(k))
+    }
+
+    /// All tokens with frequency ≥ `threshold` — stage 4 of the pipeline.
+    pub fn from_threshold(vocab: &Vocab, threshold: u64) -> Self {
+        Self::from_tokens(vocab.len(), vocab.tokens_with_freq_at_least(threshold))
+    }
+
+    /// Builds the set from an explicit token list.
+    pub fn from_tokens(space_len: usize, tokens: Vec<TokenId>) -> Self {
+        let mut slot_plus_one = vec![0u32; space_len];
+        for (slot, t) in tokens.iter().enumerate() {
+            slot_plus_one[t.index()] = slot as u32 + 1;
+        }
+        Self {
+            slot_plus_one,
+            tokens,
+        }
+    }
+
+    /// Number of hot tokens.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when sharing is disabled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Replica slot of `token`, or `None` when it is not hot.
+    #[inline]
+    pub fn slot(&self, token: TokenId) -> Option<usize> {
+        match self.slot_plus_one[token.index()] {
+            0 => None,
+            s => Some(s as usize - 1),
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, token: TokenId) -> bool {
+        self.slot_plus_one[token.index()] != 0
+    }
+
+    /// The hot tokens, by slot.
+    #[inline]
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+}
+
+/// How replicas are reconciled at a synchronization barrier.
+///
+/// The paper says replicas are "synchronized (averaged) at regular
+/// intervals". Plain averaging divides the gradient mass accumulated since
+/// the last barrier by the worker count — harmless when every hot token
+/// receives astronomically many updates (the paper's regime), but it slows
+/// hot-token learning `w`-fold at simulation scale. [`SyncMode::DeltaSum`]
+/// instead applies the *sum of per-worker deltas* to the shared base value
+/// (parameter-server push semantics), which matches what sequential
+/// training would have produced up to within-round staleness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Paper-literal replica averaging.
+    Average,
+    /// Sum of per-worker deltas over the shared base (default).
+    #[default]
+    DeltaSum,
+}
+
+/// Per-worker replicas of the input and output vectors of every hot token.
+#[derive(Debug)]
+pub struct ReplicaSet {
+    /// `input[w]` is worker `w`'s replica matrix (`|Q| × dim`).
+    input: Vec<Matrix>,
+    output: Vec<Matrix>,
+    /// Shared base values at the last synchronization (`|Q| × dim` each),
+    /// used by [`SyncMode::DeltaSum`].
+    input_base: Matrix,
+    output_base: Matrix,
+    dim: usize,
+}
+
+impl ReplicaSet {
+    /// Initializes every worker's replicas from the canonical store rows.
+    pub fn init(
+        store: &sisg_embedding::EmbeddingStore,
+        hot: &HotSet,
+        workers: usize,
+    ) -> Self {
+        let dim = store.dim();
+        let snapshot = |src: &Matrix| -> Matrix {
+            let mut m = Matrix::zeros(hot.len(), dim);
+            for (slot, t) in hot.tokens().iter().enumerate() {
+                m.row_mut(slot).copy_from_slice(src.row(t.index()));
+            }
+            m
+        };
+        let make = |src: &Matrix| -> Vec<Matrix> {
+            (0..workers).map(|_| snapshot(src)).collect()
+        };
+        Self {
+            input: make(store.input_matrix()),
+            output: make(store.output_matrix()),
+            input_base: snapshot(store.input_matrix()),
+            output_base: snapshot(store.output_matrix()),
+            dim,
+        }
+    }
+
+    /// Worker `w`'s replica of the *input* vector in `slot`.
+    ///
+    /// # Safety
+    /// Hogwild contract of [`Matrix::row_mut_shared`]; additionally each
+    /// worker must only touch its own replica index.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn input_row(&self, worker: usize, slot: usize) -> &mut [f32] {
+        self.input[worker].row_mut_shared(slot)
+    }
+
+    /// Worker `w`'s replica of the *output* vector in `slot`.
+    ///
+    /// # Safety
+    /// Same contract as [`Self::input_row`].
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn output_row(&self, worker: usize, slot: usize) -> &mut [f32] {
+        self.output[worker].row_mut_shared(slot)
+    }
+
+    /// Reconciles all replicas slot-wise under `mode`, writing the result
+    /// back to every replica, to the canonical store rows, and to the
+    /// shared base. Must be called while no worker is training (the runtime
+    /// does this at a barrier). Returns the number of bytes a cluster would
+    /// move for this all-reduce.
+    pub fn synchronize(
+        &self,
+        store: &sisg_embedding::EmbeddingStore,
+        hot: &HotSet,
+        mode: SyncMode,
+    ) -> u64 {
+        let workers = self.input.len();
+        if workers == 0 || hot.is_empty() {
+            return 0;
+        }
+        let mut acc = vec![0.0f32; self.dim];
+        for (matrices, base, canonical) in [
+            (&self.input, &self.input_base, store.input_matrix()),
+            (&self.output, &self.output_base, store.output_matrix()),
+        ] {
+            for (slot, t) in hot.tokens().iter().enumerate() {
+                match mode {
+                    SyncMode::Average => {
+                        acc.fill(0.0);
+                        for m in matrices.iter() {
+                            for (a, &v) in acc.iter_mut().zip(m.row(slot)) {
+                                *a += v;
+                            }
+                        }
+                        let inv = 1.0 / workers as f32;
+                        for a in acc.iter_mut() {
+                            *a *= inv;
+                        }
+                    }
+                    SyncMode::DeltaSum => {
+                        acc.copy_from_slice(base.row(slot));
+                        for m in matrices.iter() {
+                            for ((a, &v), &b) in
+                                acc.iter_mut().zip(m.row(slot)).zip(base.row(slot))
+                            {
+                                *a += v - b;
+                            }
+                        }
+                    }
+                }
+                for m in matrices.iter() {
+                    // SAFETY: callers guarantee quiescence at a barrier.
+                    unsafe { m.row_mut_shared(slot) }.copy_from_slice(&acc);
+                }
+                unsafe { canonical.row_mut_shared(t.index()) }.copy_from_slice(&acc);
+                unsafe { base.row_mut_shared(slot) }.copy_from_slice(&acc);
+            }
+        }
+        // All-reduce cost: every worker sends and receives its |Q|×dim×2
+        // block once.
+        (workers as u64) * (hot.len() as u64) * (self.dim as u64) * 4 * 2 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::schema::SchemaCardinalities;
+    use sisg_corpus::vocab::{TokenSpace, VocabBuilder};
+    use sisg_embedding::EmbeddingStore;
+
+    fn vocab() -> Vocab {
+        let space = TokenSpace::new(50, &SchemaCardinalities::for_items(50), 5);
+        let mut b = VocabBuilder::new(space);
+        for _ in 0..10 {
+            b.record(TokenId(3));
+        }
+        for _ in 0..5 {
+            b.record(TokenId(7));
+        }
+        b.record(TokenId(1));
+        b.build()
+    }
+
+    #[test]
+    fn top_k_picks_most_frequent() {
+        let v = vocab();
+        let hot = HotSet::top_k(&v, 2);
+        assert_eq!(hot.len(), 2);
+        assert!(hot.contains(TokenId(3)));
+        assert!(hot.contains(TokenId(7)));
+        assert!(!hot.contains(TokenId(1)));
+        assert_eq!(hot.slot(TokenId(3)), Some(0));
+    }
+
+    #[test]
+    fn threshold_selects_by_frequency() {
+        let v = vocab();
+        let hot = HotSet::from_threshold(&v, 5);
+        assert_eq!(hot.len(), 2);
+        let none = HotSet::from_threshold(&v, 1_000);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn replicas_start_identical_and_average() {
+        let v = vocab();
+        let hot = HotSet::top_k(&v, 2);
+        let store = EmbeddingStore::new(v.len(), 4, 9);
+        let replicas = ReplicaSet::init(&store, &hot, 3);
+        // Diverge worker replicas.
+        unsafe {
+            replicas.input_row(0, 0).fill(1.0);
+            replicas.input_row(1, 0).fill(2.0);
+            replicas.input_row(2, 0).fill(3.0);
+        }
+        let bytes = replicas.synchronize(&store, &hot, SyncMode::Average);
+        assert!(bytes > 0);
+        let expected = [2.0f32; 4];
+        unsafe {
+            assert_eq!(replicas.input_row(0, 0), &expected);
+            assert_eq!(replicas.input_row(2, 0), &expected);
+        }
+        // Canonical row of the hottest token also holds the average.
+        assert_eq!(store.input(hot.tokens()[0]), &expected);
+    }
+
+    #[test]
+    fn empty_hot_set_syncs_for_free() {
+        let v = vocab();
+        let hot = HotSet::top_k(&v, 0);
+        let store = EmbeddingStore::new(v.len(), 4, 9);
+        let replicas = ReplicaSet::init(&store, &hot, 2);
+        assert_eq!(replicas.synchronize(&store, &hot, SyncMode::DeltaSum), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! The distributed SISG training engine (Section III of the paper),
+//! simulated faithfully with threads as workers.
+//!
+//! What the paper runs on a 32-machine cluster, this crate runs on one
+//! machine with one thread per worker, preserving every algorithmic
+//! decision and *measuring* what the cluster design is about — cross-worker
+//! communication, load balance, and scaling:
+//!
+//! - [`partition`] — the `Partitioner` abstraction: items are assigned to
+//!   workers, SI and user types are assigned randomly (pipeline stage 3);
+//! - [`hbgp`] — Heuristic Balanced Graph Partitioning (Section III-B):
+//!   coarsen the item graph to leaf categories, then greedily merge the
+//!   heaviest-edge pair under the `β·|V|/w` balance constraint;
+//! - [`hotset`] — the ATNS shared set `Q` (Section III-A): tokens above a
+//!   frequency threshold are replicated on every worker and their replicas
+//!   averaged at regular intervals;
+//! - [`runtime`] — Algorithm 1 (TNS): every worker scans the corpus,
+//!   processes the pairs whose target it owns (or whose hot target falls in
+//!   its shard), draws negatives from the *context owner's* local noise
+//!   distribution over `P_j ∪ Q`, and ships input vectors/gradients across
+//!   workers — each shipment is counted;
+//! - [`report`] — communication, balance and throughput accounting used by
+//!   the Figure 7 and ablation experiments.
+
+#![warn(missing_docs)]
+
+pub mod channels;
+pub mod hbgp;
+pub mod hotset;
+pub mod partition;
+pub mod pipeline;
+pub mod report;
+pub mod runtime;
+
+pub use channels::{train_distributed_channels, ChannelReport};
+pub use hbgp::HbgpPartitioner;
+pub use hotset::{HotSet, SyncMode};
+pub use partition::{HashPartitioner, PartitionMap, Partitioner};
+pub use report::{ClusterCostModel, DistReport};
+pub use pipeline::{PipelinePreflight, TrainingPipeline};
+pub use runtime::{train_distributed, DistConfig};

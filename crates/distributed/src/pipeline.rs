@@ -1,0 +1,198 @@
+//! The production training pipeline, Section III-C — the four preparation
+//! stages as explicit, inspectable artifacts:
+//!
+//! 1. transform item sequences into enriched sequences `S̃` (Eq. 4);
+//! 2. count token frequencies into the dictionary `D`;
+//! 3. partition `D` into `(P_1, …, P_w)` — items via HBGP, SI and user
+//!    types randomly;
+//! 4. determine the shared set `Q` of tokens above a frequency threshold
+//!    ("usually … the most common SI features such as age, gender, color").
+//!
+//! [`TrainingPipeline::prepare`] materializes all four; [`TrainingPipeline::train`]
+//! then runs Algorithm 1 on them. The staged form exists so deployments
+//! can checkpoint between stages and operators can inspect the partition
+//! and hot set before committing a cluster to a 13-hour run.
+
+use crate::hotset::HotSet;
+use crate::partition::{assign_all, HashPartitioner, PartitionMap};
+use crate::runtime::{train_distributed, DistConfig, PartitionStrategy};
+use crate::{DistReport, HbgpPartitioner};
+use sisg_corpus::{EnrichOptions, EnrichedCorpus, GeneratedCorpus};
+use sisg_embedding::EmbeddingStore;
+
+/// The materialized artifacts of stages 1–4.
+pub struct TrainingPipeline<'a> {
+    corpus: &'a GeneratedCorpus,
+    config: DistConfig,
+    /// Stage 1: the enriched sequences `S̃` (owns stage 2's dictionary).
+    pub enriched: EnrichedCorpus,
+    /// Stage 3: the token partition map.
+    pub partition: PartitionMap,
+    /// Stage 4: the shared hot set `Q`.
+    pub hot_set: HotSet,
+}
+
+impl<'a> TrainingPipeline<'a> {
+    /// Runs stages 1–4.
+    pub fn prepare(
+        corpus: &'a GeneratedCorpus,
+        options: EnrichOptions,
+        config: DistConfig,
+    ) -> Self {
+        // Stage 1 + 2: enrichment carries the counted dictionary.
+        let enriched = EnrichedCorpus::build(corpus, options);
+        // Stage 3: partition the dictionary.
+        let partition = match config.strategy {
+            PartitionStrategy::Hbgp { beta } => assign_all(
+                &HbgpPartitioner {
+                    beta,
+                    ..Default::default()
+                },
+                &corpus.sessions,
+                &corpus.catalog,
+                enriched.space(),
+                config.workers,
+                config.seed,
+            ),
+            PartitionStrategy::Hash => assign_all(
+                &HashPartitioner,
+                &corpus.sessions,
+                &corpus.catalog,
+                enriched.space(),
+                config.workers,
+                config.seed,
+            ),
+        };
+        // Stage 4: the shared set Q.
+        let hot_set = HotSet::top_k(enriched.vocab(), config.hot_set_size);
+        Self {
+            corpus,
+            config,
+            enriched,
+            partition,
+            hot_set,
+        }
+    }
+
+    /// Pre-flight summary an operator would check before training: expected
+    /// cut fraction, load imbalance, hot-set composition.
+    pub fn preflight(&self) -> PipelinePreflight {
+        let n_items = self.enriched.space().n_items() as usize;
+        let item_freqs = &self.enriched.vocab().freqs()[..n_items];
+        let hot_si = self
+            .hot_set
+            .tokens()
+            .iter()
+            .filter(|t| !self.enriched.space().is_item(**t))
+            .count();
+        PipelinePreflight {
+            workers: self.config.workers,
+            tokens: self.enriched.total_tokens(),
+            vocab_size: self.enriched.vocab().len(),
+            cut_fraction: self.partition.cut_fraction(&self.corpus.sessions),
+            item_load_imbalance: self.partition.imbalance(item_freqs),
+            hot_set_size: self.hot_set.len(),
+            hot_set_si_fraction: if self.hot_set.is_empty() {
+                0.0
+            } else {
+                hot_si as f64 / self.hot_set.len() as f64
+            },
+        }
+    }
+
+    /// Runs Algorithm 1 over the prepared artifacts.
+    pub fn train(&self) -> (EmbeddingStore, DistReport) {
+        // The runtime re-derives partition and hot set from the same config
+        // and seed, so the prepared artifacts and the run agree exactly.
+        train_distributed(
+            &self.enriched,
+            &self.corpus.sessions,
+            &self.corpus.catalog,
+            &self.config,
+        )
+    }
+}
+
+/// The operator-facing summary of a prepared pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinePreflight {
+    /// Worker count the plan was made for.
+    pub workers: usize,
+    /// Total enriched tokens (the corpus-size axis of Figure 7(b)).
+    pub tokens: u64,
+    /// Dictionary size.
+    pub vocab_size: usize,
+    /// Fraction of adjacent transitions crossing workers.
+    pub cut_fraction: f64,
+    /// Max/mean per-worker item-frequency load.
+    pub item_load_imbalance: f64,
+    /// |Q|.
+    pub hot_set_size: usize,
+    /// Fraction of `Q` that is SI/user-type tokens (the paper expects this
+    /// to be most of it).
+    pub hot_set_si_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::CorpusConfig;
+
+    fn config() -> DistConfig {
+        DistConfig {
+            workers: 4,
+            dim: 8,
+            window: 3,
+            negatives: 2,
+            epochs: 1,
+            hot_set_size: 64,
+            sync_interval: 500,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn preflight_reports_sane_numbers() {
+        let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+        let pipeline = TrainingPipeline::prepare(&corpus, EnrichOptions::FULL, config());
+        let pf = pipeline.preflight();
+        assert_eq!(pf.workers, 4);
+        assert!(pf.tokens > corpus.sessions.total_clicks());
+        assert!(pf.vocab_size > corpus.config.n_items as usize);
+        assert!((0.0..=1.0).contains(&pf.cut_fraction));
+        assert!(pf.item_load_imbalance >= 1.0);
+        assert_eq!(pf.hot_set_size, 64);
+        // On a fully enriched corpus the hot set is dominated by SI — the
+        // paper's stage-4 observation.
+        assert!(
+            pf.hot_set_si_fraction > 0.5,
+            "hot set should be mostly SI, got {}",
+            pf.hot_set_si_fraction
+        );
+    }
+
+    #[test]
+    fn staged_training_produces_usable_store() {
+        let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+        let pipeline = TrainingPipeline::prepare(&corpus, EnrichOptions::NONE, config());
+        let (store, report) = pipeline.train();
+        assert_eq!(store.n_tokens(), pipeline.enriched.space().len());
+        assert!(report.total_pairs() > 0);
+        // The report's structural numbers match the preflight plan.
+        let pf = pipeline.preflight();
+        assert!((report.cut_fraction - pf.cut_fraction).abs() < 1e-12);
+        assert_eq!(report.workers, pf.workers);
+    }
+
+    #[test]
+    fn hbgp_preflight_beats_hash_preflight_on_cut() {
+        let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+        let hbgp = TrainingPipeline::prepare(&corpus, EnrichOptions::NONE, config());
+        let hash_cfg = DistConfig {
+            strategy: PartitionStrategy::Hash,
+            ..config()
+        };
+        let hash = TrainingPipeline::prepare(&corpus, EnrichOptions::NONE, hash_cfg);
+        assert!(hbgp.preflight().cut_fraction < hash.preflight().cut_fraction);
+    }
+}

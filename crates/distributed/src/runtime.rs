@@ -1,0 +1,626 @@
+//! The TNS/ATNS training runtime — Algorithm 1 of the paper, with threads
+//! as workers.
+//!
+//! Faithfulness notes (what maps to what):
+//!
+//! - **Worker = thread.** Every worker scans the whole behavior-sequence
+//!   corpus and independently samples pairs, *ignoring* pairs whose target
+//!   it does not manage — exactly the structure of Algorithm 1, lines 1–6.
+//! - **TNS routing.** For a pair `(v_i, v_j)` owned by worker `A`, the
+//!   output-vector update and the negatives happen conceptually on
+//!   `A' = owner(v_j)`: negatives are drawn from `A'`'s local noise
+//!   distribution over `P_{A'} ∪ Q` (Section III-C), and when `A ≠ A'` the
+//!   run ships one input vector there and one gradient back — we count
+//!   those bytes instead of serializing them, since all matrices live in
+//!   shared memory.
+//! - **ATNS.** Tokens in the shared hot set `Q` are replicated per worker
+//!   ([`crate::hotset::ReplicaSet`]); pairs whose *target* is hot are
+//!   processed by the worker whose sequence shard they fall in (spreading
+//!   the hot load), touch only local replicas, and the replicas are
+//!   averaged at a barrier every `sync_interval` sequences. Hot tokens are
+//!   additionally down-sampled more aggressively.
+//! - **HBGP vs hash** is selected by [`PartitionStrategy`].
+
+use crate::hbgp::HbgpPartitioner;
+use crate::hotset::{HotSet, ReplicaSet, SyncMode};
+use crate::partition::{assign_all, HashPartitioner, PartitionMap};
+use crate::report::DistReport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sisg_corpus::{Corpus, EnrichedCorpus, ItemCatalog, TokenId};
+use sisg_embedding::math::dot;
+use sisg_embedding::EmbeddingStore;
+use sisg_sgns::sigmoid::SigmoidTable;
+use sisg_sgns::{NoiseTable, PairSampler, SubsampleTable, WindowMode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Which item partitioner the run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitionStrategy {
+    /// Heuristic Balanced Graph Partitioning with the given β.
+    Hbgp {
+        /// Maximum allowed imbalance (paper production value: 1.2).
+        beta: f64,
+    },
+    /// Round-robin hashing (the ablation baseline).
+    Hash,
+}
+
+/// Configuration of one distributed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistConfig {
+    /// Number of simulated workers (threads).
+    pub workers: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Window half-width over enriched tokens.
+    pub window: usize,
+    /// Symmetric or right-only windows.
+    pub window_mode: WindowMode,
+    /// Negatives per positive.
+    pub negatives: usize,
+    /// Epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linear decay).
+    pub learning_rate: f32,
+    /// Learning-rate floor.
+    pub min_learning_rate: f32,
+    /// Mikolov subsampling threshold.
+    pub subsample: f64,
+    /// Extra keep-probability factor for hot-set tokens (< 1 = the
+    /// "aggressive" down-sampling of ATNS).
+    pub hot_subsample_factor: f32,
+    /// Noise exponent α.
+    pub noise_exponent: f64,
+    /// Size of the shared hot set `Q` (0 disables replication).
+    pub hot_set_size: usize,
+    /// Sequences processed per worker between hot-set averaging barriers.
+    pub sync_interval: usize,
+    /// How hot-set replicas are reconciled at each barrier.
+    pub sync_mode: SyncMode,
+    /// Item partitioner.
+    pub strategy: PartitionStrategy,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            dim: 32,
+            window: 5,
+            window_mode: WindowMode::Symmetric,
+            negatives: 20,
+            epochs: 2,
+            learning_rate: 0.025,
+            min_learning_rate: 0.0001,
+            subsample: 1e-3,
+            hot_subsample_factor: 0.3,
+            noise_exponent: 0.75,
+            hot_set_size: 256,
+            sync_interval: 2_000,
+            sync_mode: SyncMode::default(),
+            strategy: PartitionStrategy::Hbgp { beta: 1.2 },
+            seed: 42,
+        }
+    }
+}
+
+/// Trains the enriched corpus with the distributed engine and returns the
+/// embedding store plus the run's accounting.
+pub fn train_distributed(
+    enriched: &EnrichedCorpus,
+    sessions: &Corpus,
+    catalog: &ItemCatalog,
+    config: &DistConfig,
+) -> (EmbeddingStore, DistReport) {
+    assert!(config.workers > 0, "need at least one worker");
+    let w = config.workers;
+    let space = enriched.space();
+    let vocab = enriched.vocab();
+
+    // Pipeline stage 3: partition the dictionary.
+    let partition = match config.strategy {
+        PartitionStrategy::Hbgp { beta } => assign_all(
+            &HbgpPartitioner {
+                beta,
+                ..Default::default()
+            },
+            sessions,
+            catalog,
+            space,
+            w,
+            config.seed,
+        ),
+        PartitionStrategy::Hash => {
+            assign_all(&HashPartitioner, sessions, catalog, space, w, config.seed)
+        }
+    };
+
+    // Pipeline stage 4: the shared set Q.
+    let hot = HotSet::top_k(vocab, config.hot_set_size);
+
+    // Per-worker local noise distributions over P_j ∪ Q.
+    let members = partition.members();
+    let noise_tables: Vec<NoiseTable> = (0..w)
+        .map(|j| {
+            let mut tokens: Vec<TokenId> = members[j].clone();
+            for &t in hot.tokens() {
+                if partition.owner(t) != j {
+                    tokens.push(t);
+                }
+            }
+            let freqs: Vec<u64> = tokens.iter().map(|t| vocab.freq(*t).max(1)).collect();
+            NoiseTable::from_token_freqs(&tokens, &freqs, config.noise_exponent)
+        })
+        .collect();
+
+    let mut subsample = SubsampleTable::new(vocab.freqs(), config.subsample);
+    // "High frequency words are aggressively down sampled" — but the paper
+    // notes "most high frequency words are SIs" and handles hot *items*
+    // via replication instead (Section III-A), so the extra factor applies
+    // only to non-item tokens. Nuking hot items would leave the most
+    // frequently clicked (and most frequently evaluated) items untrained.
+    let hot_non_items: Vec<TokenId> = hot
+        .tokens()
+        .iter()
+        .copied()
+        .filter(|t| !space.is_item(*t))
+        .collect();
+    subsample.scale_tokens(&hot_non_items, config.hot_subsample_factor);
+
+    let store = EmbeddingStore::new(space.len(), config.dim, config.seed);
+    let replicas = ReplicaSet::init(&store, &hot, w);
+    let sigmoid = SigmoidTable::new();
+    let sampler = PairSampler {
+        window: config.window,
+        mode: config.window_mode,
+        dynamic: false,
+    };
+
+    let n_seq = enriched.len();
+    let schedule_pairs: u64 = {
+        let directional = config.window_mode == WindowMode::RightOnly;
+        enriched.count_positive_pairs(config.window, directional) * config.epochs as u64
+    };
+    let progress = AtomicU64::new(0);
+    let barrier = Barrier::new(w);
+    let sync_bytes = AtomicU64::new(0);
+    let sync_rounds = AtomicU64::new(0);
+
+    // Per-worker counters, collected after the scope.
+    let start = Instant::now();
+    let mut per_worker: Vec<WorkerCounters> = Vec::with_capacity(w);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(w);
+        for me in 0..w {
+            let partition = &partition;
+            let hot = &hot;
+            let replicas = &replicas;
+            let store = &store;
+            let noise_tables = &noise_tables;
+            let subsample = &subsample;
+            let sigmoid = &sigmoid;
+            let progress = &progress;
+            let barrier = &barrier;
+            let sync_bytes = &sync_bytes;
+            let sync_rounds = &sync_rounds;
+            handles.push(scope.spawn(move || {
+                worker_loop(WorkerCtx {
+                    me,
+                    config,
+                    enriched,
+                    partition,
+                    hot,
+                    replicas,
+                    store,
+                    noise_tables,
+                    subsample,
+                    sampler,
+                    sigmoid,
+                    progress,
+                    barrier,
+                    sync_bytes,
+                    sync_rounds,
+                    n_seq,
+                    schedule_pairs,
+                })
+            }));
+        }
+        for h in handles {
+            per_worker.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    // Item-frequency load balance (items only, the quantity HBGP targets).
+    let n_items = space.n_items() as usize;
+    let item_freqs = &vocab.freqs()[..n_items];
+    let item_map = PartitionMap::new(
+        (0..n_items)
+            .map(|i| partition.owner(TokenId(i as u32)) as u16)
+            .collect(),
+        w,
+    );
+
+    let report = DistReport {
+        workers: w,
+        partitioner: match config.strategy {
+            PartitionStrategy::Hbgp { .. } => "hbgp".into(),
+            PartitionStrategy::Hash => "hash".into(),
+        },
+        hot_set_size: hot.len(),
+        pairs_per_worker: per_worker.iter().map(|c| c.pairs).collect(),
+        local_pairs: per_worker.iter().map(|c| c.local_pairs).sum(),
+        remote_pairs: per_worker.iter().map(|c| c.remote_pairs).sum(),
+        item_pairs: per_worker.iter().map(|c| c.item_pairs).sum(),
+        remote_item_pairs: per_worker.iter().map(|c| c.remote_item_pairs).sum(),
+        pair_comm_bytes: per_worker.iter().map(|c| c.comm_bytes).sum(),
+        sync_comm_bytes: sync_bytes.load(Ordering::Relaxed),
+        sync_rounds: sync_rounds.load(Ordering::Relaxed),
+        tokens_processed: enriched.total_tokens() * config.epochs as u64,
+        seconds,
+        cut_fraction: partition.cut_fraction(sessions),
+        imbalance: item_map.imbalance(item_freqs),
+    };
+    (store, report)
+}
+
+#[derive(Debug, Default, Clone)]
+struct WorkerCounters {
+    pairs: u64,
+    local_pairs: u64,
+    remote_pairs: u64,
+    item_pairs: u64,
+    remote_item_pairs: u64,
+    comm_bytes: u64,
+}
+
+struct WorkerCtx<'a> {
+    me: usize,
+    config: &'a DistConfig,
+    enriched: &'a EnrichedCorpus,
+    partition: &'a PartitionMap,
+    hot: &'a HotSet,
+    replicas: &'a ReplicaSet,
+    store: &'a EmbeddingStore,
+    noise_tables: &'a [NoiseTable],
+    subsample: &'a SubsampleTable,
+    sampler: PairSampler,
+    sigmoid: &'a SigmoidTable,
+    progress: &'a AtomicU64,
+    barrier: &'a Barrier,
+    sync_bytes: &'a AtomicU64,
+    sync_rounds: &'a AtomicU64,
+    n_seq: usize,
+    schedule_pairs: u64,
+}
+
+fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
+    let WorkerCtx {
+        me,
+        config,
+        enriched,
+        partition,
+        hot,
+        replicas,
+        store,
+        noise_tables,
+        subsample,
+        sampler,
+        sigmoid,
+        progress,
+        barrier,
+        sync_bytes,
+        sync_rounds,
+        n_seq,
+        schedule_pairs,
+    } = ctx;
+    let w = config.workers;
+    let dim = config.dim;
+    let mut counters = WorkerCounters::default();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (me as u64).wrapping_mul(0xD1F3_5A7B));
+    let mut filtered: Vec<TokenId> = Vec::with_capacity(64);
+    let mut pair_buf: Vec<(TokenId, TokenId)> = Vec::with_capacity(256);
+    let mut negatives: Vec<TokenId> = Vec::with_capacity(config.negatives);
+    let mut grad = vec![0.0f32; dim];
+
+    let resolver = RowResolver {
+        me,
+        hot,
+        replicas,
+        store,
+    };
+
+    let rounds_per_epoch = n_seq.div_ceil(config.sync_interval.max(1)).max(1);
+    for _epoch in 0..config.epochs {
+        for round in 0..rounds_per_epoch {
+            let lo = round * config.sync_interval;
+            let hi = ((round + 1) * config.sync_interval).min(n_seq);
+            for seq_idx in lo..hi {
+                let seq = enriched.sequence(seq_idx);
+                subsample.filter_into(seq, &mut rng, &mut filtered);
+                sampler.pairs_into(&filtered, &mut rng, &mut pair_buf);
+                for &(target, context) in &pair_buf {
+                    // Algorithm 1 line 6: keep the pair iff this worker is
+                    // responsible for it. Hot targets are sharded by
+                    // sequence index to spread their load (ATNS).
+                    let responsible = if hot.contains(target) {
+                        seq_idx % w == me
+                    } else {
+                        partition.owner(target) == me
+                    };
+                    if !responsible {
+                        continue;
+                    }
+                    let done = progress.fetch_add(1, Ordering::Relaxed);
+                    let frac = (done as f64 / schedule_pairs.max(1) as f64).min(1.0);
+                    let lr = (config.learning_rate as f64 * (1.0 - frac))
+                        .max(config.min_learning_rate as f64)
+                        as f32;
+
+                    // The TNS call happens on the context's owner; local when
+                    // the context is hot (every worker holds a replica).
+                    let (tns_worker, is_remote) = if hot.contains(context) {
+                        (me, false)
+                    } else {
+                        let owner = partition.owner(context);
+                        (owner, owner != me)
+                    };
+                    counters.pairs += 1;
+                    let both_items = enriched.space().is_item(target)
+                        && enriched.space().is_item(context);
+                    if both_items {
+                        counters.item_pairs += 1;
+                    }
+                    if is_remote {
+                        counters.remote_pairs += 1;
+                        if both_items {
+                            counters.remote_item_pairs += 1;
+                        }
+                        // Ship input vector there, gradient back.
+                        counters.comm_bytes += 2 * (dim as u64) * 4;
+                    } else {
+                        counters.local_pairs += 1;
+                    }
+
+                    negatives.clear();
+                    for _ in 0..config.negatives {
+                        let neg = noise_tables[tns_worker].sample(&mut rng);
+                        if neg != context && neg != target {
+                            negatives.push(neg);
+                        }
+                    }
+
+                    tns_step(
+                        &resolver,
+                        target,
+                        context,
+                        &negatives,
+                        lr,
+                        sigmoid,
+                        &mut grad,
+                    );
+                }
+            }
+            // ATNS synchronization barrier: worker 0 averages the replicas
+            // while everyone else waits, then all resume.
+            if barrier.wait().is_leader() {
+                let bytes = replicas.synchronize(store, hot, config.sync_mode);
+                sync_bytes.fetch_add(bytes, Ordering::Relaxed);
+                sync_rounds.fetch_add(1, Ordering::Relaxed);
+            }
+            barrier.wait();
+        }
+    }
+    counters
+}
+
+/// Resolves the mutable row a worker uses for a token: its own replica for
+/// hot tokens, the canonical row otherwise.
+struct RowResolver<'a> {
+    me: usize,
+    hot: &'a HotSet,
+    replicas: &'a ReplicaSet,
+    store: &'a EmbeddingStore,
+}
+
+impl RowResolver<'_> {
+    // SAFETY (both methods): Hogwild contract of `Matrix::row_mut_shared`;
+    // rows are in bounds because TokenIds come from the enriched corpus the
+    // matrices were sized for, and replica slots come from `hot`.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    fn input(&self, token: TokenId) -> &mut [f32] {
+        match self.hot.slot(token) {
+            Some(slot) => unsafe { self.replicas.input_row(self.me, slot) },
+            None => unsafe { self.store.input_matrix().row_mut_shared(token.index()) },
+        }
+    }
+
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    fn output(&self, token: TokenId) -> &mut [f32] {
+        match self.hot.slot(token) {
+            Some(slot) => unsafe { self.replicas.output_row(self.me, slot) },
+            None => unsafe { self.store.output_matrix().row_mut_shared(token.index()) },
+        }
+    }
+}
+
+/// The TNS SGD step over resolved rows (replica or canonical).
+#[allow(clippy::too_many_arguments)]
+fn tns_step(
+    resolver: &RowResolver<'_>,
+    target: TokenId,
+    context: TokenId,
+    negatives: &[TokenId],
+    lr: f32,
+    sigmoid: &SigmoidTable,
+    grad: &mut [f32],
+) {
+    let v = resolver.input(target);
+    grad.fill(0.0);
+    let mut step = |token: TokenId, label: f32| {
+        let vp = resolver.output(token);
+        let f = dot(v, vp);
+        let g = (label - sigmoid.sigmoid(f)) * lr;
+        for d in 0..grad.len() {
+            grad[d] += g * vp[d];
+        }
+        for d in 0..vp.len() {
+            vp[d] += g * v[d];
+        }
+    };
+    step(context, 1.0);
+    for &neg in negatives {
+        step(neg, 0.0);
+    }
+    for d in 0..v.len() {
+        v[d] += grad[d];
+    }
+}
+
+/// Convenience for benchmarks: enrich + train in one call.
+pub fn train_distributed_on(
+    corpus: &sisg_corpus::GeneratedCorpus,
+    options: sisg_corpus::EnrichOptions,
+    config: &DistConfig,
+) -> (EmbeddingStore, DistReport) {
+    let enriched = EnrichedCorpus::build(corpus, options);
+    train_distributed(&enriched, &corpus.sessions, &corpus.catalog, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::{CorpusConfig, EnrichOptions, GeneratedCorpus, ItemId};
+    use sisg_embedding::math::cosine;
+
+    fn corpus() -> GeneratedCorpus {
+        GeneratedCorpus::generate(CorpusConfig::tiny())
+    }
+
+    fn fast_config(workers: usize) -> DistConfig {
+        DistConfig {
+            workers,
+            dim: 16,
+            window: 4,
+            negatives: 5,
+            epochs: 1,
+            hot_set_size: 32,
+            sync_interval: 500,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_worker_run_has_no_comm() {
+        let gen = corpus();
+        let (_, report) = train_distributed_on(&gen, EnrichOptions::NONE, &fast_config(1));
+        assert_eq!(report.remote_pairs, 0);
+        assert_eq!(report.pair_comm_bytes, 0);
+        assert!(report.total_pairs() > 0);
+        assert_eq!(report.cut_fraction, 0.0);
+    }
+
+    #[test]
+    fn multi_worker_run_processes_all_pairs_once() {
+        let gen = corpus();
+        let (_, one) = train_distributed_on(&gen, EnrichOptions::NONE, &fast_config(1));
+        let (_, four) = train_distributed_on(&gen, EnrichOptions::NONE, &fast_config(4));
+        // Subsampling RNG differs per worker, so totals differ slightly —
+        // but they must agree within a tolerance.
+        let (a, b) = (one.total_pairs() as f64, four.total_pairs() as f64);
+        assert!(
+            (a - b).abs() / a < 0.15,
+            "pair totals diverge: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn hbgp_beats_hash_on_remote_fraction() {
+        let gen = corpus();
+        let hbgp = fast_config(4);
+        let hash = DistConfig {
+            strategy: PartitionStrategy::Hash,
+            ..fast_config(4)
+        };
+        let (_, r_hbgp) = train_distributed_on(&gen, EnrichOptions::NONE, &hbgp);
+        let (_, r_hash) = train_distributed_on(&gen, EnrichOptions::NONE, &hash);
+        assert!(
+            r_hbgp.remote_fraction() < r_hash.remote_fraction() * 0.6,
+            "hbgp {} vs hash {}",
+            r_hbgp.remote_fraction(),
+            r_hash.remote_fraction()
+        );
+    }
+
+    #[test]
+    fn hot_set_reduces_comm_on_enriched_corpus() {
+        let gen = corpus();
+        let with_q = fast_config(4);
+        let without_q = DistConfig {
+            hot_set_size: 0,
+            ..fast_config(4)
+        };
+        let (_, r_with) = train_distributed_on(&gen, EnrichOptions::FULL, &with_q);
+        let (_, r_without) = train_distributed_on(&gen, EnrichOptions::FULL, &without_q);
+        // SI tokens are extremely hot; replicating them must cut remote pairs.
+        assert!(
+            r_with.remote_fraction() < r_without.remote_fraction(),
+            "with Q {} vs without {}",
+            r_with.remote_fraction(),
+            r_without.remote_fraction()
+        );
+        assert!(r_with.sync_rounds > 0);
+        assert!(r_with.sync_comm_bytes > 0);
+    }
+
+    #[test]
+    fn distributed_training_learns_structure() {
+        let gen = corpus();
+        let mut cfg = fast_config(4);
+        cfg.epochs = 2;
+        // A small hot set keeps the most-clicked items' vectors on the
+        // canonical path for this structure check; the quality effect of
+        // replication itself is covered by the integration suite.
+        cfg.hot_set_size = 8;
+        let (store, _) = train_distributed_on(&gen, EnrichOptions::NONE, &cfg);
+        // Items of one leaf category should be closer than cross-category.
+        let mut within = 0.0f64;
+        let mut cross = 0.0f64;
+        let (mut wn, mut cn) = (0u32, 0u32);
+        for a in 0..120u32 {
+            for b in (a + 1)..120u32 {
+                let s = cosine(store.input(TokenId(a)), store.input(TokenId(b))) as f64;
+                if gen.catalog.leaf_category(ItemId(a)) == gen.catalog.leaf_category(ItemId(b))
+                {
+                    within += s;
+                    wn += 1;
+                } else {
+                    cross += s;
+                    cn += 1;
+                }
+            }
+        }
+        assert!(
+            within / wn as f64 > cross / cn as f64,
+            "no structure learned"
+        );
+    }
+
+    #[test]
+    fn load_is_balanced_across_workers() {
+        let gen = corpus();
+        let (_, report) = train_distributed_on(&gen, EnrichOptions::FULL, &fast_config(4));
+        assert!(
+            report.pair_imbalance() < 2.0,
+            "pair imbalance {} too high",
+            report.pair_imbalance()
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Weighted random walks over the item graph (DeepWalk-style corpus
+//! generation, stage 2 of EGES).
+
+use crate::graph::ItemGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sisg_corpus::{ItemId, TokenId};
+
+/// Random-walk parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkConfig {
+    /// Walks started from every node.
+    pub walks_per_node: usize,
+    /// Maximum walk length; walks stop early at sink nodes.
+    pub walk_length: usize,
+    /// Seed for transition sampling.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            walks_per_node: 4,
+            walk_length: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates the random-walk corpus: one sequence per (node, repeat), with
+/// transition probability proportional to edge weight. Nodes without
+/// outgoing edges yield no walks (a length-1 walk trains nothing).
+pub fn generate_walks(graph: &ItemGraph, config: &WalkConfig) -> Vec<Vec<TokenId>> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x3A1C);
+    let mut walks = Vec::new();
+    for repeat in 0..config.walks_per_node {
+        for start in 0..graph.n_items() {
+            let item = ItemId(start);
+            if graph.out_degree(item) == 0 {
+                continue;
+            }
+            let mut walk: Vec<TokenId> = Vec::with_capacity(config.walk_length);
+            walk.push(TokenId(item.0));
+            let mut current = item;
+            while walk.len() < config.walk_length {
+                match step(graph, current, &mut rng) {
+                    Some(next) => {
+                        walk.push(TokenId(next.0));
+                        current = next;
+                    }
+                    None => break,
+                }
+            }
+            if walk.len() >= 2 {
+                walks.push(walk);
+            }
+        }
+        // Interleave repeats so truncating the corpus still covers all nodes.
+        let _ = repeat;
+    }
+    walks
+}
+
+/// One weighted transition from `from`, or `None` at a sink.
+fn step(graph: &ItemGraph, from: ItemId, rng: &mut StdRng) -> Option<ItemId> {
+    let (targets, weights) = graph.out_edges(from);
+    if targets.is_empty() {
+        return None;
+    }
+    let total: f32 = weights.iter().sum();
+    let mut u = rng.gen::<f32>() * total;
+    for (t, w) in targets.iter().zip(weights) {
+        u -= w;
+        if u <= 0.0 {
+            return Some(*t);
+        }
+    }
+    Some(*targets.last().expect("non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::{Corpus, UserId};
+
+    fn line_graph() -> ItemGraph {
+        let mut c = Corpus::new();
+        c.push(
+            UserId(0),
+            &[ItemId(0), ItemId(1), ItemId(2), ItemId(3)],
+        );
+        ItemGraph::from_corpus(&c, 4)
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = line_graph();
+        let walks = generate_walks(&g, &WalkConfig::default());
+        for w in &walks {
+            for pair in w.windows(2) {
+                assert!(
+                    g.edge_weight(ItemId(pair[0].0), ItemId(pair[1].0)) > 0.0,
+                    "walk used a non-edge {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sink_nodes_start_no_walks() {
+        let g = line_graph();
+        let walks = generate_walks(&g, &WalkConfig::default());
+        assert!(walks.iter().all(|w| w[0] != TokenId(3)), "3 is a sink");
+    }
+
+    #[test]
+    fn walk_count_and_length_bounds() {
+        let g = line_graph();
+        let cfg = WalkConfig {
+            walks_per_node: 3,
+            walk_length: 5,
+            seed: 7,
+        };
+        let walks = generate_walks(&g, &cfg);
+        // 3 non-sink nodes × 3 repeats.
+        assert_eq!(walks.len(), 9);
+        assert!(walks.iter().all(|w| w.len() <= 5 && w.len() >= 2));
+    }
+
+    #[test]
+    fn weighted_transitions_prefer_heavy_edges() {
+        let mut c = Corpus::new();
+        // 0→1 nine times, 0→2 once.
+        for _ in 0..9 {
+            c.push(UserId(0), &[ItemId(0), ItemId(1)]);
+        }
+        c.push(UserId(0), &[ItemId(0), ItemId(2)]);
+        let g = ItemGraph::from_corpus(&c, 3);
+        let cfg = WalkConfig {
+            walks_per_node: 500,
+            walk_length: 2,
+            seed: 1,
+        };
+        let walks = generate_walks(&g, &cfg);
+        let to1 = walks
+            .iter()
+            .filter(|w| w[0] == TokenId(0) && w[1] == TokenId(1))
+            .count();
+        let to2 = walks
+            .iter()
+            .filter(|w| w[0] == TokenId(0) && w[1] == TokenId(2))
+            .count();
+        assert!(to1 > 5 * to2, "heavy edge taken {to1}, light {to2}");
+    }
+
+    #[test]
+    fn deterministic_walks() {
+        let g = line_graph();
+        let a = generate_walks(&g, &WalkConfig::default());
+        let b = generate_walks(&g, &WalkConfig::default());
+        assert_eq!(a, b);
+    }
+}

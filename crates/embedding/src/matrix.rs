@@ -1,0 +1,224 @@
+//! A flat row-major `f32` matrix with Hogwild-style shared mutation.
+//!
+//! Embedding matrices are stored as one contiguous allocation; row `i` is
+//! the embedding of token `i`. Parallel SGNS training follows the Hogwild
+//! recipe (lock-free, racy-but-benign updates, as in the original word2vec
+//! code): [`Matrix::row_mut_shared`] hands out overlapping mutable views
+//! across threads. The race is bounded — concurrent `+=` on `f32` rows may
+//! lose individual updates but cannot corrupt memory or produce values not
+//! written by some thread.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::UnsafeCell;
+
+/// A dense `rows × dim` matrix of `f32`.
+pub struct Matrix {
+    data: UnsafeCell<Vec<f32>>,
+    rows: usize,
+    dim: usize,
+}
+
+// SAFETY: concurrent access is only exposed through `row_shared` /
+// `row_mut_shared`, whose contract documents the Hogwild data-race model;
+// all other accessors require `&mut self` or return shared `&[f32]`.
+unsafe impl Sync for Matrix {}
+unsafe impl Send for Matrix {}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        Self {
+            data: UnsafeCell::new(vec![0.0; rows * dim]),
+            rows,
+            dim,
+        }
+    }
+
+    /// Creates a matrix with entries uniform in `[-0.5/dim, 0.5/dim)` — the
+    /// standard word2vec input-matrix initialization.
+    pub fn uniform_init(rows: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let half = 0.5 / dim as f32;
+        let data: Vec<f32> = (0..rows * dim)
+            .map(|_| rng.gen_range(-half..half))
+            .collect();
+        Self {
+            data: UnsafeCell::new(data),
+            rows,
+            dim,
+        }
+    }
+
+    /// Builds a matrix from raw row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * dim`.
+    pub fn from_data(rows: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * dim, "data length mismatch");
+        Self {
+            data: UnsafeCell::new(data),
+            rows,
+            dim,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i` as an immutable slice.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
+        // SAFETY: within bounds; aliasing with concurrent writers is the
+        // documented Hogwild model.
+        unsafe {
+            let ptr = (*self.data.get()).as_ptr().add(i * self.dim);
+            std::slice::from_raw_parts(ptr, self.dim)
+        }
+    }
+
+    /// Row `i` as a mutable slice through `&mut self` (single-threaded path).
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
+        let dim = self.dim;
+        let data = self.data.get_mut();
+        &mut data[i * dim..(i + 1) * dim]
+    }
+
+    /// Row `i` as a mutable slice through a shared reference — the Hogwild
+    /// entry point.
+    ///
+    /// # Safety
+    /// Callers must accept the Hogwild data-race model: multiple threads may
+    /// hold overlapping views and perform unsynchronized `f32` reads/writes.
+    /// Lost updates are possible; memory unsafety is not, as long as no
+    /// caller reads a row while another resizes the matrix (the API offers
+    /// no resizing).
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn row_mut_shared(&self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
+        let ptr = (*self.data.get()).as_mut_ptr().add(i * self.dim);
+        std::slice::from_raw_parts_mut(ptr, self.dim)
+    }
+
+    /// The full row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: same aliasing model as `row`.
+        unsafe { (*self.data.get()).as_slice() }
+    }
+
+    /// Consumes the matrix, returning the row-major buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data.into_inner()
+    }
+
+    /// Copies row `src` of `other` into row `dst` of `self`.
+    pub fn copy_row_from(&mut self, dst: usize, other: &Matrix, src: usize) {
+        assert_eq!(self.dim, other.dim, "dim mismatch");
+        let row = other.row(src).to_vec();
+        self.row_mut(dst).copy_from_slice(&row);
+    }
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Self {
+            data: UnsafeCell::new(self.as_slice().to_vec()),
+            rows: self.rows,
+            dim: self.dim,
+        }
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Matrix")
+            .field("rows", &self.rows)
+            .field("dim", &self.dim)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_rows() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.dim(), 4);
+        assert!(m.row(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn uniform_init_is_bounded_and_seeded() {
+        let a = Matrix::uniform_init(10, 8, 1);
+        let b = Matrix::uniform_init(10, 8, 1);
+        let c = Matrix::uniform_init(10, 8, 2);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+        let bound = 0.5 / 8.0;
+        assert!(a.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn row_mut_writes_are_visible() {
+        let mut m = Matrix::zeros(2, 2);
+        m.row_mut(1).copy_from_slice(&[1.0, 2.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0]);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn shared_mutation_across_threads() {
+        let m = Matrix::zeros(8, 4);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..8 {
+                        if i % 4 == t {
+                            // Disjoint rows per thread: no race at all here.
+                            let row = unsafe { m.row_mut_shared(i) };
+                            row.fill(i as f32);
+                        }
+                    }
+                });
+            }
+        });
+        for i in 0..8 {
+            assert!(m.row(i).iter().all(|&v| v == i as f32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let m = Matrix::zeros(1, 1);
+        let _ = m.row(1);
+    }
+
+    #[test]
+    fn copy_row_from_other() {
+        let src = Matrix::uniform_init(2, 3, 9);
+        let mut dst = Matrix::zeros(2, 3);
+        dst.copy_row_from(0, &src, 1);
+        assert_eq!(dst.row(0), src.row(1));
+    }
+}

@@ -1,0 +1,190 @@
+//! Bounded top-K collection and brute-force nearest-neighbour retrieval.
+//!
+//! The matching stage retrieves, for a query vector, the K most similar item
+//! vectors. At paper scale this runs behind an ANN index; at our scale an
+//! exact scan with a bounded min-heap is both faster to verify and exact,
+//! which matters when comparing model variants by HR@K.
+
+use crate::math;
+use crate::matrix::Matrix;
+use sisg_corpus::TokenId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A retrieval hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The retrieved token.
+    pub token: TokenId,
+    /// Its similarity score (higher is better).
+    pub score: f32,
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score so BinaryHeap (a max-heap) pops the *worst* hit;
+        // ties break on token id for determinism.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.token.0.cmp(&other.token.0))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded collector keeping the `k` highest-scoring entries.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// Creates a collector for the best `k` entries.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers one candidate.
+    #[inline]
+    pub fn push(&mut self, token: TokenId, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor { token, score });
+        } else if let Some(worst) = self.heap.peek() {
+            // Ties at the boundary resolve toward the smaller token id so the
+            // result is independent of candidate order.
+            if score > worst.score || (score == worst.score && token.0 < worst.token.0) {
+                self.heap.pop();
+                self.heap.push(Neighbor { token, score });
+            }
+        }
+    }
+
+    /// Current number of kept entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been kept.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The worst currently-kept score, if the collector is full.
+    #[inline]
+    pub fn threshold(&self) -> Option<f32> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|n| n.score)
+        } else {
+            None
+        }
+    }
+
+    /// Finishes, returning hits in descending score order.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.token.0.cmp(&b.token.0))
+        });
+        v
+    }
+}
+
+/// Scores every row of `matrix` in `candidates` against `query` by inner
+/// product (cosine callers should pre-normalize) and returns the best `k`.
+/// `exclude` is filtered out (typically the query item itself).
+pub fn retrieve_top_k(
+    query: &[f32],
+    matrix: &Matrix,
+    candidates: impl Iterator<Item = TokenId>,
+    k: usize,
+    exclude: Option<TokenId>,
+) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for token in candidates {
+        if exclude == Some(token) {
+            continue;
+        }
+        let score = math::dot(query, matrix.row(token.index()));
+        top.push(token, score);
+    }
+    top.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(2);
+        for (i, s) in [(0u32, 0.1f32), (1, 0.9), (2, 0.5), (3, 0.7)] {
+            t.push(TokenId(i), s);
+        }
+        let hits = t.into_sorted();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].token, TokenId(1));
+        assert_eq!(hits[1].token, TokenId(3));
+    }
+
+    #[test]
+    fn zero_k_keeps_nothing() {
+        let mut t = TopK::new(0);
+        t.push(TokenId(0), 1.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut t = TopK::new(2);
+        t.push(TokenId(5), 0.5);
+        t.push(TokenId(1), 0.5);
+        t.push(TokenId(3), 0.5);
+        let hits = t.into_sorted();
+        let ids: Vec<u32> = hits.iter().map(|n| n.token.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn retrieval_excludes_query() {
+        let m = Matrix::from_data(3, 2, vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0]);
+        let hits = retrieve_top_k(
+            &[1.0, 0.0],
+            &m,
+            (0..3).map(TokenId),
+            2,
+            Some(TokenId(0)),
+        );
+        assert_eq!(hits[0].token, TokenId(1));
+        assert!(hits.iter().all(|n| n.token != TokenId(0)));
+    }
+
+    #[test]
+    fn threshold_only_when_full() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), None);
+        t.push(TokenId(0), 0.3);
+        assert_eq!(t.threshold(), None);
+        t.push(TokenId(1), 0.8);
+        assert_eq!(t.threshold(), Some(0.3));
+    }
+}

@@ -1,0 +1,168 @@
+//! HitRate@K under the next-item protocol (Section IV-A, Eq. 5).
+//!
+//! `HR@K = (1/|S|) Σ 𝟙(v_p ∈ S_K(v_{p-1}))`: train on every sequence with
+//! its last item held out, retrieve the K items most similar to the
+//! penultimate item, and score a hit when the held-out item appears.
+
+use serde::{Deserialize, Serialize};
+use sisg_corpus::split::EvalCase;
+use sisg_corpus::ItemId;
+
+/// Anything that can answer the matching-stage query "top-K items after
+/// this one". Implemented for all three model families.
+pub trait ItemRetriever {
+    /// The `k` best candidate items for `query`, best first, excluding
+    /// `query` itself.
+    fn retrieve(&self, query: ItemId, k: usize) -> Vec<ItemId>;
+}
+
+impl ItemRetriever for sisg_core::SisgModel {
+    fn retrieve(&self, query: ItemId, k: usize) -> Vec<ItemId> {
+        self.similar_items(query, k)
+            .into_iter()
+            .map(|n| ItemId(n.token.0))
+            .collect()
+    }
+}
+
+impl ItemRetriever for sisg_eges::EgesModel {
+    fn retrieve(&self, query: ItemId, k: usize) -> Vec<ItemId> {
+        self.similar(query, k)
+            .into_iter()
+            .map(|n| ItemId(n.token.0))
+            .collect()
+    }
+}
+
+impl ItemRetriever for sisg_cf::CfModel {
+    fn retrieve(&self, query: ItemId, k: usize) -> Vec<ItemId> {
+        self.similar(query, k).iter().map(|s| s.item).collect()
+    }
+}
+
+/// HR@K values of one model, in the same `K` order they were requested.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HitRateResult {
+    /// Model label (Table III row name).
+    pub model: String,
+    /// The evaluated cutoffs.
+    pub ks: Vec<usize>,
+    /// `hr[i]` = HR@`ks[i]`.
+    pub hr: Vec<f64>,
+    /// Number of evaluation cases.
+    pub cases: usize,
+}
+
+impl HitRateResult {
+    /// HR at a specific cutoff.
+    pub fn at(&self, k: usize) -> Option<f64> {
+        self.ks.iter().position(|&x| x == k).map(|i| self.hr[i])
+    }
+
+    /// Percentage gain over a baseline at each cutoff — the "increase"
+    /// columns of Table III.
+    pub fn gain_over(&self, baseline: &HitRateResult) -> Vec<f64> {
+        self.hr
+            .iter()
+            .zip(&baseline.hr)
+            .map(|(a, b)| if *b > 0.0 { (a - b) / b * 100.0 } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Evaluates HR at every cutoff in `ks` with a single retrieval of
+/// `max(ks)` per case.
+pub fn evaluate_hit_rates<R: ItemRetriever + ?Sized>(
+    model_name: &str,
+    retriever: &R,
+    cases: &[EvalCase],
+    ks: &[usize],
+) -> HitRateResult {
+    assert!(!ks.is_empty(), "need at least one cutoff");
+    let max_k = *ks.iter().max().expect("non-empty");
+    let mut hits = vec![0u64; ks.len()];
+    for case in cases {
+        let retrieved = retriever.retrieve(case.query, max_k);
+        if let Some(rank) = retrieved.iter().position(|&it| it == case.target) {
+            for (i, &k) in ks.iter().enumerate() {
+                if rank < k {
+                    hits[i] += 1;
+                }
+            }
+        }
+    }
+    let n = cases.len().max(1) as f64;
+    HitRateResult {
+        model: model_name.to_owned(),
+        ks: ks.to_vec(),
+        hr: hits.iter().map(|&h| h as f64 / n).collect(),
+        cases: cases.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::UserId;
+
+    /// Retriever that always returns items 1, 2, 3, ….
+    struct Fixed;
+    impl ItemRetriever for Fixed {
+        fn retrieve(&self, _q: ItemId, k: usize) -> Vec<ItemId> {
+            (1..=k as u32).map(ItemId).collect()
+        }
+    }
+
+    fn case(target: u32) -> EvalCase {
+        EvalCase {
+            user: UserId(0),
+            query: ItemId(0),
+            target: ItemId(target),
+        }
+    }
+
+    #[test]
+    fn hr_counts_rank_against_cutoffs() {
+        let cases = vec![case(1), case(5), case(100)];
+        let r = evaluate_hit_rates("fixed", &Fixed, &cases, &[1, 10]);
+        // target 1 at rank 0 (hits both); target 5 at rank 4 (hits @10);
+        // target 100 missed.
+        assert!((r.at(1).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.at(10).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.cases, 3);
+    }
+
+    #[test]
+    fn hr_is_monotone_in_k() {
+        let cases: Vec<EvalCase> = (1..50).map(case).collect();
+        let r = evaluate_hit_rates("fixed", &Fixed, &cases, &[1, 10, 20, 40]);
+        for w in r.hr.windows(2) {
+            assert!(w[0] <= w[1], "HR must grow with K");
+        }
+    }
+
+    #[test]
+    fn gain_over_baseline() {
+        let base = HitRateResult {
+            model: "b".into(),
+            ks: vec![10],
+            hr: vec![0.10],
+            cases: 5,
+        };
+        let better = HitRateResult {
+            model: "a".into(),
+            ks: vec![10],
+            hr: vec![0.15],
+            cases: 5,
+        };
+        let g = better.gain_over(&base);
+        assert!((g[0] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cases_yield_zero() {
+        let r = evaluate_hit_rates("fixed", &Fixed, &[], &[5]);
+        assert_eq!(r.hr[0], 0.0);
+        assert_eq!(r.cases, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Ranking metrics beyond HR@K: MRR, NDCG@K, catalog coverage and
+//! popularity bias — the quantities a production matching team tracks
+//! alongside the paper's HitRate.
+
+use crate::hitrate::ItemRetriever;
+use serde::{Deserialize, Serialize};
+use sisg_corpus::split::EvalCase;
+use sisg_corpus::ItemId;
+use std::collections::HashSet;
+
+/// Full ranking-metric report for one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankingReport {
+    /// Model label.
+    pub model: String,
+    /// Cutoff used for NDCG / coverage.
+    pub k: usize,
+    /// Mean reciprocal rank (reciprocal of 1-based hit rank, 0 on miss),
+    /// computed within the top-`k`.
+    pub mrr: f64,
+    /// Mean NDCG@k (binary relevance: only the held-out item is relevant).
+    pub ndcg: f64,
+    /// Fraction of the catalog appearing in at least one top-`k` list.
+    pub coverage: f64,
+    /// Mean popularity rank of recommended items, normalized to `[0, 1]`
+    /// (0 = always the most popular item; 1 = always the least popular).
+    /// Higher = more long-tail exposure.
+    pub tail_exposure: f64,
+    /// Number of evaluation cases.
+    pub cases: usize,
+}
+
+/// Computes MRR/NDCG/coverage/tail-exposure in one retrieval pass.
+///
+/// `popularity[i]` is the training-corpus click count of item `i`, used for
+/// the tail-exposure measure; `n_items` bounds the catalog for coverage.
+pub fn evaluate_ranking<R: ItemRetriever + ?Sized>(
+    model_name: &str,
+    retriever: &R,
+    cases: &[EvalCase],
+    k: usize,
+    popularity: &[u64],
+    n_items: u32,
+) -> RankingReport {
+    assert!(k > 0, "k must be positive");
+    // Popularity rank lookup: rank 0 = hottest.
+    let mut by_pop: Vec<u32> = (0..n_items).collect();
+    by_pop.sort_by_key(|&i| std::cmp::Reverse(popularity[i as usize]));
+    let mut pop_rank = vec![0u32; n_items as usize];
+    for (rank, &item) in by_pop.iter().enumerate() {
+        pop_rank[item as usize] = rank as u32;
+    }
+
+    let mut mrr = 0.0f64;
+    let mut ndcg = 0.0f64;
+    let mut seen: HashSet<ItemId> = HashSet::new();
+    let mut rank_sum = 0.0f64;
+    let mut recommended = 0u64;
+    for case in cases {
+        let list = retriever.retrieve(case.query, k);
+        for item in &list {
+            seen.insert(*item);
+            rank_sum += pop_rank[item.index()] as f64 / (n_items.max(2) - 1) as f64;
+            recommended += 1;
+        }
+        if let Some(pos) = list.iter().position(|&it| it == case.target) {
+            mrr += 1.0 / (pos + 1) as f64;
+            // Binary relevance: DCG = 1/log2(pos+2); IDCG = 1.
+            ndcg += 1.0 / ((pos + 2) as f64).log2();
+        }
+    }
+    let n = cases.len().max(1) as f64;
+    RankingReport {
+        model: model_name.to_owned(),
+        k,
+        mrr: mrr / n,
+        ndcg: ndcg / n,
+        coverage: seen.len() as f64 / n_items.max(1) as f64,
+        tail_exposure: if recommended > 0 {
+            rank_sum / recommended as f64
+        } else {
+            0.0
+        },
+        cases: cases.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::UserId;
+
+    /// Retriever returning a fixed list 1, 2, 3, ….
+    struct Fixed;
+    impl ItemRetriever for Fixed {
+        fn retrieve(&self, _q: ItemId, k: usize) -> Vec<ItemId> {
+            (1..=k as u32).map(ItemId).collect()
+        }
+    }
+
+    fn case(target: u32) -> EvalCase {
+        EvalCase {
+            user: UserId(0),
+            query: ItemId(0),
+            target: ItemId(target),
+        }
+    }
+
+    #[test]
+    fn mrr_and_ndcg_reward_early_hits() {
+        let pop = vec![1u64; 20];
+        let early = evaluate_ranking("m", &Fixed, &[case(1)], 10, &pop, 20);
+        let late = evaluate_ranking("m", &Fixed, &[case(10)], 10, &pop, 20);
+        assert!((early.mrr - 1.0).abs() < 1e-12);
+        assert!((late.mrr - 0.1).abs() < 1e-12);
+        assert!(early.ndcg > late.ndcg);
+        assert!((early.ndcg - 1.0).abs() < 1e-12, "rank-1 NDCG is 1");
+    }
+
+    #[test]
+    fn misses_score_zero() {
+        let pop = vec![1u64; 20];
+        let r = evaluate_ranking("m", &Fixed, &[case(19)], 10, &pop, 20);
+        assert_eq!(r.mrr, 0.0);
+        assert_eq!(r.ndcg, 0.0);
+    }
+
+    #[test]
+    fn coverage_counts_distinct_recommended_items() {
+        let pop = vec![1u64; 20];
+        let r = evaluate_ranking("m", &Fixed, &[case(1), case(2)], 10, &pop, 20);
+        // Fixed always recommends items 1..=10 → 10 of 20.
+        assert!((r.coverage - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_exposure_tracks_popularity_of_recommendations() {
+        // Items 1..=10 are recommended. Make them the hottest vs coldest.
+        let mut hot = vec![0u64; 20];
+        for i in 1..=10 {
+            hot[i] = 100;
+        }
+        let mut cold = vec![100u64; 20];
+        for i in 1..=10 {
+            cold[i] = 0;
+        }
+        let r_hot = evaluate_ranking("m", &Fixed, &[case(1)], 10, &hot, 20);
+        let r_cold = evaluate_ranking("m", &Fixed, &[case(1)], 10, &cold, 20);
+        assert!(
+            r_cold.tail_exposure > r_hot.tail_exposure,
+            "recommending unpopular items must raise tail exposure"
+        );
+    }
+
+    #[test]
+    fn empty_cases_are_safe() {
+        let pop = vec![1u64; 5];
+        let r = evaluate_ranking("m", &Fixed, &[], 10, &pop, 5);
+        assert_eq!(r.mrr, 0.0);
+        assert_eq!(r.coverage, 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Experiment tables: aligned text for the terminal, JSON for
+//! EXPERIMENTS.md bookkeeping.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple rectangular experiment table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentTable {
+    /// Table title (e.g. `Table III — HR@K of SISG variants`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each must match `headers` in length.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table with the given headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{cell:<w$}  ");
+            }
+            s.trim_end().to_owned()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the table as pretty JSON next to the experiment outputs.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("table serializes");
+        std::fs::write(path, json)
+    }
+}
+
+/// Formats a float with 4 decimal places (HR values in Table III style).
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a percentage with sign and two decimals (`+46.22%`).
+pub fn fmt_pct(x: f64) -> String {
+    format!("{x:+.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = ExperimentTable::new("demo", &["model", "hr@10"]);
+        t.push_row(vec!["SGNS".into(), "0.0119".into()]);
+        t.push_row(vec!["SISG-F-U-D".into(), "0.0293".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("SISG-F-U-D"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + rule + two rows (+ title).
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_rejected() {
+        let mut t = ExperimentTable::new("demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = ExperimentTable::new("demo", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ExperimentTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows, t.rows);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt4(0.01234), "0.0123");
+        assert_eq!(fmt_pct(46.2178), "+46.22%");
+        assert_eq!(fmt_pct(-5.65), "-5.65%");
+    }
+}

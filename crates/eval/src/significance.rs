@@ -1,0 +1,169 @@
+//! Statistical significance for A/B comparisons: paired bootstrap over
+//! per-case outcomes.
+//!
+//! An online experiment like Figure 3 reports a relative CTR gain; before
+//! shipping, a production team asks whether the gain survives resampling.
+//! The same applies offline: HR@K differences between two model variants
+//! are paired per evaluation case. This module implements the standard
+//! paired bootstrap: resample cases with replacement, recompute the metric
+//! delta, and report the confidence interval and the fraction of resamples
+//! where the sign flips.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of a paired bootstrap comparison of method A vs method B.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BootstrapResult {
+    /// Point estimate of `mean(A) - mean(B)`.
+    pub delta: f64,
+    /// Lower bound of the confidence interval on the delta.
+    pub ci_low: f64,
+    /// Upper bound of the confidence interval on the delta.
+    pub ci_high: f64,
+    /// Fraction of resamples in which B beat A (two-sided sign stability;
+    /// ≤ alpha/2 or ≥ 1-alpha/2 ⇒ significant at level alpha).
+    pub sign_flip_rate: f64,
+    /// Number of bootstrap resamples.
+    pub resamples: usize,
+}
+
+impl BootstrapResult {
+    /// True when the confidence interval excludes zero.
+    pub fn significant(&self) -> bool {
+        self.ci_low > 0.0 || self.ci_high < 0.0
+    }
+}
+
+/// Paired bootstrap over per-case outcomes (e.g. 0/1 hits, per-impression
+/// clicks). `a` and `b` must be aligned case-for-case.
+///
+/// ```
+/// use sisg_eval::paired_bootstrap;
+///
+/// let a = vec![1.0; 100]; // method A hits every case
+/// let b = vec![0.0; 100]; // method B misses every case
+/// let r = paired_bootstrap(&a, &b, 200, 0.95, 42);
+/// assert!(r.significant());
+/// assert_eq!(r.delta, 1.0);
+/// ```
+///
+/// # Panics
+/// Panics when the slices differ in length, are empty, or `confidence` is
+/// not inside `(0, 1)`.
+pub fn paired_bootstrap(
+    a: &[f64],
+    b: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> BootstrapResult {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    assert!(!a.is_empty(), "need at least one case");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let n = a.len();
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let point = diffs.iter().sum::<f64>() / n as f64;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB007);
+    let mut deltas = Vec::with_capacity(resamples);
+    let mut flips = 0usize;
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += diffs[rng.gen_range(0..n)];
+        }
+        let d = sum / n as f64;
+        if d < 0.0 {
+            flips += 1;
+        }
+        deltas.push(d);
+    }
+    deltas.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = 1.0 - confidence;
+    let lo_idx = ((alpha / 2.0) * resamples as f64) as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64) as usize).min(resamples - 1);
+    BootstrapResult {
+        delta: point,
+        ci_low: deltas[lo_idx],
+        ci_high: deltas[hi_idx],
+        sign_flip_rate: flips as f64 / resamples as f64,
+        resamples,
+    }
+}
+
+/// Convenience: per-case hit indicators (1.0 on hit within top-`k`) for a
+/// retriever — the input `paired_bootstrap` wants for HR comparisons.
+pub fn hit_indicators<R: crate::hitrate::ItemRetriever + ?Sized>(
+    retriever: &R,
+    cases: &[sisg_corpus::split::EvalCase],
+    k: usize,
+) -> Vec<f64> {
+    cases
+        .iter()
+        .map(|case| {
+            let hits = retriever.retrieve(case.query, k);
+            if hits.contains(&case.target) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_difference_is_significant() {
+        let a: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { 0.8 }).collect();
+        let b: Vec<f64> = (0..200).map(|i| if i % 3 == 0 { 0.4 } else { 0.2 }).collect();
+        let r = paired_bootstrap(&a, &b, 500, 0.95, 7);
+        assert!(r.delta > 0.5);
+        assert!(r.significant(), "large gap must be significant: {r:?}");
+        assert!(r.sign_flip_rate < 0.01);
+    }
+
+    #[test]
+    fn identical_methods_are_not_significant() {
+        let a = vec![0.3; 100];
+        let r = paired_bootstrap(&a, &a, 300, 0.95, 7);
+        assert_eq!(r.delta, 0.0);
+        assert!(!r.significant());
+    }
+
+    #[test]
+    fn noisy_tiny_difference_is_not_significant() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<f64> = (0..60).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + rng.gen_range(-0.3..0.301)).collect();
+        let r = paired_bootstrap(&a, &b, 500, 0.99, 7);
+        assert!(
+            r.ci_low < 0.0 && r.ci_high > 0.0,
+            "noise-level delta should straddle zero: {r:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = vec![1.0, 0.0, 1.0, 1.0];
+        let b = vec![0.0, 0.0, 1.0, 0.0];
+        let r1 = paired_bootstrap(&a, &b, 100, 0.9, 5);
+        let r2 = paired_bootstrap(&a, &b, 100, 0.9, 5);
+        assert_eq!(r1.ci_low, r2.ci_low);
+        assert_eq!(r1.ci_high, r2.ci_high);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples must align")]
+    fn misaligned_inputs_panic() {
+        let _ = paired_bootstrap(&[1.0], &[1.0, 2.0], 10, 0.9, 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) and silhouette scoring —
+//! the machinery behind the Figure 5 case study ("user type embeddings
+//! concentrate by gender, with age clusters inside").
+//!
+//! The O(n²) exact formulation is deliberate: the paper plots ~50k points,
+//! we plot a few thousand, where exactness beats Barnes–Hut complexity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// Momentum.
+    pub momentum: f64,
+    /// Seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+            momentum: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+/// Embeds `data` (n rows × d columns, flattened row-major) into 2-D.
+///
+/// # Panics
+/// Panics when `data.len()` is not a multiple of `dim` or fewer than two
+/// points are given.
+pub fn tsne_2d(data: &[f32], dim: usize, config: &TsneConfig) -> Vec<[f32; 2]> {
+    assert!(dim > 0 && data.len() % dim == 0, "bad data shape");
+    let n = data.len() / dim;
+    assert!(n >= 2, "need at least two points");
+
+    // Pairwise squared Euclidean distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (a, b) = (&data[i * dim..(i + 1) * dim], &data[j * dim..(j + 1) * dim]);
+            let mut s = 0.0f64;
+            for k in 0..dim {
+                let diff = (a[k] - b[k]) as f64;
+                s += diff * diff;
+            }
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+
+    // Per-point binary search for sigma matching the target perplexity.
+    let perplexity = config.perplexity.min((n as f64 - 1.0) / 3.0).max(1.0);
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut lo, mut hi) = (1e-20f64, 1e20f64);
+        let mut beta = 1.0f64; // 1 / (2σ²)
+        for _ in 0..64 {
+            let mut sum = 0.0;
+            let mut sum_dp = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let e = (-beta * d2[i * n + j]).exp();
+                sum += e;
+                sum_dp += e * d2[i * n + j];
+            }
+            if sum <= 0.0 {
+                beta /= 2.0;
+                continue;
+            }
+            // Shannon entropy of the conditional distribution.
+            let entropy = beta * sum_dp / sum + sum.ln();
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e19 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = if lo <= 1e-19 { beta / 2.0 } else { (beta + lo) / 2.0 };
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                let e = (-beta * d2[i * n + j]).exp();
+                p[i * n + j] = e;
+                sum += e;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+
+    // Symmetrize: p_ij = (p_{j|i} + p_{i|j}) / 2n, floored for stability.
+    let mut pij = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Gradient descent on the 2-D layout.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.gen_range(-1e-4..1e-4), rng.gen_range(-1e-4..1e-4)])
+        .collect();
+    let mut velocity = vec![[0.0f64; 2]; n];
+    let mut q = vec![0.0f64; n * n];
+    let exaggeration_until = config.iterations / 4;
+
+    for iter in 0..config.iterations {
+        let exag = if iter < exaggeration_until {
+            config.exaggeration
+        } else {
+            1.0
+        };
+        // Student-t affinities in the embedding.
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let v = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = v;
+                q[j * n + i] = v;
+                qsum += 2.0 * v;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let v = q[i * n + j];
+                let coeff = (exag * pij[i * n + j] - v / qsum) * v;
+                grad[0] += 4.0 * coeff * (y[i][0] - y[j][0]);
+                grad[1] += 4.0 * coeff * (y[i][1] - y[j][1]);
+            }
+            for c in 0..2 {
+                velocity[i][c] =
+                    config.momentum * velocity[i][c] - config.learning_rate * grad[c];
+            }
+        }
+        for i in 0..n {
+            y[i][0] += velocity[i][0];
+            y[i][1] += velocity[i][1];
+        }
+        // Keep the layout centered.
+        let (mx, my) = y
+            .iter()
+            .fold((0.0, 0.0), |(a, b), p| (a + p[0], b + p[1]));
+        let (mx, my) = (mx / n as f64, my / n as f64);
+        for point in y.iter_mut() {
+            point[0] -= mx;
+            point[1] -= my;
+        }
+    }
+
+    y.into_iter().map(|p| [p[0] as f32, p[1] as f32]).collect()
+}
+
+/// Mean silhouette coefficient of `points` under integer `labels` —
+/// quantifies the Figure 5 claim that user types cluster by demographics.
+/// Returns a value in `[-1, 1]`; higher means better-separated clusters.
+pub fn silhouette(points: &[[f32; 2]], labels: &[u32]) -> f64 {
+    assert_eq!(points.len(), labels.len());
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let dist = |a: &[f32; 2], b: &[f32; 2]| -> f64 {
+        let dx = (a[0] - b[0]) as f64;
+        let dy = (a[1] - b[1]) as f64;
+        (dx * dx + dy * dy).sqrt()
+    };
+    let classes: Vec<u32> = {
+        let mut c = labels.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    if classes.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let mut sums: std::collections::HashMap<u32, (f64, usize)> =
+            classes.iter().map(|&c| (c, (0.0, 0))).collect();
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let e = sums.get_mut(&labels[j]).expect("label known");
+            e.0 += dist(&points[i], &points[j]);
+            e.1 += 1;
+        }
+        let own = sums[&labels[i]];
+        if own.1 == 0 {
+            continue; // singleton cluster: silhouette undefined, skip
+        }
+        let a = own.0 / own.1 as f64;
+        let b = sums
+            .iter()
+            .filter(|(&c, _)| c != labels[i])
+            .filter(|(_, &(_, cnt))| cnt > 0)
+            .map(|(_, &(s, cnt))| s / cnt as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            continue;
+        }
+        total += (b - a) / a.max(b);
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Mean k-nearest-neighbour label purity of `points` under `labels`: for
+/// each point, the fraction of its `k` nearest neighbours sharing its
+/// label. Unlike silhouette, purity is robust to a label occupying several
+/// separate regions — which is exactly the Figure 5 situation (each gender
+/// region contains multiple age clusters).
+pub fn knn_purity(points: &[[f32; 2]], labels: &[u32], k: usize) -> f64 {
+    assert_eq!(points.len(), labels.len());
+    let n = points.len();
+    if n < 2 || k == 0 {
+        return 0.0;
+    }
+    let k = k.min(n - 1);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let mut dists: Vec<(f32, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let dx = points[i][0] - points[j][0];
+                let dy = points[i][1] - points[j][1];
+                (dx * dx + dy * dy, j)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let same = dists[..k]
+            .iter()
+            .filter(|(_, j)| labels[*j] == labels[i])
+            .count();
+        total += same as f64 / k as f64;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 5-D.
+    fn blobs(n_per: usize, seed: u64) -> (Vec<f32>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for blob in 0..2u32 {
+            let center = if blob == 0 { -5.0f32 } else { 5.0 };
+            for _ in 0..n_per {
+                for _ in 0..5 {
+                    data.push(center + rng.gen_range(-0.5..0.5));
+                }
+                labels.push(blob);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (data, labels) = blobs(40, 7);
+        let cfg = TsneConfig {
+            iterations: 200,
+            ..Default::default()
+        };
+        let points = tsne_2d(&data, 5, &cfg);
+        assert_eq!(points.len(), 80);
+        let s = silhouette(&points, &labels);
+        assert!(s > 0.5, "blobs should separate cleanly, silhouette {s}");
+    }
+
+    #[test]
+    fn layout_is_centered_and_finite() {
+        let (data, _) = blobs(20, 3);
+        let points = tsne_2d(&data, 5, &TsneConfig::default());
+        let mx: f32 = points.iter().map(|p| p[0]).sum::<f32>() / points.len() as f32;
+        assert!(mx.abs() < 1e-2);
+        assert!(points.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = blobs(10, 1);
+        let a = tsne_2d(&data, 5, &TsneConfig::default());
+        let b = tsne_2d(&data, 5, &TsneConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn silhouette_edge_cases() {
+        let pts = [[0.0f32, 0.0], [1.0, 0.0]];
+        assert_eq!(silhouette(&pts, &[0, 0]), 0.0, "single class");
+        let mixed = silhouette(&pts, &[0, 1]);
+        assert!(mixed.abs() <= 1.0);
+    }
+
+    #[test]
+    fn knn_purity_handles_multi_blob_labels() {
+        // Label 0 occupies two far-apart blobs; label 1 one blob. Purity
+        // stays high while silhouette for label 0 collapses.
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (cx, label) in [(0.0f32, 0u32), (100.0, 0), (50.0, 1)] {
+            for i in 0..10 {
+                pts.push([cx + i as f32 * 0.01, 0.0]);
+                labels.push(label);
+            }
+        }
+        let purity = knn_purity(&pts, &labels, 5);
+        assert!(purity > 0.95, "purity {purity} should be near 1");
+        let sil = silhouette(&pts, &labels);
+        assert!(sil < purity, "silhouette {sil} is the weaker signal here");
+    }
+
+    #[test]
+    fn knn_purity_random_labels_near_class_prior() {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            pts.push([(i % 17) as f32, (i % 13) as f32]);
+            labels.push((i % 2) as u32);
+        }
+        let p = knn_purity(&pts, &labels, 10);
+        assert!((p - 0.5).abs() < 0.15, "random-ish labels should score ~0.5, got {p}");
+    }
+
+    #[test]
+    fn silhouette_prefers_separated_labels() {
+        // Four points: two tight pairs far apart.
+        let pts = [
+            [0.0f32, 0.0],
+            [0.1, 0.0],
+            [10.0, 0.0],
+            [10.1, 0.0],
+        ];
+        let good = silhouette(&pts, &[0, 0, 1, 1]);
+        let bad = silhouette(&pts, &[0, 1, 0, 1]);
+        assert!(good > 0.9);
+        assert!(bad < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad data shape")]
+    fn shape_mismatch_panics() {
+        let _ = tsne_2d(&[1.0, 2.0, 3.0], 2, &TsneConfig::default());
+    }
+}

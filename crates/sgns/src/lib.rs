@@ -1,0 +1,36 @@
+//! A from-scratch word2vec engine: Skip-Gram with Negative Sampling (SGNS).
+//!
+//! The paper's key practicability claim is that SISG training "may in
+//! principle be implemented using any word2vec implementation"
+//! (Section I) — the enriched sequences of Eq. (4) are ordinary token
+//! sequences. This crate is that word2vec implementation: it knows nothing
+//! about items, SI, or user types; it trains input/output embeddings over
+//! [`sisg_corpus::TokenId`] sequences.
+//!
+//! Components (all per the original word2vec recipe, Section II-A and
+//! Section III-C of the paper):
+//!
+//! - [`noise::NoiseTable`] — the unigram^α negative-sampling distribution
+//!   (`α = 0.75`, the paper's "standard choice"), via Walker alias sampling;
+//! - [`sampler`] — window pair sampling, symmetric or right-context-only
+//!   (the `-D` directional variants of Section II-C), plus Mikolov
+//!   frequency subsampling;
+//! - [`sigmoid::SigmoidTable`] — the classic 1000-entry σ lookup table;
+//! - [`trainer`] — single-threaded reference trainer and a Hogwild
+//!   shared-memory parallel trainer with linear learning-rate decay.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod noise;
+pub mod sampler;
+pub mod sgd;
+pub mod sigmoid;
+pub mod trainer;
+
+pub use config::SgnsConfig;
+pub use noise::NoiseTable;
+pub use sampler::{PairSampler, SubsampleTable, WindowMode};
+pub use trainer::{
+    count_freqs, train, train_into, train_parallel, train_with_freqs, Sequences, TrainStats,
+};

@@ -1,0 +1,161 @@
+//! The negative-sampling noise distribution.
+//!
+//! Negatives are drawn from `P_noise(v) ∝ freq(v)^α` with `α = 0.75`
+//! (Section III-C). We implement Walker's alias method: O(n) construction,
+//! O(1) per draw — the per-pair cost matters because every positive pair
+//! draws `N_neg = 20` negatives.
+
+use rand::Rng;
+use sisg_corpus::TokenId;
+
+/// An alias-method sampler over the unigram^α distribution.
+#[derive(Debug, Clone)]
+pub struct NoiseTable {
+    prob: Vec<f32>,
+    alias: Vec<u32>,
+    /// Tokens the table was built over; `alias[i]`/`prob[i]` refer to
+    /// positions in this list (identity when built over the full vocab).
+    tokens: Vec<TokenId>,
+}
+
+impl NoiseTable {
+    /// Builds the table over all tokens `0..freqs.len()` with exponent
+    /// `alpha`. Zero-frequency tokens get zero probability.
+    pub fn from_freqs(freqs: &[u64], alpha: f64) -> Self {
+        let tokens: Vec<TokenId> = (0..freqs.len() as u32).map(TokenId).collect();
+        Self::from_token_freqs(&tokens, freqs, alpha)
+    }
+
+    /// Builds the table over an explicit token subset — each worker in the
+    /// distributed engine owns a *local* noise distribution over its
+    /// partition plus the shared hot set (Section III-C).
+    ///
+    /// # Panics
+    /// Panics when `tokens` and `freqs` differ in length or all weights
+    /// vanish.
+    pub fn from_token_freqs(tokens: &[TokenId], freqs: &[u64], alpha: f64) -> Self {
+        assert_eq!(tokens.len(), freqs.len(), "tokens/freqs length mismatch");
+        assert!(!tokens.is_empty(), "empty noise distribution");
+        let weights: Vec<f64> = freqs.iter().map(|&f| (f as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all noise weights are zero");
+
+        // Walker alias construction.
+        let n = weights.len();
+        let mut prob = vec![0.0f32; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s] = scaled[s] as f32;
+            alias[s] = l as u32;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (from floating-point drift) saturate to probability 1.
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+        }
+
+        Self {
+            prob,
+            alias,
+            tokens: tokens.to_vec(),
+        }
+    }
+
+    /// Number of tokens in the support.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the support is empty (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Draws one negative sample.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> TokenId {
+        let i = rng.gen_range(0..self.prob.len());
+        let slot = if rng.gen::<f32>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        };
+        self.tokens[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_distribution_matches_unigram_alpha() {
+        // freqs 1 and 16 with α=0.75 → weights 1 : 8.
+        let t = NoiseTable::from_freqs(&[1, 16], 0.75);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u64; 2];
+        for _ in 0..80_000 {
+            counts[t.sample(&mut rng).index()] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((7.0..9.0).contains(&ratio), "ratio {ratio} not near 8");
+    }
+
+    #[test]
+    fn zero_frequency_tokens_never_drawn() {
+        let t = NoiseTable::from_freqs(&[0, 5, 0, 5], 0.75);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == TokenId(1) || s == TokenId(3), "drew zero-freq {s}");
+        }
+    }
+
+    #[test]
+    fn subset_table_stays_in_subset() {
+        let tokens = vec![TokenId(10), TokenId(99), TokenId(7)];
+        let t = NoiseTable::from_token_freqs(&tokens, &[3, 1, 2], 0.75);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            assert!(tokens.contains(&t.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let t = NoiseTable::from_freqs(&[1, 1_000_000], 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u64; 2];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut rng).index()] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio} not near 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "all noise weights are zero")]
+    fn all_zero_freqs_panic() {
+        let _ = NoiseTable::from_freqs(&[0, 0], 0.75);
+    }
+}

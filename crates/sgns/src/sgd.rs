@@ -1,0 +1,206 @@
+//! The SGNS SGD kernel: one positive pair plus its negatives.
+//!
+//! Implements the gradient of objective (3):
+//! `max Σ log σ(v_i·v'_j) + Σ log σ(−v_i·v'_t)`. For a sample with label
+//! `y ∈ {0, 1}` and score `f = v·v'`, the gradient step is
+//! `g = η · (y − σ(f))`, applied as `v' += g·v` immediately and `v += Σ g·v'`
+//! once at the end (the word2vec accumulation order, which the distributed
+//! TNS algorithm also follows — output vectors update on the remote worker,
+//! the accumulated input gradient ships back).
+
+use crate::sigmoid::{log_sigmoid, SigmoidTable};
+use sisg_embedding::math::dot;
+use sisg_embedding::Matrix;
+use sisg_corpus::TokenId;
+
+/// One SGD update for `(target, context)` with `negatives`, at learning rate
+/// `lr`. `grad` is a caller-provided scratch buffer of length `dim` (its
+/// contents are overwritten). Returns the sampled negative-sampling loss
+/// (for monitoring only).
+///
+/// Uses the Hogwild access path — see [`Matrix::row_mut_shared`].
+#[allow(clippy::too_many_arguments)]
+pub fn train_pair(
+    input: &Matrix,
+    output: &Matrix,
+    target: TokenId,
+    context: TokenId,
+    negatives: &[TokenId],
+    lr: f32,
+    sigmoid: &SigmoidTable,
+    grad: &mut [f32],
+) -> f64 {
+    debug_assert_eq!(grad.len(), input.dim());
+    grad.fill(0.0);
+    // SAFETY: Hogwild model — racy f32 updates are benign; rows are in
+    // bounds because TokenIds come from the vocabulary the matrices were
+    // sized for.
+    let v = unsafe { input.row_mut_shared(target.index()) };
+    let mut loss = 0.0f64;
+
+    let step = |ctx: TokenId, label: f32, v: &[f32], grad: &mut [f32]| -> f64 {
+        let vp = unsafe { output.row_mut_shared(ctx.index()) };
+        let f = dot(v, vp);
+        let g = (label - sigmoid.sigmoid(f)) * lr;
+        for d in 0..grad.len() {
+            grad[d] += g * vp[d];
+        }
+        for d in 0..vp.len() {
+            vp[d] += g * v[d];
+        }
+        let fx = f as f64;
+        if label > 0.5 {
+            -log_sigmoid(fx)
+        } else {
+            -log_sigmoid(-fx)
+        }
+    };
+
+    loss += step(context, 1.0, v, grad);
+    for &neg in negatives {
+        // The original word2vec skips a negative that collides with the
+        // positive context — updating the same row with both labels in one
+        // step would cancel the signal.
+        if neg == context {
+            continue;
+        }
+        loss += step(neg, 0.0, v, grad);
+    }
+
+    for d in 0..v.len() {
+        v[d] += grad[d];
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_embedding::math::cosine;
+
+    fn setup(dim: usize) -> (Matrix, Matrix, SigmoidTable, Vec<f32>) {
+        (
+            Matrix::uniform_init(6, dim, 1),
+            Matrix::uniform_init(6, dim, 2),
+            SigmoidTable::new(),
+            vec![0.0; dim],
+        )
+    }
+
+    #[test]
+    fn positive_pairs_attract_input_to_output() {
+        let (input, output, sig, mut grad) = setup(8);
+        let before = cosine(input.row(0), output.row(1));
+        for _ in 0..200 {
+            train_pair(
+                &input,
+                &output,
+                TokenId(0),
+                TokenId(1),
+                &[],
+                0.1,
+                &sig,
+                &mut grad,
+            );
+        }
+        let after = cosine(input.row(0), output.row(1));
+        assert!(after > before, "cosine should rise: {before} -> {after}");
+        assert!(after > 0.9, "should converge near 1, got {after}");
+    }
+
+    #[test]
+    fn negatives_repel() {
+        let (input, output, sig, mut grad) = setup(8);
+        for _ in 0..200 {
+            train_pair(
+                &input,
+                &output,
+                TokenId(0),
+                TokenId(1),
+                &[TokenId(2), TokenId(3)],
+                0.05,
+                &sig,
+                &mut grad,
+            );
+        }
+        let pos = dot(input.row(0), output.row(1));
+        let neg = dot(input.row(0), output.row(2));
+        assert!(pos > 0.0 && neg < 0.0, "pos {pos}, neg {neg}");
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let (input, output, sig, mut grad) = setup(8);
+        let first = train_pair(
+            &input,
+            &output,
+            TokenId(0),
+            TokenId(1),
+            &[TokenId(4)],
+            0.1,
+            &sig,
+            &mut grad,
+        );
+        let mut last = first;
+        for _ in 0..100 {
+            last = train_pair(
+                &input,
+                &output,
+                TokenId(0),
+                TokenId(1),
+                &[TokenId(4)],
+                0.1,
+                &sig,
+                &mut grad,
+            );
+        }
+        assert!(last < first, "loss should fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn negative_equal_to_context_is_skipped() {
+        let (input, output, sig, mut grad) = setup(4);
+        let mut grad2 = vec![0.0; 4];
+        let input2 = input.clone();
+        let output2 = output.clone();
+        train_pair(
+            &input,
+            &output,
+            TokenId(0),
+            TokenId(1),
+            &[TokenId(1), TokenId(1)],
+            0.1,
+            &sig,
+            &mut grad,
+        );
+        train_pair(
+            &input2,
+            &output2,
+            TokenId(0),
+            TokenId(1),
+            &[],
+            0.1,
+            &sig,
+            &mut grad2,
+        );
+        assert_eq!(input.row(0), input2.row(0));
+        assert_eq!(output.row(1), output2.row(1));
+    }
+
+    #[test]
+    fn zero_lr_changes_nothing() {
+        let (input, output, sig, mut grad) = setup(4);
+        let snapshot = input.row(0).to_vec();
+        train_pair(
+            &input,
+            &output,
+            TokenId(0),
+            TokenId(1),
+            &[TokenId(2)],
+            0.0,
+            &sig,
+            &mut grad,
+        );
+        assert_eq!(input.row(0), snapshot.as_slice());
+    }
+}

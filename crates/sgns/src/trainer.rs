@@ -1,0 +1,537 @@
+//! Training drivers: a single-threaded reference path and a Hogwild
+//! shared-memory parallel path.
+//!
+//! Both drivers consume any [`Sequences`] source — enriched SISG sequences,
+//! plain item sequences, or EGES random-walk corpora — and produce an
+//! [`EmbeddingStore`]. Learning rate decays linearly with processed-token
+//! progress, exactly as in word2vec.
+
+use crate::config::SgnsConfig;
+use crate::noise::NoiseTable;
+use crate::sampler::{PairSampler, SubsampleTable};
+use crate::sgd::train_pair;
+use crate::sigmoid::SigmoidTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sisg_corpus::{EnrichedCorpus, TokenId};
+use sisg_embedding::EmbeddingStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A source of training sequences.
+pub trait Sequences: Sync {
+    /// Number of sequences.
+    fn n_sequences(&self) -> usize;
+    /// The `i`-th sequence.
+    fn sequence(&self, i: usize) -> &[TokenId];
+
+    /// Total tokens across all sequences (used for LR scheduling).
+    fn total_tokens(&self) -> u64 {
+        (0..self.n_sequences())
+            .map(|i| self.sequence(i).len() as u64)
+            .sum()
+    }
+}
+
+impl Sequences for EnrichedCorpus {
+    fn n_sequences(&self) -> usize {
+        self.len()
+    }
+    fn sequence(&self, i: usize) -> &[TokenId] {
+        EnrichedCorpus::sequence(self, i)
+    }
+    fn total_tokens(&self) -> u64 {
+        EnrichedCorpus::total_tokens(self)
+    }
+}
+
+impl Sequences for Vec<Vec<TokenId>> {
+    fn n_sequences(&self) -> usize {
+        self.len()
+    }
+    fn sequence(&self, i: usize) -> &[TokenId] {
+        &self[i]
+    }
+}
+
+/// Counters of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainStats {
+    /// Positive pairs processed (negatives excluded).
+    pub pairs: u64,
+    /// Tokens surviving subsampling, summed over epochs.
+    pub tokens: u64,
+    /// Mean negative-sampling loss over the run.
+    pub avg_loss: f64,
+    /// Wall-clock seconds of the training loop.
+    pub seconds: f64,
+}
+
+impl TrainStats {
+    /// Training throughput in tokens per second.
+    pub fn tokens_per_second(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.tokens as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Counts per-token frequencies of `seqs` over a vocabulary of `n_tokens`.
+pub fn count_freqs<S: Sequences + ?Sized>(seqs: &S, n_tokens: usize) -> Vec<u64> {
+    let mut freqs = vec![0u64; n_tokens];
+    for i in 0..seqs.n_sequences() {
+        for t in seqs.sequence(i) {
+            freqs[t.index()] += 1;
+        }
+    }
+    freqs
+}
+
+/// Trains SGNS embeddings over `seqs` with vocabulary size `n_tokens`.
+///
+/// With `config.threads == 1` this is the exact, deterministic reference
+/// path; larger thread counts switch to Hogwild.
+///
+/// ```
+/// use sisg_corpus::TokenId;
+/// use sisg_sgns::{train, SgnsConfig};
+///
+/// // Tokens 0 and 1 always co-occur.
+/// let seqs: Vec<Vec<TokenId>> = (0..50)
+///     .map(|_| vec![TokenId(0), TokenId(1)])
+///     .collect();
+/// // subsample is disabled: with a two-token vocabulary every token is
+/// // "hot" and Mikolov subsampling would drop the whole corpus.
+/// let cfg = SgnsConfig {
+///     dim: 8, window: 1, negatives: 2, epochs: 2, subsample: 0.0,
+///     ..Default::default()
+/// };
+/// let (store, stats) = train(&seqs, 4, &cfg);
+/// assert!(stats.pairs > 0);
+/// assert_eq!(store.dim(), 8);
+/// ```
+pub fn train<S: Sequences + ?Sized>(
+    seqs: &S,
+    n_tokens: usize,
+    config: &SgnsConfig,
+) -> (EmbeddingStore, TrainStats) {
+    config.validate().expect("invalid SGNS config");
+    let freqs = count_freqs(seqs, n_tokens);
+    train_with_freqs(seqs, &freqs, config)
+}
+
+/// Like [`train`] but with precomputed frequencies (avoids a corpus scan
+/// when the caller already has the dictionary).
+pub fn train_with_freqs<S: Sequences + ?Sized>(
+    seqs: &S,
+    freqs: &[u64],
+    config: &SgnsConfig,
+) -> (EmbeddingStore, TrainStats) {
+    let store = EmbeddingStore::new(freqs.len(), config.dim, config.seed);
+    train_into(seqs, freqs, config, store)
+}
+
+/// Warm-start training: continues from an existing store instead of a
+/// fresh initialization — the daily-update path, where yesterday's vectors
+/// are a far better starting point than random and the job converges in a
+/// fraction of the epochs.
+///
+/// # Panics
+/// Panics when the store's token count differs from `freqs.len()` or its
+/// dimensionality differs from `config.dim`.
+pub fn train_into<S: Sequences + ?Sized>(
+    seqs: &S,
+    freqs: &[u64],
+    config: &SgnsConfig,
+    store: EmbeddingStore,
+) -> (EmbeddingStore, TrainStats) {
+    assert_eq!(store.n_tokens(), freqs.len(), "store/vocab size mismatch");
+    assert_eq!(store.dim(), config.dim, "store/config dim mismatch");
+    if config.threads <= 1 {
+        train_single(seqs, freqs, config, store)
+    } else {
+        train_parallel_into(seqs, freqs, config, store)
+    }
+}
+
+struct EpochContext<'a> {
+    noise: &'a NoiseTable,
+    subsample: &'a SubsampleTable,
+    sampler: PairSampler,
+    sigmoid: &'a SigmoidTable,
+    config: &'a SgnsConfig,
+    /// Denominator of the linear LR schedule: epochs × total tokens.
+    schedule_tokens: u64,
+}
+
+/// Processes the sequences `range` once, updating `store` in place.
+/// `progress` counts tokens globally across threads and epochs.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk<S: Sequences + ?Sized>(
+    seqs: &S,
+    range: std::ops::Range<usize>,
+    store: &EmbeddingStore,
+    ctx: &EpochContext<'_>,
+    progress: &AtomicU64,
+    rng: &mut StdRng,
+    stats_pairs: &mut u64,
+    stats_tokens: &mut u64,
+    loss_sum: &mut f64,
+    loss_count: &mut u64,
+) {
+    let dim = store.dim();
+    let mut grad = vec![0.0f32; dim];
+    let mut filtered: Vec<TokenId> = Vec::with_capacity(64);
+    let mut negatives: Vec<TokenId> = Vec::with_capacity(ctx.config.negatives);
+    let input = store.input_matrix();
+    let output = store.output_matrix();
+
+    for i in range {
+        let seq = seqs.sequence(i);
+        ctx.subsample.filter_into(seq, rng, &mut filtered);
+        let done = progress.fetch_add(seq.len() as u64, Ordering::Relaxed);
+        *stats_tokens += filtered.len() as u64;
+
+        // Linear LR decay by global token progress.
+        let frac = (done as f64 / ctx.schedule_tokens.max(1) as f64).min(1.0);
+        let lr = (ctx.config.learning_rate as f64 * (1.0 - frac))
+            .max(ctx.config.min_learning_rate as f64) as f32;
+
+        let filtered_ref = &filtered;
+        let negatives_ref = &mut negatives;
+        let grad_ref = &mut grad;
+        let pairs_ref = &mut *stats_pairs;
+        let loss_sum_ref = &mut *loss_sum;
+        let loss_count_ref = &mut *loss_count;
+        // `for_each_pair` needs the rng; draw pairs first into a scratch
+        // buffer to keep a single mutable borrow of rng at a time.
+        let mut pair_buf: Vec<(TokenId, TokenId)> = Vec::with_capacity(filtered_ref.len() * 2);
+        ctx.sampler.pairs_into(filtered_ref, rng, &mut pair_buf);
+        for (target, context) in pair_buf {
+            negatives_ref.clear();
+            for _ in 0..ctx.config.negatives {
+                negatives_ref.push(ctx.noise.sample(rng));
+            }
+            let loss = train_pair(
+                input,
+                output,
+                target,
+                context,
+                negatives_ref,
+                lr,
+                ctx.sigmoid,
+                grad_ref,
+            );
+            *pairs_ref += 1;
+            *loss_sum_ref += loss;
+            *loss_count_ref += 1;
+        }
+    }
+}
+
+fn train_single<S: Sequences + ?Sized>(
+    seqs: &S,
+    freqs: &[u64],
+    config: &SgnsConfig,
+    store: EmbeddingStore,
+) -> (EmbeddingStore, TrainStats) {
+    if freqs.iter().all(|&f| f == 0) {
+        // Empty corpus: nothing to train, return the initialized store.
+        return (store, TrainStats::default());
+    }
+    let noise = NoiseTable::from_freqs(freqs, config.noise_exponent);
+    let subsample = SubsampleTable::new(freqs, config.subsample);
+    let sigmoid = SigmoidTable::new();
+    let ctx = EpochContext {
+        noise: &noise,
+        subsample: &subsample,
+        sampler: PairSampler {
+            window: config.window,
+            mode: config.window_mode,
+            dynamic: false,
+        },
+        sigmoid: &sigmoid,
+        config,
+        schedule_tokens: seqs.total_tokens() * config.epochs as u64,
+    };
+
+    let progress = AtomicU64::new(0);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7124);
+    let mut stats = TrainStats::default();
+    let mut loss_sum = 0.0;
+    let mut loss_count = 0u64;
+    let start = Instant::now();
+    for _epoch in 0..config.epochs {
+        run_chunk(
+            seqs,
+            0..seqs.n_sequences(),
+            &store,
+            &ctx,
+            &progress,
+            &mut rng,
+            &mut stats.pairs,
+            &mut stats.tokens,
+            &mut loss_sum,
+            &mut loss_count,
+        );
+    }
+    stats.seconds = start.elapsed().as_secs_f64();
+    stats.avg_loss = if loss_count > 0 {
+        loss_sum / loss_count as f64
+    } else {
+        0.0
+    };
+    (store, stats)
+}
+
+/// Hogwild parallel training: threads share the matrices without locks and
+/// split the sequence range per epoch.
+pub fn train_parallel<S: Sequences + ?Sized>(
+    seqs: &S,
+    freqs: &[u64],
+    config: &SgnsConfig,
+) -> (EmbeddingStore, TrainStats) {
+    let store = EmbeddingStore::new(freqs.len(), config.dim, config.seed);
+    train_parallel_into(seqs, freqs, config, store)
+}
+
+fn train_parallel_into<S: Sequences + ?Sized>(
+    seqs: &S,
+    freqs: &[u64],
+    config: &SgnsConfig,
+    store: EmbeddingStore,
+) -> (EmbeddingStore, TrainStats) {
+    if freqs.iter().all(|&f| f == 0) {
+        return (store, TrainStats::default());
+    }
+    let noise = NoiseTable::from_freqs(freqs, config.noise_exponent);
+    let subsample = SubsampleTable::new(freqs, config.subsample);
+    let sigmoid = SigmoidTable::new();
+    let ctx = EpochContext {
+        noise: &noise,
+        subsample: &subsample,
+        sampler: PairSampler {
+            window: config.window,
+            mode: config.window_mode,
+            dynamic: false,
+        },
+        sigmoid: &sigmoid,
+        config,
+        schedule_tokens: seqs.total_tokens() * config.epochs as u64,
+    };
+
+    let progress = AtomicU64::new(0);
+    let n = seqs.n_sequences();
+    let threads = config.threads.min(n.max(1));
+    let chunk = n.div_ceil(threads.max(1));
+    let start = Instant::now();
+
+    let mut stats = TrainStats::default();
+    let mut loss_sum = 0.0;
+    let mut loss_count = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let range = (t * chunk).min(n)..((t + 1) * chunk).min(n);
+            let store = &store;
+            let ctx = &ctx;
+            let progress = &progress;
+            let seed = config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9);
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut pairs = 0u64;
+                let mut tokens = 0u64;
+                let mut lsum = 0.0f64;
+                let mut lcount = 0u64;
+                for _epoch in 0..ctx.config.epochs {
+                    run_chunk(
+                        seqs,
+                        range.clone(),
+                        store,
+                        ctx,
+                        progress,
+                        &mut rng,
+                        &mut pairs,
+                        &mut tokens,
+                        &mut lsum,
+                        &mut lcount,
+                    );
+                }
+                (pairs, tokens, lsum, lcount)
+            }));
+        }
+        for h in handles {
+            let (pairs, tokens, lsum, lcount) = h.join().expect("training thread panicked");
+            stats.pairs += pairs;
+            stats.tokens += tokens;
+            loss_sum += lsum;
+            loss_count += lcount;
+        }
+    });
+    stats.seconds = start.elapsed().as_secs_f64();
+    stats.avg_loss = if loss_count > 0 {
+        loss_sum / loss_count as f64
+    } else {
+        0.0
+    };
+    (store, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::WindowMode;
+    use sisg_embedding::math::cosine;
+
+    /// Two "topics" of tokens; sequences stay within a topic. Embeddings
+    /// must cluster by topic.
+    fn topic_corpus(seed: u64) -> Vec<Vec<TokenId>> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seqs = Vec::new();
+        for _ in 0..400 {
+            let topic = if rng.gen_bool(0.5) { 0u32 } else { 10u32 };
+            let seq: Vec<TokenId> = (0..8)
+                .map(|_| TokenId(topic + rng.gen_range(0..10)))
+                .collect();
+            seqs.push(seq);
+        }
+        seqs
+    }
+
+    fn small_config() -> SgnsConfig {
+        SgnsConfig {
+            dim: 16,
+            window: 4,
+            negatives: 5,
+            epochs: 5,
+            subsample: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn learns_topic_structure() {
+        let seqs = topic_corpus(1);
+        let (store, stats) = train(&seqs, 20, &small_config());
+        assert!(stats.pairs > 1_000);
+        // Within-topic similarity must exceed cross-topic similarity.
+        let within = cosine(store.input(TokenId(1)), store.input(TokenId(2)));
+        let cross = cosine(store.input(TokenId(1)), store.input(TokenId(12)));
+        assert!(
+            within > cross + 0.2,
+            "within {within} should beat cross {cross}"
+        );
+    }
+
+    #[test]
+    fn single_thread_is_deterministic() {
+        let seqs = topic_corpus(2);
+        let cfg = small_config();
+        let (a, _) = train(&seqs, 20, &cfg);
+        let (b, _) = train(&seqs, 20, &cfg);
+        assert_eq!(a.input(TokenId(5)), b.input(TokenId(5)));
+        assert_eq!(a.output(TokenId(5)), b.output(TokenId(5)));
+    }
+
+    #[test]
+    fn parallel_training_learns_too() {
+        let seqs = topic_corpus(3);
+        let cfg = small_config().with_threads(4);
+        let (store, stats) = train(&seqs, 20, &cfg);
+        assert!(stats.pairs > 1_000);
+        let within = cosine(store.input(TokenId(3)), store.input(TokenId(4)));
+        let cross = cosine(store.input(TokenId(3)), store.input(TokenId(14)));
+        assert!(
+            within > cross + 0.15,
+            "within {within} should beat cross {cross}"
+        );
+    }
+
+    #[test]
+    fn directional_mode_trains() {
+        // Chain corpus: 0 → 1 → 2 → 3; directional training should place
+        // output(successor) near input(predecessor).
+        let seqs: Vec<Vec<TokenId>> = (0..300)
+            .map(|_| (0..4).map(TokenId).collect())
+            .collect();
+        let cfg = SgnsConfig {
+            window: 1,
+            window_mode: WindowMode::RightOnly,
+            ..small_config()
+        };
+        let (store, _) = train(&seqs, 4, &cfg);
+        use sisg_embedding::math::dot;
+        let forward = dot(store.input(TokenId(0)), store.output(TokenId(1)));
+        let backward = dot(store.input(TokenId(1)), store.output(TokenId(0)));
+        assert!(
+            forward > backward,
+            "forward {forward} must beat backward {backward}"
+        );
+    }
+
+    #[test]
+    fn stats_track_throughput() {
+        let seqs = topic_corpus(4);
+        let (_, stats) = train(&seqs, 20, &small_config());
+        assert!(stats.tokens > 0);
+        assert!(stats.seconds >= 0.0);
+        assert!(stats.tokens_per_second() > 0.0);
+        assert!(stats.avg_loss > 0.0);
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        let seqs = topic_corpus(9);
+        let mut cfg = small_config();
+        cfg.epochs = 3;
+        let (warm_store, _) = train(&seqs, 20, &cfg);
+        // One extra epoch, warm vs cold.
+        let one_epoch = SgnsConfig {
+            epochs: 1,
+            learning_rate: 0.01,
+            ..small_config()
+        };
+        let freqs = count_freqs(&seqs, 20);
+        let (_, warm_stats) = train_into(&seqs, &freqs, &one_epoch, warm_store);
+        let (_, cold_stats) = train_with_freqs(&seqs, &freqs, &one_epoch);
+        assert!(
+            warm_stats.avg_loss < cold_stats.avg_loss,
+            "warm start should sit at lower loss: {} vs {}",
+            warm_stats.avg_loss,
+            cold_stats.avg_loss
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "store/config dim mismatch")]
+    fn warm_start_rejects_dim_mismatch() {
+        let seqs = topic_corpus(2);
+        let freqs = count_freqs(&seqs, 20);
+        let store = EmbeddingStore::new(20, 8, 1);
+        let _ = train_into(&seqs, &freqs, &small_config(), store);
+    }
+
+    #[test]
+    fn empty_corpus_returns_initialized_store() {
+        let seqs: Vec<Vec<TokenId>> = Vec::new();
+        let (store, stats) = train(&seqs, 10, &small_config());
+        assert_eq!(store.n_tokens(), 10);
+        assert_eq!(stats.pairs, 0);
+        let (store2, _) = train(&seqs, 10, &small_config().with_threads(3));
+        assert_eq!(store2.n_tokens(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SGNS config")]
+    fn invalid_config_panics() {
+        let seqs = topic_corpus(5);
+        let cfg = SgnsConfig {
+            dim: 0,
+            ..Default::default()
+        };
+        let _ = train(&seqs, 20, &cfg);
+    }
+}

@@ -1,0 +1,36 @@
+//! # taobao-sisg
+//!
+//! A from-scratch Rust reproduction of *"Billion-scale Recommendation with
+//! Heterogeneous Side Information at Taobao"* (Pfadler et al., ICDE 2020):
+//! the **SISG** framework, its distributed word2vec engine (TNS / ATNS /
+//! HBGP), the **EGES** and **CF** baselines, a synthetic Taobao-like
+//! workload generator, and the full evaluation harness that regenerates
+//! every table and figure of the paper.
+//!
+//! This crate is the umbrella: it re-exports the workspace members so a
+//! downstream user can depend on one crate. See the README for a tour and
+//! `examples/` for runnable entry points:
+//!
+//! ```no_run
+//! use taobao_sisg::corpus::{CorpusConfig, GeneratedCorpus};
+//! use taobao_sisg::core::{Recommender, Variant};
+//! use taobao_sisg::sgns::SgnsConfig;
+//!
+//! let corpus = GeneratedCorpus::generate(CorpusConfig::scaled(2_000, 42));
+//! let rec = Recommender::train(&corpus, Variant::SisgFUD, &SgnsConfig::default());
+//! for r in rec.similar_items(taobao_sisg::corpus::ItemId(0), 10) {
+//!     println!("{:?} score {:.3}", r.item, r.score);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sisg_ann as ann;
+pub use sisg_cf as cf;
+pub use sisg_core as core;
+pub use sisg_corpus as corpus;
+pub use sisg_distributed as distributed;
+pub use sisg_eges as eges;
+pub use sisg_embedding as embedding;
+pub use sisg_eval as eval;
+pub use sisg_sgns as sgns;

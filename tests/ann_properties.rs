@@ -1,0 +1,69 @@
+//! Property-based tests of the ANN substrate: index invariants that must
+//! hold for arbitrary vector sets.
+
+use proptest::prelude::*;
+use taobao_sisg::ann::{AnnIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex};
+use taobao_sisg::corpus::TokenId;
+use taobao_sisg::embedding::{retrieve_top_k, Matrix};
+
+fn matrix_strategy(max_rows: usize, dim: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, dim..=max_rows * dim).prop_map(move |mut v| {
+        let rows = v.len() / dim;
+        v.truncate(rows * dim);
+        Matrix::from_data(rows, dim, v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// IVF with every cell probed is exactly brute force, for any data.
+    #[test]
+    fn ivf_full_probe_is_exact(m in matrix_strategy(60, 4), k in 1usize..8) {
+        let nlist = 8;
+        let idx = IvfIndex::build(&m, IvfConfig { nlist, ..Default::default() });
+        let query: Vec<f32> = m.row(0).to_vec();
+        let approx: Vec<u32> = idx
+            .search_with_probes(&query, k, nlist)
+            .iter()
+            .map(|h| h.id.0)
+            .collect();
+        let exact: Vec<u32> =
+            retrieve_top_k(&query, &m, (0..m.rows() as u32).map(TokenId), k, None)
+                .iter()
+                .map(|n| n.token.0)
+                .collect();
+        prop_assert_eq!(approx, exact);
+    }
+
+    /// Both index types return unique ids within bounds, sorted by score.
+    #[test]
+    fn results_are_wellformed(m in matrix_strategy(50, 4), k in 1usize..12) {
+        let query: Vec<f32> = m.row(m.rows() / 2).to_vec();
+        let ivf = IvfIndex::build(&m, IvfConfig { nlist: 6, nprobe: 3, ..Default::default() });
+        let hnsw = HnswIndex::build(&m, HnswConfig { m: 4, ..Default::default() });
+        for (name, hits) in [
+            ("ivf", ivf.search(&query, k)),
+            ("hnsw", hnsw.search(&query, k)),
+        ] {
+            prop_assert!(hits.len() <= k, "{} returned too many", name);
+            let mut seen = std::collections::HashSet::new();
+            for w in hits.windows(2) {
+                prop_assert!(w[0].score >= w[1].score, "{} unsorted", name);
+            }
+            for h in &hits {
+                prop_assert!((h.id.0 as usize) < m.rows(), "{} id out of range", name);
+                prop_assert!(seen.insert(h.id), "{} duplicate id", name);
+            }
+        }
+    }
+
+    /// HNSW search never returns fewer than min(k, n) hits — the graph is
+    /// connected enough to enumerate the corpus.
+    #[test]
+    fn hnsw_fills_k(m in matrix_strategy(40, 3), k in 1usize..10) {
+        let idx = HnswIndex::build(&m, HnswConfig { m: 4, ef_search: 40, ..Default::default() });
+        let hits = idx.search(m.row(0), k);
+        prop_assert_eq!(hits.len(), k.min(m.rows()));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the HBGP partitioner over arbitrary corpora.
+
+use proptest::prelude::*;
+use taobao_sisg::corpus::schema::SchemaCardinalities;
+use taobao_sisg::corpus::{Corpus, ItemCatalog, ItemId, LeafCategoryId, UserId};
+use taobao_sisg::distributed::partition::Partitioner;
+use taobao_sisg::distributed::{HashPartitioner, HbgpPartitioner};
+
+/// Builds a deterministic catalog plus an arbitrary session list over it.
+fn catalog(n_items: u32) -> ItemCatalog {
+    ItemCatalog::generate(n_items, SchemaCardinalities::for_items(n_items), 7)
+}
+
+fn sessions_strategy(n_items: u32) -> impl Strategy<Value = Corpus> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..n_items, 2..10),
+        1..60,
+    )
+    .prop_map(move |raw| {
+        let mut c = Corpus::new();
+        for (u, items) in raw.into_iter().enumerate() {
+            let items: Vec<ItemId> = items.into_iter().map(ItemId).collect();
+            c.push(UserId(u as u32), &items);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// HBGP output is a total assignment into `workers` partitions and
+    /// never splits a leaf category.
+    #[test]
+    fn hbgp_assignment_is_valid(
+        sessions in sessions_strategy(300),
+        workers in 1usize..9,
+    ) {
+        let cat = catalog(300);
+        let assign = HbgpPartitioner::default().assign_items(&sessions, &cat, 300, workers);
+        prop_assert_eq!(assign.len(), 300);
+        prop_assert!(assign.iter().all(|&o| (o as usize) < workers));
+        // Whole categories stay together.
+        for leaf in 0..cat.n_leaf_categories() {
+            let members = cat.items_in_category(LeafCategoryId(leaf));
+            if let Some(first) = members.first() {
+                let owner = assign[first.index()];
+                prop_assert!(
+                    members.iter().all(|m| assign[m.index()] == owner),
+                    "category {} split", leaf
+                );
+            }
+        }
+    }
+
+    /// HBGP never produces a worse cut than hashing on category-coherent
+    /// synthetic traffic (the regime it is designed for), measured on
+    /// adjacent transitions.
+    #[test]
+    fn hbgp_cut_is_no_worse_than_hash_on_coherent_sessions(
+        seed in any::<u64>(),
+        workers in 2usize..6,
+    ) {
+        // Category-coherent sessions: each stays within one leaf category.
+        let cat = catalog(300);
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sessions = Corpus::new();
+        for u in 0..80u32 {
+            let leaf = loop {
+                let l = LeafCategoryId(rng.gen_range(0..cat.n_leaf_categories()));
+                if cat.items_in_category(l).len() >= 2 {
+                    break l;
+                }
+            };
+            let members = cat.items_in_category(leaf);
+            let items: Vec<ItemId> = (0..6)
+                .map(|_| members[rng.gen_range(0..members.len())])
+                .collect();
+            sessions.push(UserId(u), &items);
+        }
+        let cut = |assign: &[u16]| -> u64 {
+            let mut cut = 0;
+            for s in sessions.iter() {
+                for w in s.items.windows(2) {
+                    if assign[w[0].index()] != assign[w[1].index()] {
+                        cut += 1;
+                    }
+                }
+            }
+            cut
+        };
+        let hbgp = HbgpPartitioner::default().assign_items(&sessions, &cat, 300, workers);
+        let hash = HashPartitioner.assign_items(&sessions, &cat, 300, workers);
+        prop_assert!(
+            cut(&hbgp) <= cut(&hash),
+            "hbgp cut {} > hash cut {}", cut(&hbgp), cut(&hash)
+        );
+    }
+
+    /// With one worker everything is local regardless of input.
+    #[test]
+    fn single_worker_is_always_local(sessions in sessions_strategy(100)) {
+        let cat = catalog(100);
+        let assign = HbgpPartitioner::default().assign_items(&sessions, &cat, 100, 1);
+        prop_assert!(assign.iter().all(|&o| o == 0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration: the serving layer and the extended evaluation metrics,
+//! wired across crates the way a production consumer would use them.
+
+use std::sync::atomic::Ordering;
+use taobao_sisg::core::{MatchingService, ServingConfig, SisgModel, Variant};
+use taobao_sisg::corpus::split::{NextItemSplit, SplitStage};
+use taobao_sisg::corpus::{CorpusConfig, GeneratedCorpus, ItemId};
+use taobao_sisg::eval::metrics::evaluate_ranking;
+use taobao_sisg::eval::significance::{hit_indicators, paired_bootstrap};
+use taobao_sisg::eval::ItemRetriever;
+use taobao_sisg::sgns::SgnsConfig;
+
+fn setup() -> (GeneratedCorpus, SisgModel, Vec<u64>) {
+    let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+    let (model, _) = SisgModel::train(
+        &corpus,
+        Variant::SisgFU,
+        &SgnsConfig {
+            dim: 16,
+            window: 3,
+            negatives: 3,
+            epochs: 2,
+            ..Default::default()
+        },
+    );
+    let mut clicks = vec![0u64; corpus.config.n_items as usize];
+    for s in corpus.sessions.iter() {
+        for it in s.items {
+            clicks[it.index()] += 1;
+        }
+    }
+    (corpus, model, clicks)
+}
+
+#[test]
+fn serving_layer_matches_direct_retrieval_for_warm_items() {
+    let (corpus, model, clicks) = setup();
+    // Probe an item that is actually warm (zero-click items are served
+    // through the Eq. 6 cold path, which legitimately differs).
+    let warm = (0..corpus.config.n_items)
+        .map(ItemId)
+        .find(|i| clicks[i.index()] >= 1)
+        .expect("some item was clicked");
+    let direct: Vec<ItemId> = model.retrieve(warm, 10);
+    let svc = MatchingService::build(
+        model,
+        corpus.users.clone(),
+        &clicks,
+        ServingConfig {
+            k: 20,
+            min_clicks_for_warm: 1,
+        },
+    );
+    assert!(!svc.is_cold(warm));
+    let si = *corpus.catalog.si_values(warm);
+    let served: Vec<ItemId> = svc
+        .candidates(warm, &si, 10)
+        .into_iter()
+        .map(|r| r.item)
+        .collect();
+    assert_eq!(direct, served, "precomputed lists must equal live retrieval");
+    assert_eq!(svc.stats().requests.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn ranking_metrics_agree_with_hit_rates() {
+    let (corpus, model, clicks) = setup();
+    let split = NextItemSplit::default().split(&corpus.sessions, SplitStage::Test);
+    let k = 20;
+    let report = evaluate_ranking(
+        "sisg",
+        &model,
+        &split.eval,
+        k,
+        &clicks,
+        corpus.config.n_items,
+    );
+    // NDCG and MRR are bounded by HR@k (they zero on the same misses).
+    let hr = taobao_sisg::eval::evaluate_hit_rates("sisg", &model, &split.eval, &[k]).hr[0];
+    assert!(report.ndcg <= hr + 1e-9);
+    assert!(report.mrr <= hr + 1e-9);
+    assert!(report.ndcg > 0.0, "model must hit sometimes");
+    assert!((0.0..=1.0).contains(&report.coverage));
+    assert!((0.0..=1.0).contains(&report.tail_exposure));
+}
+
+#[test]
+fn bootstrap_confirms_large_model_gaps_only() {
+    let (corpus, model, _) = setup();
+    let split = NextItemSplit::default().split(&corpus.sessions, SplitStage::Test);
+    let cases = &split.eval[..split.eval.len().min(400)];
+    let hits = hit_indicators(&model, cases, 20);
+    // Model vs itself: never significant.
+    let same = paired_bootstrap(&hits, &hits, 300, 0.95, 1);
+    assert!(!same.significant());
+    // Model vs a strawman that always misses: decisively significant.
+    let zeros = vec![0.0; hits.len()];
+    let gap = paired_bootstrap(&hits, &zeros, 300, 0.95, 1);
+    assert!(gap.significant());
+    assert!(gap.delta > 0.1, "the model must hit more than never");
+}
