@@ -1,0 +1,227 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the surface the `sisg-bench` suites use: [`Criterion`],
+//! [`BenchmarkGroup`] with `measurement_time`/`sample_size`,
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop printing mean
+//! ns/iter — no statistical analysis, outlier detection, or HTML
+//! reports. Good enough for the "within noise" regression checks the
+//! workspace runs; use real criterion for publication-grade numbers.
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_secs(1),
+            _criterion: self,
+        }
+    }
+
+    /// Registers a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, Duration::from_secs(1), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Accepted for compatibility; the stub sizes runs by wall-clock
+    /// budget only.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified by `id` (a string or [`BenchmarkId`]).
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<S: Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            ns_per_iter: 0.0,
+        };
+        f(&mut bencher, input);
+        report(&label, bencher.ns_per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count that fits
+    /// the measurement budget, then measuring a batched run.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until it costs >= ~1% of the budget.
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget / 100 || batch >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch = batch.saturating_mul(2);
+        };
+
+        // Measure: run full batches until the budget is spent.
+        let rounds = ((self.budget.as_nanos() as f64 / (per_iter_ns * batch as f64).max(1.0))
+            as u64)
+            .clamp(1, 1000);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / (rounds * batch) as f64;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, budget: Duration, f: &mut F) {
+    let mut bencher = Bencher {
+        budget,
+        ns_per_iter: 0.0,
+    };
+    f(&mut bencher);
+    report(label, bencher.ns_per_iter);
+}
+
+fn report(label: &str, ns_per_iter: f64) {
+    if ns_per_iter >= 1_000_000.0 {
+        println!("{label:<48} {:>12.3} ms/iter", ns_per_iter / 1_000_000.0);
+    } else if ns_per_iter >= 1_000.0 {
+        println!("{label:<48} {:>12.3} us/iter", ns_per_iter / 1_000.0);
+    } else {
+        println!("{label:<48} {ns_per_iter:>12.1} ns/iter");
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmarks.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.measurement_time(Duration::from_millis(20));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dot", 128).to_string(), "dot/128");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -109,10 +109,7 @@ impl IvfIndex {
         }
         let mut sizes: Vec<usize> = self.cells.iter().map(Vec::len).collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
-        let scanned: usize = sizes
-            .iter()
-            .take(self.config.nprobe.min(sizes.len()))
-            .sum();
+        let scanned: usize = sizes.iter().take(self.config.nprobe.min(sizes.len())).sum();
         scanned as f64 / self.len() as f64
     }
 
@@ -184,13 +181,7 @@ mod tests {
         );
         let query: Vec<f32> = m.row(7).to_vec();
         let approx = idx.search_with_probes(&query, 10, 16);
-        let exact = sisg_embedding::retrieve_top_k(
-            &query,
-            &m,
-            (0..300u32).map(TokenId),
-            10,
-            None,
-        );
+        let exact = sisg_embedding::retrieve_top_k(&query, &m, (0..300u32).map(TokenId), 10, None);
         let a: Vec<u32> = approx.iter().map(|h| h.id.0).collect();
         let e: Vec<u32> = exact.iter().map(|h| h.token.0).collect();
         assert_eq!(a, e, "probing every cell must be exact");

@@ -54,11 +54,7 @@ impl KmeansResult {
 
     /// Number of centroids.
     pub fn k(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.centroids.len() / self.dim
-        }
+        self.centroids.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// Indices of the rows assigned to each cluster.
@@ -127,10 +123,10 @@ pub fn kmeans(data: &Matrix, config: &KmeansConfig) -> KmeansResult {
         };
         let (dst, src) = (c * dim, data.row(chosen));
         centroids[dst..dst + dim].copy_from_slice(src);
-        for i in 0..n {
+        for (i, best) in best_d2.iter_mut().enumerate() {
             let d = squared_distance(data.row(i), &centroids[dst..dst + dim]);
-            if d < best_d2[i] {
-                best_d2[i] = d;
+            if d < *best {
+                *best = d;
             }
         }
     }
@@ -141,7 +137,7 @@ pub fn kmeans(data: &Matrix, config: &KmeansConfig) -> KmeansResult {
     for iter in 0..config.max_iters {
         iterations = iter + 1;
         let mut changed = 0usize;
-        for i in 0..n {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let row = data.row(i);
             let mut best = 0u32;
             let mut best_d = f32::INFINITY;
@@ -152,8 +148,8 @@ pub fn kmeans(data: &Matrix, config: &KmeansConfig) -> KmeansResult {
                     best = c as u32;
                 }
             }
-            if assignment[i] != best {
-                assignment[i] = best;
+            if *slot != best {
+                *slot = best;
                 changed += 1;
             }
         }
@@ -161,8 +157,8 @@ pub fn kmeans(data: &Matrix, config: &KmeansConfig) -> KmeansResult {
         // points so k stays effective.
         let mut sums = vec![0.0f64; k * dim];
         let mut counts = vec![0u64; k];
-        for i in 0..n {
-            let c = assignment[i] as usize;
+        for (i, &a) in assignment.iter().enumerate() {
+            let c = a as usize;
             counts[c] += 1;
             for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(data.row(i)) {
                 *s += v as f64;
@@ -203,7 +199,7 @@ mod tests {
             let center = if blob == 0 { -5.0f32 } else { 5.0 };
             for _ in 0..n_per {
                 for _ in 0..dim {
-                    data.push(center + rng.gen_range(-0.3..0.3));
+                    data.push(center + rng.gen_range(-0.3f32..0.3));
                 }
             }
         }

@@ -97,13 +97,19 @@ mod tests {
         struct Exact<'a>(&'a Matrix);
         impl AnnIndex for Exact<'_> {
             fn search(&self, query: &[f32], k: usize) -> Vec<crate::Hit> {
-                retrieve_top_k(query, self.0, (0..self.0.rows() as u32).map(TokenId), k, None)
-                    .into_iter()
-                    .map(|n| crate::Hit {
-                        id: n.token,
-                        score: n.score,
-                    })
-                    .collect()
+                retrieve_top_k(
+                    query,
+                    self.0,
+                    (0..self.0.rows() as u32).map(TokenId),
+                    k,
+                    None,
+                )
+                .into_iter()
+                .map(|n| crate::Hit {
+                    id: n.token,
+                    score: n.score,
+                })
+                .collect()
             }
             fn len(&self) -> usize {
                 self.0.rows()

@@ -31,6 +31,32 @@ fn bench_vector_math(c: &mut Criterion) {
     group.finish();
 }
 
+/// The relaxed-atomic Hogwild accessors ([`Matrix::row_ptr`]) against the
+/// plain-slice kernels on the same data: on mainstream ISAs a relaxed
+/// `AtomicU32` load/store compiles to the same 32-bit mov as a plain one,
+/// so these pairs of numbers should match within noise. This is the
+/// regression guard for the soundness refactor that replaced aliased
+/// `&mut` rows with `RowPtr`.
+fn bench_row_ptr_vs_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_ptr");
+    group.measurement_time(Duration::from_secs(2));
+    for dim in [32usize, 128] {
+        let m = Matrix::uniform_init(2, dim, 5);
+        let a = m.row_ptr(0);
+        let b_row = m.row_ptr(1);
+        group.bench_with_input(BenchmarkId::new("atomic_dot", dim), &dim, |b, _| {
+            b.iter(|| black_box(&a).dot(black_box(&b_row)))
+        });
+        group.bench_with_input(BenchmarkId::new("slice_dot", dim), &dim, |b, _| {
+            b.iter(|| dot(black_box(m.row(0)), black_box(m.row(1))))
+        });
+        group.bench_with_input(BenchmarkId::new("atomic_axpy", dim), &dim, |b, _| {
+            b.iter(|| black_box(&a).axpy_row(black_box(0.01), black_box(&b_row)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_noise_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("noise_table");
     group.measurement_time(Duration::from_secs(2));
@@ -83,15 +109,7 @@ fn bench_retrieval(c: &mut Criterion) {
         let m = Matrix::uniform_init(n, 32, 3);
         let query: Vec<f32> = (0..32).map(|i| (i as f32).sin()).collect();
         group.bench_with_input(BenchmarkId::new("top200", n), &n, |b, _| {
-            b.iter(|| {
-                retrieve_top_k(
-                    black_box(&query),
-                    &m,
-                    (0..n as u32).map(TokenId),
-                    200,
-                    None,
-                )
-            })
+            b.iter(|| retrieve_top_k(black_box(&query), &m, (0..n as u32).map(TokenId), 200, None))
         });
     }
     group.finish();
@@ -122,6 +140,7 @@ fn bench_pair_sampling(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_vector_math,
+    bench_row_ptr_vs_slice,
     bench_noise_sampling,
     bench_sgd_step,
     bench_retrieval,

@@ -7,7 +7,7 @@
 
 use sisg_bench::{env_u64, env_usize, results_dir};
 use sisg_corpus::vocab::TokenSpace;
-use sisg_corpus::{CorpusConfig, EnrichedCorpus, EnrichOptions, GeneratedCorpus};
+use sisg_corpus::{CorpusConfig, EnrichOptions, EnrichedCorpus, GeneratedCorpus};
 use sisg_distributed::partition::assign_all;
 use sisg_distributed::HbgpPartitioner;
 use sisg_eval::ExperimentTable;

@@ -33,11 +33,7 @@ fn main() {
         corpus.catalog.cardinalities(),
         corpus.users.n_user_types(),
     );
-    eprintln!(
-        "corpus: {} items, {} eval cases",
-        items,
-        split.eval.len()
-    );
+    eprintln!("corpus: {} items, {} eval cases", items, split.eval.len());
 
     let mut table = ExperimentTable::new(
         "Ablation — ATNS replica synchronization (4 workers, |Q|=128)",
@@ -60,8 +56,7 @@ fn main() {
             strategy: PartitionStrategy::Hbgp { beta: 1.2 },
             ..Default::default()
         };
-        let (store, report) =
-            train_distributed(&enriched, &split.train, &corpus.catalog, &cfg);
+        let (store, report) = train_distributed(&enriched, &split.train, &corpus.catalog, &cfg);
         let model = SisgModel::from_store(Variant::Sgns, space.clone(), store);
         let hr = evaluate_hit_rates(label, &model, &split.eval, &[10, 20]);
         table.push_row(vec![

@@ -23,7 +23,11 @@ fn main() {
     eprintln!("training SISG-F-U-D...");
     let (sisg, _) = SisgModel::train(&corpus, Variant::SisgFUD, &sgns);
     eprintln!("training well-tuned CF...");
-    let cf = CfModel::train(&corpus.sessions, corpus.config.n_items, &CfConfig::default());
+    let cf = CfModel::train(
+        &corpus.sessions,
+        corpus.config.n_items,
+        &CfConfig::default(),
+    );
 
     let sources = [
         CandidateSource {
@@ -57,14 +61,19 @@ fn main() {
                 }
             }
         }
-        eprintln!("corpus forward-transition share: {:.1}%", 100.0 * fwd as f64 / tot as f64);
+        eprintln!(
+            "corpus forward-transition share: {:.1}%",
+            100.0 * fwd as f64 / tot as f64
+        );
         let mut rng = StdRng::seed_from_u64(9);
         for (name, model) in [("SISG", &sisg as &dyn ItemRetriever), ("CF", &cf)] {
             let mut mean_p = 0.0;
             let mut backward = 0u32;
             let mut n = 0u32;
             for _ in 0..300 {
-                let s = corpus.sessions.session(rng.gen_range(0..corpus.sessions.len()));
+                let s = corpus
+                    .sessions
+                    .session(rng.gen_range(0..corpus.sessions.len()));
                 let pos = rng.gen_range(0..s.len());
                 let (user, ctx) = (s.user, s.items[pos]);
                 for c in model.retrieve(ctx, 10) {

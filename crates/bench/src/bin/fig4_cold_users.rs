@@ -20,7 +20,8 @@ fn main() {
     let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns);
 
     // The groups Figure 4 displays: gender × age × purchase power.
-    let groups: Vec<(String, Option<u8>, Option<u8>, Option<u8>)> = vec![
+    type Group = (String, Option<u8>, Option<u8>, Option<u8>);
+    let groups: Vec<Group> = vec![
         ("female 19-25 low-pp".into(), Some(0), Some(1), Some(0)),
         ("female 19-25 high-pp".into(), Some(0), Some(1), Some(2)),
         ("female 26-30 high-pp".into(), Some(0), Some(2), Some(2)),

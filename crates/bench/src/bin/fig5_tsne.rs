@@ -78,7 +78,10 @@ fn main() {
     table.push_row(vec!["gender (F vs M)".into(), format!("{sil_gender:.3}")]);
     table.push_row(vec!["age bucket".into(), format!("{sil_age:.3}")]);
     table.push_row(vec!["gender x age cell".into(), format!("{sil_cell:.3}")]);
-    table.push_row(vec!["shuffled labels (null)".into(), format!("{sil_null:.3}")]);
+    table.push_row(vec![
+        "shuffled labels (null)".into(),
+        format!("{sil_null:.3}"),
+    ]);
     table.push_row(vec![
         "kNN purity, gender (vs 0.5 prior)".into(),
         format!("{purity_gender:.3}"),
@@ -90,7 +93,11 @@ fn main() {
     print!("{}", table.render());
     println!(
         "\nclaim check: gender silhouette {} null baseline ({})",
-        if sil_gender > sil_null + 0.05 { "clearly above" } else { "NOT above" },
+        if sil_gender > sil_null + 0.05 {
+            "clearly above"
+        } else {
+            "NOT above"
+        },
         sil_null
     );
 
@@ -113,8 +120,11 @@ fn main() {
         })
         .collect();
     let path = results_dir().join("fig5_tsne_points.json");
-    std::fs::write(&path, serde_json::to_string_pretty(&dump).expect("serialize"))
-        .expect("write points");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&dump).expect("serialize"),
+    )
+    .expect("write points");
     let tpath = results_dir().join("fig5_tsne.json");
     table.write_json(&tpath).expect("write results");
     println!("wrote {} and {}", tpath.display(), path.display());

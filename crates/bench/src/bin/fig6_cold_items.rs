@@ -86,10 +86,7 @@ fn main() {
         "Figure 6 — trained-vector vs SI-sum (Eq. 6) retrieval",
         &["metric", "value"],
     );
-    table.push_row(vec![
-        "probes".into(),
-        probes.to_string(),
-    ]);
+    table.push_row(vec!["probes".into(), probes.to_string()]);
     table.push_row(vec![
         format!("mean top-{K} overlap (trained vs SI-sum)"),
         format!("{:.2}", overlap_sum as f64 / probes as f64),

@@ -92,7 +92,10 @@ fn main() {
             format!("{:.2}x", t1 / t),
             format!("{:.2}x", w as f64),
         ]);
-        eprintln!("w={w}: modeled {t:.2}s, remote fraction {:.3}", report.remote_fraction());
+        eprintln!(
+            "w={w}: modeled {t:.2}s, remote fraction {:.3}",
+            report.remote_fraction()
+        );
     }
     print!("{}", table.render());
     println!(

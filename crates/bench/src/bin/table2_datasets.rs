@@ -13,11 +13,7 @@ use sisg_eval::ExperimentTable;
 fn scales() -> Vec<u32> {
     std::env::var("SISG_TABLE2_SCALES")
         .ok()
-        .map(|s| {
-            s.split(',')
-                .filter_map(|x| x.trim().parse().ok())
-                .collect()
-        })
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
         .unwrap_or_else(|| vec![25_000, 100_000, 800_000])
 }
 

@@ -60,12 +60,7 @@ fn main() {
             t.elapsed().as_secs_f64(),
             report.stats.avg_loss
         );
-        results.push(evaluate_hit_rates(
-            variant.name(),
-            &model,
-            &split.eval,
-            &KS,
-        ));
+        results.push(evaluate_hit_rates(variant.name(), &model, &split.eval, &KS));
         // EGES goes right after SGNS, matching the table's row order.
         if variant == Variant::Sgns {
             let t = Instant::now();
@@ -109,12 +104,12 @@ fn main() {
     for r in &results {
         let gains = r.gain_over(&baseline);
         let mut row = vec![r.model.clone()];
-        for i in 0..KS.len() {
-            row.push(fmt4(r.hr[i]));
+        for (&hr, &gain) in r.hr.iter().zip(&gains) {
+            row.push(fmt4(hr));
             row.push(if r.model == "SGNS" {
                 "-".into()
             } else {
-                fmt_pct(gains[i])
+                fmt_pct(gain)
             });
         }
         table.push_row(row);

@@ -83,9 +83,8 @@ pub fn describe_item(corpus: &GeneratedCorpus, item: sisg_corpus::ItemId) -> Str
     use sisg_corpus::schema::{Gender, ItemFeature, AGE_BUCKETS};
     use sisg_corpus::ItemCatalog;
     let si = corpus.catalog.si_values(item);
-    let (g, a, p) = ItemCatalog::decode_demographics(
-        si[ItemFeature::AgeGenderPurchaseLevel.slot()],
-    );
+    let (g, a, p) =
+        ItemCatalog::decode_demographics(si[ItemFeature::AgeGenderPurchaseLevel.slot()]);
     format!(
         "item {} [leaf_category_{}, brand_{}, shop_{}, buyers {}/{}/p{}]",
         item.0,

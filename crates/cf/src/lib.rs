@@ -236,7 +236,11 @@ mod tests {
         let c = corpus(&sessions.iter().map(|s| s.as_slice()).collect::<Vec<_>>());
         let m = CfModel::train(&c, 10, &CfConfig::default());
         let top = m.similar(ItemId(0), 1)[0];
-        assert_eq!(top.item, ItemId(2), "damped CF must prefer the exclusive partner");
+        assert_eq!(
+            top.item,
+            ItemId(2),
+            "damped CF must prefer the exclusive partner"
+        );
     }
 
     #[test]
@@ -262,7 +266,10 @@ mod tests {
         let c = corpus(&sessions.iter().map(|s| s.as_slice()).collect::<Vec<_>>());
         // Use raw counts (damping = 0) so the cosine denominator does not
         // cancel the session weight for pairs seen in a single session.
-        let cfg = CfConfig { damping: 0.0, ..Default::default() };
+        let cfg = CfConfig {
+            damping: 0.0,
+            ..Default::default()
+        };
         let damped = CfModel::train(&c, 10, &cfg);
         let score = |m: &CfModel, a: u32, b: u32| {
             m.similar(ItemId(a), 10)
@@ -278,7 +285,11 @@ mod tests {
         let undamped = CfModel::train(
             &c,
             10,
-            &CfConfig { damping: 0.0, session_damping: false, ..Default::default() },
+            &CfConfig {
+                damping: 0.0,
+                session_damping: false,
+                ..Default::default()
+            },
         );
         assert!(
             (score(&undamped, 0, 1) - score(&undamped, 2, 3)).abs() < 1e-6,
@@ -289,11 +300,19 @@ mod tests {
     #[test]
     fn zero_damping_is_raw_counts() {
         let c = corpus(&[&[0, 1], &[0, 1], &[0, 2]]);
-        let cfg = CfConfig { damping: 0.0, session_damping: false, ..Default::default() };
+        let cfg = CfConfig {
+            damping: 0.0,
+            session_damping: false,
+            ..Default::default()
+        };
         let m = CfModel::train(&c, 3, &cfg);
         let top = m.similar(ItemId(0), 2);
         assert_eq!(top[0].item, ItemId(1));
-        assert!((top[0].score - 2.0).abs() < 1e-6, "raw count expected, got {}", top[0].score);
+        assert!(
+            (top[0].score - 2.0).abs() < 1e-6,
+            "raw count expected, got {}",
+            top[0].score
+        );
         assert!((top[1].score - 1.0).abs() < 1e-6);
     }
 
@@ -301,14 +320,20 @@ mod tests {
     fn coverage_metrics_track_training_data() {
         let c = corpus(&[&[0, 1, 2]]);
         let m = CfModel::train(&c, 6, &CfConfig::default());
-        assert!((m.cold_item_fraction() - 0.5).abs() < 1e-9, "3 of 6 items cold");
+        assert!(
+            (m.cold_item_fraction() - 0.5).abs() < 1e-9,
+            "3 of 6 items cold"
+        );
         assert!(m.mean_list_len() > 0.0);
     }
 
     #[test]
     fn window_one_only_adjacent() {
         let c = corpus(&[&[0, 1, 2]]);
-        let cfg = CfConfig { window: 1, ..Default::default() };
+        let cfg = CfConfig {
+            window: 1,
+            ..Default::default()
+        };
         let m = CfModel::train(&c, 3, &cfg);
         assert!(m.similar(ItemId(0), 10).iter().all(|s| s.item != ItemId(2)));
     }

@@ -76,10 +76,7 @@ impl From<W2vParseError> for ImportError {
 
 /// Reads one word2vec file into a matrix laid out by `space` (rows the file
 /// does not mention stay zero). Returns the matrix and its dimensionality.
-fn import_matrix<R: BufRead>(
-    space: &TokenSpace,
-    input: R,
-) -> Result<(Matrix, usize), ImportError> {
+fn import_matrix<R: BufRead>(space: &TokenSpace, input: R) -> Result<(Matrix, usize), ImportError> {
     let (names, parsed) = read_text(input)?;
     let dim = parsed.dim();
     let mut matrix = Matrix::zeros(space.len(), dim);
@@ -87,7 +84,9 @@ fn import_matrix<R: BufRead>(
         let token = space
             .parse(name)
             .ok_or_else(|| ImportError::UnknownToken(name.clone()))?;
-        matrix.row_mut(token.index()).copy_from_slice(parsed.row(row));
+        matrix
+            .row_mut(token.index())
+            .copy_from_slice(parsed.row(row));
     }
     Ok((matrix, dim))
 }
@@ -153,8 +152,16 @@ mod tests {
         )
         .unwrap();
         for q in [ItemId(0), ItemId(7), ItemId(100)] {
-            let a: Vec<u32> = model.similar_items(q, 10).iter().map(|n| n.token.0).collect();
-            let b: Vec<u32> = back.similar_items(q, 10).iter().map(|n| n.token.0).collect();
+            let a: Vec<u32> = model
+                .similar_items(q, 10)
+                .iter()
+                .map(|n| n.token.0)
+                .collect();
+            let b: Vec<u32> = back
+                .similar_items(q, 10)
+                .iter()
+                .map(|n| n.token.0)
+                .collect();
             assert_eq!(a, b, "retrieval diverges after roundtrip for {q:?}");
         }
     }

@@ -83,10 +83,15 @@ impl SisgModel {
         let mut config = sgns.clone();
         config.window_mode = variant.window_mode();
         // Enrichment interleaves SI tokens between items: with 8 SI per item,
-        // two *items* that are w clicks apart sit 9·w tokens apart. Scale the
-        // window so item-item co-occurrence reach matches the plain variant.
+        // two *items* that are w clicks apart sit 9·w raw tokens apart. But
+        // the trainer applies Mikolov subsampling *before* pair sampling,
+        // and the super-frequent SI tokens are exactly what it strips — so
+        // the relevant stride is the expected number of tokens per item in
+        // the *filtered* sequence, not the raw 9. Scaling by the raw stride
+        // overshoots item reach (~60% on the tiny corpus), which measurably
+        // dilutes the adjacency signal the directional variant encodes.
         if variant.uses_si() {
-            config.window = sgns.window * 9;
+            config.window = sgns.window * enriched_stride(&enriched, config.subsample);
         }
         let (store, stats) = train_with_freqs(&enriched, enriched.vocab().freqs(), &config);
 
@@ -203,6 +208,36 @@ impl SisgModel {
     pub fn token_input(&self, token: TokenId) -> &[f32] {
         self.store.input(token)
     }
+}
+
+/// Expected number of filtered-sequence tokens per surviving *item*
+/// occurrence — the window multiplier that makes item-item co-occurrence
+/// reach in an enriched corpus match a plain item-sequence window of the
+/// same nominal size.
+///
+/// Subsampling keeps each occurrence of token `t` with probability
+/// `keep(t)`, so the expected filtered length is `Σ_t keep(t)·freq(t)` and
+/// the expected surviving item count is the same sum restricted to item
+/// tokens. Their ratio is the mean distance (in filtered tokens) between
+/// consecutive items. With subsampling disabled this recovers the raw
+/// enriched stride (9 for full SI enrichment).
+fn enriched_stride(enriched: &EnrichedCorpus, subsample: f64) -> usize {
+    let freqs = enriched.vocab().freqs();
+    let table = sisg_sgns::SubsampleTable::new(freqs, subsample);
+    let n_items = enriched.space().n_items() as usize;
+    let mut surviving = 0.0f64;
+    let mut surviving_items = 0.0f64;
+    for (i, &c) in freqs.iter().enumerate() {
+        let s = f64::from(table.keep_prob(TokenId(i as u32))) * c as f64;
+        surviving += s;
+        if i < n_items {
+            surviving_items += s;
+        }
+    }
+    if surviving_items <= 0.0 {
+        return 1;
+    }
+    ((surviving / surviving_items).round() as usize).max(1)
 }
 
 #[cfg(test)]

@@ -140,7 +140,9 @@ mod tests {
     #[test]
     fn cold_user_path_works_end_to_end() {
         let r = recommender();
-        let recs = r.recommend_for_cold_user(Some(0), Some(1), None, 5).unwrap();
+        let recs = r
+            .recommend_for_cold_user(Some(0), Some(1), None, 5)
+            .unwrap();
         assert_eq!(recs.len(), 5);
     }
 

@@ -72,8 +72,8 @@ impl MatchingService {
         assert_eq!(item_clicks.len(), n_items, "click counts must cover items");
         let mut lists = Vec::with_capacity(n_items);
         let mut cold = Vec::with_capacity(n_items);
-        for i in 0..n_items {
-            let is_cold = item_clicks[i] < config.min_clicks_for_warm;
+        for (i, &clicks) in item_clicks.iter().enumerate() {
+            let is_cold = clicks < config.min_clicks_for_warm;
             cold.push(is_cold);
             if is_cold {
                 lists.push(Vec::new());
@@ -115,7 +115,9 @@ impl MatchingService {
             let list = &self.lists[item.index()];
             return list[..k.min(list.len())].to_vec();
         }
-        self.stats.cold_item_requests.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .cold_item_requests
+            .fetch_add(1, Ordering::Relaxed);
         cold_start::cold_item_recommendations(&self.model, si_values, k + 1)
             .into_iter()
             .map(|n| Recommendation {
@@ -135,7 +137,9 @@ impl MatchingService {
         purchase: Option<u8>,
         k: usize,
     ) -> Option<Vec<Recommendation>> {
-        self.stats.cold_user_requests.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .cold_user_requests
+            .fetch_add(1, Ordering::Relaxed);
         cold_start::cold_user_recommendations(&self.model, &self.users, gender, age, purchase, k)
             .map(|hits| {
                 hits.into_iter()

@@ -141,7 +141,12 @@ mod tests {
             assert_eq!(v.window_mode(), WindowMode::RightOnly);
             assert_eq!(v.similarity_mode(), SimilarityMode::InputOutput);
         }
-        for v in [Variant::Sgns, Variant::SisgF, Variant::SisgU, Variant::SisgFU] {
+        for v in [
+            Variant::Sgns,
+            Variant::SisgF,
+            Variant::SisgU,
+            Variant::SisgFU,
+        ] {
             assert_eq!(v.window_mode(), WindowMode::Symmetric);
             assert_eq!(v.similarity_mode(), SimilarityMode::CosineInput);
         }

@@ -179,7 +179,11 @@ impl ItemCatalog {
         let n_pl = PURCHASE_LEVELS as u32;
         let gender = cross / (n_age * n_pl);
         let rest = cross % (n_age * n_pl);
-        (gender as usize, (rest / n_pl) as usize, (rest % n_pl) as usize)
+        (
+            gender as usize,
+            (rest / n_pl) as usize,
+            (rest % n_pl) as usize,
+        )
     }
 
     /// Encodes `(gender index, age-bucket index, purchase level)` into the
@@ -291,7 +295,10 @@ mod tests {
             }
         }
         assert!(checked > 1000);
-        assert!(!c.is_forward(ItemId(0), ItemId(0)), "self transition is not forward");
+        assert!(
+            !c.is_forward(ItemId(0), ItemId(0)),
+            "self transition is not forward"
+        );
     }
 
     #[test]

@@ -268,10 +268,7 @@ mod tests {
         assert_eq!(seq[0], e.space().item(session.items[0]));
         let si = c.catalog.si_values(session.items[0]);
         for f in ItemFeature::ALL {
-            assert_eq!(
-                seq[1 + f.slot()],
-                e.space().side_info(f, si[f.slot()])
-            );
+            assert_eq!(seq[1 + f.slot()], e.space().side_info(f, si[f.slot()]));
         }
         // Last token is the user type.
         let ut = c.users.user_type(session.user);
@@ -284,10 +281,7 @@ mod tests {
         let e = EnrichedCorpus::build(&c, EnrichOptions::SI_ONLY);
         for seq in e.iter() {
             for &t in seq {
-                assert!(!matches!(
-                    e.space().kind(t),
-                    TokenKind::UserType(_)
-                ));
+                assert!(!matches!(e.space().kind(t), TokenKind::UserType(_)));
             }
         }
     }

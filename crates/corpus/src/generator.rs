@@ -232,9 +232,8 @@ impl Generator {
         let n_cells = 3 * crate::schema::AGE_BUCKETS.len();
         let cell_pools: Vec<Vec<LeafCategoryId>> = (0..n_cells)
             .map(|cell| {
-                let mut c_rng = StdRng::seed_from_u64(
-                    config.seed ^ (cell as u64).wrapping_mul(0xBEEF_CAFE),
-                );
+                let mut c_rng =
+                    StdRng::seed_from_u64(config.seed ^ (cell as u64).wrapping_mul(0xBEEF_CAFE));
                 let pool_size = 6.min(nonempty.len());
                 (0..pool_size)
                     .map(|_| nonempty[c_rng.gen_range(0..nonempty.len())])
@@ -294,10 +293,8 @@ impl Generator {
     /// Generates the full corpus.
     pub fn generate(self) -> GeneratedCorpus {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5E55_0000);
-        let total_clicks =
-            (self.config.n_sessions as f64 * self.config.mean_session_len) as usize;
-        let mut sessions =
-            Corpus::with_capacity(self.config.n_sessions as usize, total_clicks);
+        let total_clicks = (self.config.n_sessions as f64 * self.config.mean_session_len) as usize;
+        let mut sessions = Corpus::with_capacity(self.config.n_sessions as usize, total_clicks);
         let mut buf: Vec<ItemId> = Vec::with_capacity(self.config.max_session_len);
         for _ in 0..self.config.n_sessions {
             let user = UserId(rng.gen_range(0..self.config.n_users));
@@ -408,8 +405,8 @@ impl Generator {
             // (what a skip-gram window actually samples) on the *forward*
             // half-circle, so `ItemCatalog::is_forward` stays consistent
             // between 1-hop transitions and window-of-3 co-occurrences.
-            let delta = (self.catalog.stage(cand) - self.catalog.stage(current))
-                .rem_euclid(1.0) as f64;
+            let delta =
+                (self.catalog.stage(cand) - self.catalog.stage(current)).rem_euclid(1.0) as f64;
             let mut w = if delta > 0.0 && delta < 0.2 {
                 1.0
             } else if delta >= 0.8 {
@@ -431,8 +428,7 @@ impl Generator {
             // here would make per-try acceptance so small that the
             // try-budget fallback — which ignores direction — would dominate
             // and wash out the forward-stage asymmetry.
-            let w_max =
-                (1.0 + self.config.si_affinity * 2.0) * (1.0 + self.config.demo_affinity);
+            let w_max = (1.0 + self.config.si_affinity * 2.0) * (1.0 + self.config.demo_affinity);
             if rng.gen::<f64>() < (w / w_max).min(1.0) {
                 return cand;
             }

@@ -109,9 +109,7 @@ impl Gender {
 }
 
 /// Age buckets used in user-type strings (e.g. `19-25`).
-pub const AGE_BUCKETS: [&str; 7] = [
-    "0-18", "19-25", "26-30", "31-35", "36-45", "46-60", "61+",
-];
+pub const AGE_BUCKETS: [&str; 7] = ["0-18", "19-25", "26-30", "31-35", "36-45", "46-60", "61+"];
 
 /// Purchase-power levels, used in the `age_gender_purchase_level` item cross
 /// feature and in the cold-start case study of Figure 4.
@@ -191,10 +189,7 @@ mod tests {
 
     #[test]
     fn encoding_matches_paper_example() {
-        assert_eq!(
-            ItemFeature::LeafCategory.encode(1234),
-            "leaf_category_1234"
-        );
+        assert_eq!(ItemFeature::LeafCategory.encode(1234), "leaf_category_1234");
     }
 
     #[test]

@@ -93,7 +93,10 @@ mod tests {
 
     fn corpus() -> Corpus {
         let mut c = Corpus::new();
-        c.push(UserId(0), &[ItemId(1), ItemId(2), ItemId(3), ItemId(4), ItemId(5)]);
+        c.push(
+            UserId(0),
+            &[ItemId(1), ItemId(2), ItemId(3), ItemId(4), ItemId(5)],
+        );
         c.push(UserId(1), &[ItemId(7), ItemId(8)]); // too short to evaluate
         c
     }

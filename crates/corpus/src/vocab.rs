@@ -52,9 +52,7 @@ impl TokenSpace {
             si_offsets[feature.slot()] = cursor;
             let card = cards.cardinality(feature);
             si_cards[feature.slot()] = card;
-            cursor = cursor
-                .checked_add(card)
-                .expect("token space overflows u32");
+            cursor = cursor.checked_add(card).expect("token space overflows u32");
         }
         let user_type_offset = cursor;
         cursor = cursor
@@ -160,15 +158,10 @@ impl TokenSpace {
         let value: u32 = value.parse().ok()?;
         match name {
             "item" => (value < self.n_items).then(|| self.item(ItemId(value))),
-            "user_type" => {
-                (value < self.n_user_types).then(|| self.user_type(UserTypeId(value)))
-            }
+            "user_type" => (value < self.n_user_types).then(|| self.user_type(UserTypeId(value))),
             _ => {
-                let feature = ItemFeature::ALL
-                    .into_iter()
-                    .find(|f| f.name() == name)?;
-                (value < self.si_cards[feature.slot()])
-                    .then(|| self.side_info(feature, value))
+                let feature = ItemFeature::ALL.into_iter().find(|f| f.name() == name)?;
+                (value < self.si_cards[feature.slot()]).then(|| self.side_info(feature, value))
             }
         }
     }

@@ -13,7 +13,9 @@ use rand::Rng;
 /// Returns unnormalized weights; feed them to [`CumulativeSampler`] or
 /// normalize as needed.
 pub fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
-    (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect()
+    (0..n)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(exponent))
+        .collect()
 }
 
 /// Exact categorical sampler over fixed weights, via a cumulative table and
@@ -64,7 +66,9 @@ impl CumulativeSampler {
         let u: f64 = rng.gen::<f64>() * self.total;
         // partition_point returns the first index whose cumulative weight
         // exceeds u, i.e. the category whose interval contains u.
-        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
     }
 }
 

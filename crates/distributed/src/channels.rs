@@ -93,9 +93,9 @@ impl Shard {
     fn new(partition: &PartitionMap, me: usize, dim: usize, seed: u64) -> Self {
         let mut local_index = vec![u32::MAX; partition.len()];
         let mut count = 0u32;
-        for t in 0..partition.len() {
+        for (t, slot) in local_index.iter_mut().enumerate() {
             if partition.owner(TokenId(t as u32)) == me {
-                local_index[t] = count;
+                *slot = count;
                 count += 1;
             }
         }
@@ -208,8 +208,8 @@ pub fn train_distributed_channels(
     let mut shards: Vec<Option<(Shard, ChannelReport)>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(w);
-        for me in 0..w {
-            let rx = receivers[me].clone();
+        for (me, receiver) in receivers.iter().enumerate() {
+            let rx = receiver.clone();
             let senders = senders.clone();
             let partition = &partition;
             let noise_tables = &noise_tables;
@@ -352,14 +352,8 @@ fn worker(env: WorkerEnv<'_>) -> (Shard, ChannelReport) {
                         negatives.push(env.noise_tables[env.me].sample(&mut rng));
                     }
                     let input: Vec<f32> = shard.input.row(shard.row(target)).to_vec();
-                    let grad = tns_remote_step(
-                        &mut shard,
-                        &input,
-                        context,
-                        &negatives,
-                        lr,
-                        env.sigmoid,
-                    );
+                    let grad =
+                        tns_remote_step(&mut shard, &input, context, &negatives, lr, env.sigmoid);
                     let v = shard.input.row_mut(shard.row(target));
                     for d in 0..v.len() {
                         v[d] += grad[d];
@@ -386,8 +380,8 @@ fn worker(env: WorkerEnv<'_>) -> (Shard, ChannelReport) {
                         {
                             debug_assert_eq!(resp.target, target);
                             let v = shard.input.row_mut(shard.row(target));
-                            for d in 0..v.len() {
-                                v[d] += resp.grad[d];
+                            for (slot, &g) in v.iter_mut().zip(&resp.grad) {
+                                *slot += g;
                             }
                             break;
                         }
@@ -460,8 +454,7 @@ mod tests {
             strategy: PartitionStrategy::Hash, // maximal cross-worker traffic
             ..config(4)
         };
-        let (_, report) =
-            train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &cfg);
+        let (_, report) = train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &cfg);
         assert!(report.remote_pairs > 1_000, "hash partition must go remote");
         // Every remote pair = one request + one response message.
         assert_eq!(report.messages, report.remote_pairs * 2);
@@ -475,16 +468,14 @@ mod tests {
         let enriched = EnrichedCorpus::build(&gen, EnrichOptions::NONE);
         let mut cfg = config(4);
         cfg.epochs = 2;
-        let (store, _) =
-            train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &cfg);
+        let (store, _) = train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &cfg);
         let mut within = 0.0f64;
         let mut cross = 0.0f64;
         let (mut wn, mut cn) = (0u32, 0u32);
         for a in 0..120u32 {
             for b in (a + 1)..120u32 {
                 let s = cosine(store.input(TokenId(a)), store.input(TokenId(b))) as f64;
-                if gen.catalog.leaf_category(ItemId(a)) == gen.catalog.leaf_category(ItemId(b))
-                {
+                if gen.catalog.leaf_category(ItemId(a)) == gen.catalog.leaf_category(ItemId(b)) {
                     within += s;
                     wn += 1;
                 } else {

@@ -190,7 +190,7 @@ pub fn partition_categories(
         *r = find(&mut parent, *r);
     }
     let mut unique_roots: Vec<u32> = {
-        let mut v: Vec<u32> = roots.iter().copied().collect();
+        let mut v: Vec<u32> = roots.to_vec();
         v.sort_unstable();
         v.dedup();
         v
@@ -362,7 +362,14 @@ mod tests {
             workers,
             1,
         );
-        let hash = assign_all(&HashPartitioner, &gen.sessions, &gen.catalog, &space, workers, 1);
+        let hash = assign_all(
+            &HashPartitioner,
+            &gen.sessions,
+            &gen.catalog,
+            &space,
+            workers,
+            1,
+        );
         let cut_hbgp = hbgp.cut_fraction(&gen.sessions);
         let cut_hash = hash.cut_fraction(&gen.sessions);
         assert!(
@@ -412,11 +419,6 @@ mod tests {
         let mut c = Corpus::new();
         c.push(UserId(0), &[ItemId(0), ItemId(1)]);
         let gen = corpus();
-        let _ = partition_categories(
-            &CategoryGraph::build(&c, &gen.catalog),
-            8,
-            1.2,
-            1.25,
-        );
+        let _ = partition_categories(&CategoryGraph::build(&c, &gen.catalog), 8, 1.2, 1.25);
     }
 }

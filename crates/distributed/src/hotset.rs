@@ -8,6 +8,7 @@
 
 use sisg_corpus::vocab::Vocab;
 use sisg_corpus::TokenId;
+use sisg_embedding::matrix::RowPtr;
 use sisg_embedding::Matrix;
 
 /// The shared hot set: a dense membership/slot index over the token space.
@@ -110,11 +111,7 @@ pub struct ReplicaSet {
 
 impl ReplicaSet {
     /// Initializes every worker's replicas from the canonical store rows.
-    pub fn init(
-        store: &sisg_embedding::EmbeddingStore,
-        hot: &HotSet,
-        workers: usize,
-    ) -> Self {
+    pub fn init(store: &sisg_embedding::EmbeddingStore, hot: &HotSet, workers: usize) -> Self {
         let dim = store.dim();
         let snapshot = |src: &Matrix| -> Matrix {
             let mut m = Matrix::zeros(hot.len(), dim);
@@ -123,9 +120,7 @@ impl ReplicaSet {
             }
             m
         };
-        let make = |src: &Matrix| -> Vec<Matrix> {
-            (0..workers).map(|_| snapshot(src)).collect()
-        };
+        let make = |src: &Matrix| -> Vec<Matrix> { (0..workers).map(|_| snapshot(src)).collect() };
         Self {
             input: make(store.input_matrix()),
             output: make(store.output_matrix()),
@@ -135,25 +130,20 @@ impl ReplicaSet {
         }
     }
 
-    /// Worker `w`'s replica of the *input* vector in `slot`.
-    ///
-    /// # Safety
-    /// Hogwild contract of [`Matrix::row_mut_shared`]; additionally each
-    /// worker must only touch its own replica index.
-    #[allow(clippy::mut_from_ref)]
+    /// Worker `w`'s replica of the *input* vector in `slot`, as a sound
+    /// shared Hogwild view ([`RowPtr`]). Workers conventionally touch only
+    /// their own replica index; violating that loses updates but cannot
+    /// corrupt memory.
     #[inline]
-    pub unsafe fn input_row(&self, worker: usize, slot: usize) -> &mut [f32] {
-        self.input[worker].row_mut_shared(slot)
+    pub fn input_row(&self, worker: usize, slot: usize) -> RowPtr<'_> {
+        self.input[worker].row_ptr(slot)
     }
 
-    /// Worker `w`'s replica of the *output* vector in `slot`.
-    ///
-    /// # Safety
-    /// Same contract as [`Self::input_row`].
-    #[allow(clippy::mut_from_ref)]
+    /// Worker `w`'s replica of the *output* vector in `slot` — same
+    /// contract as [`Self::input_row`].
     #[inline]
-    pub unsafe fn output_row(&self, worker: usize, slot: usize) -> &mut [f32] {
-        self.output[worker].row_mut_shared(slot)
+    pub fn output_row(&self, worker: usize, slot: usize) -> RowPtr<'_> {
+        self.output[worker].row_ptr(slot)
     }
 
     /// Reconciles all replicas slot-wise under `mode`, writing the result
@@ -193,20 +183,20 @@ impl ReplicaSet {
                     SyncMode::DeltaSum => {
                         acc.copy_from_slice(base.row(slot));
                         for m in matrices.iter() {
-                            for ((a, &v), &b) in
-                                acc.iter_mut().zip(m.row(slot)).zip(base.row(slot))
+                            for ((a, &v), &b) in acc.iter_mut().zip(m.row(slot)).zip(base.row(slot))
                             {
                                 *a += v - b;
                             }
                         }
                     }
                 }
+                // Callers guarantee quiescence at a barrier; the relaxed
+                // atomic stores are sound even if they don't.
                 for m in matrices.iter() {
-                    // SAFETY: callers guarantee quiescence at a barrier.
-                    unsafe { m.row_mut_shared(slot) }.copy_from_slice(&acc);
+                    m.row_ptr(slot).store_from(&acc);
                 }
-                unsafe { canonical.row_mut_shared(t.index()) }.copy_from_slice(&acc);
-                unsafe { base.row_mut_shared(slot) }.copy_from_slice(&acc);
+                canonical.row_ptr(t.index()).store_from(&acc);
+                base.row_ptr(slot).store_from(&acc);
             }
         }
         // All-reduce cost: every worker sends and receives its |Q|×dim×2
@@ -262,20 +252,106 @@ mod tests {
         let store = EmbeddingStore::new(v.len(), 4, 9);
         let replicas = ReplicaSet::init(&store, &hot, 3);
         // Diverge worker replicas.
-        unsafe {
-            replicas.input_row(0, 0).fill(1.0);
-            replicas.input_row(1, 0).fill(2.0);
-            replicas.input_row(2, 0).fill(3.0);
-        }
+        replicas.input_row(0, 0).store_from(&[1.0; 4]);
+        replicas.input_row(1, 0).store_from(&[2.0; 4]);
+        replicas.input_row(2, 0).store_from(&[3.0; 4]);
         let bytes = replicas.synchronize(&store, &hot, SyncMode::Average);
         assert!(bytes > 0);
         let expected = [2.0f32; 4];
-        unsafe {
-            assert_eq!(replicas.input_row(0, 0), &expected);
-            assert_eq!(replicas.input_row(2, 0), &expected);
-        }
+        let mut got = [0.0f32; 4];
+        replicas.input_row(0, 0).load_into(&mut got);
+        assert_eq!(got, expected);
+        replicas.input_row(2, 0).load_into(&mut got);
+        assert_eq!(got, expected);
         // Canonical row of the hottest token also holds the average.
         assert_eq!(store.input(hot.tokens()[0]), &expected);
+    }
+
+    /// Sequential reference for one slot's reconciliation, mirroring the
+    /// documented op order of [`ReplicaSet::synchronize`]: Average sums
+    /// worker rows in worker order then multiplies by `1/w`; DeltaSum
+    /// starts from the base row and adds per-worker deltas in worker order.
+    fn reference_sync(rows: &[Vec<f32>], base: &[f32], mode: SyncMode) -> Vec<f32> {
+        match mode {
+            SyncMode::Average => {
+                let mut acc = vec![0.0f32; base.len()];
+                for row in rows {
+                    for (a, &v) in acc.iter_mut().zip(row) {
+                        *a += v;
+                    }
+                }
+                let inv = 1.0 / rows.len() as f32;
+                for a in acc.iter_mut() {
+                    *a *= inv;
+                }
+                acc
+            }
+            SyncMode::DeltaSum => {
+                let mut acc = base.to_vec();
+                for row in rows {
+                    for ((a, &v), &b) in acc.iter_mut().zip(row).zip(base) {
+                        *a += v - b;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    #[test]
+    fn synchronize_is_bit_identical_to_sequential_reference() {
+        // Values chosen so that float op *order* matters: the sums are
+        // inexact, so any reordering inside `synchronize` would change
+        // low-order bits and fail the `to_bits` comparison below.
+        for mode in [SyncMode::Average, SyncMode::DeltaSum] {
+            let v = vocab();
+            let hot = HotSet::top_k(&v, 2);
+            let store = EmbeddingStore::new(v.len(), 4, 9);
+            let replicas = ReplicaSet::init(&store, &hot, 3);
+
+            let mut worker_rows: Vec<Vec<Vec<f32>>> = Vec::new();
+            let mut bases: Vec<Vec<f32>> = Vec::new();
+            for slot in 0..hot.len() {
+                let mut base = [0.0f32; 4];
+                replicas.input_row(0, slot).load_into(&mut base);
+                bases.push(base.to_vec());
+                let mut rows = Vec::new();
+                for w in 0..3 {
+                    // Perturb each replica with values whose sums are
+                    // inexact in f32.
+                    let row: Vec<f32> = (0..4)
+                        .map(|d| {
+                            base[d] + 0.1 + 0.3 * w as f32 + 0.7 * slot as f32 + 0.013 * d as f32
+                        })
+                        .collect();
+                    replicas.input_row(w, slot).store_from(&row);
+                    rows.push(row);
+                }
+                worker_rows.push(rows);
+            }
+
+            replicas.synchronize(&store, &hot, mode);
+
+            for (slot, rows) in worker_rows.iter().enumerate() {
+                let expected = reference_sync(rows, &bases[slot], mode);
+                let mut got = [0.0f32; 4];
+                for w in 0..3 {
+                    replicas.input_row(w, slot).load_into(&mut got);
+                    for (g, e) in got.iter().zip(&expected) {
+                        assert_eq!(
+                            g.to_bits(),
+                            e.to_bits(),
+                            "{mode:?} slot {slot} worker {w}: {g} != {e}"
+                        );
+                    }
+                }
+                // The canonical store row must hold the same bits too.
+                let canonical = store.input(hot.tokens()[slot]);
+                for (g, e) in canonical.iter().zip(&expected) {
+                    assert_eq!(g.to_bits(), e.to_bits(), "{mode:?} canonical slot {slot}");
+                }
+            }
+        }
     }
 
     #[test]

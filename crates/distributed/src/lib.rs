@@ -36,6 +36,6 @@ pub use channels::{train_distributed_channels, ChannelReport};
 pub use hbgp::HbgpPartitioner;
 pub use hotset::{HotSet, SyncMode};
 pub use partition::{HashPartitioner, PartitionMap, Partitioner};
-pub use report::{ClusterCostModel, DistReport};
 pub use pipeline::{PipelinePreflight, TrainingPipeline};
+pub use report::{ClusterCostModel, DistReport};
 pub use runtime::{train_distributed, DistConfig};

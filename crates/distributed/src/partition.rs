@@ -144,7 +144,9 @@ impl Partitioner for HashPartitioner {
         n_items: u32,
         workers: usize,
     ) -> Vec<u16> {
-        (0..n_items).map(|i| (i as usize % workers) as u16).collect()
+        (0..n_items)
+            .map(|i| (i as usize % workers) as u16)
+            .collect()
     }
 
     fn name(&self) -> &'static str {

@@ -104,12 +104,7 @@ impl DistReport {
     ///
     /// with `s_pair` calibrated from a measured single-worker run.
     pub fn modeled_seconds(&self, model: &ClusterCostModel) -> f64 {
-        let max_pairs = self
-            .pairs_per_worker
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0) as f64;
+        let max_pairs = self.pairs_per_worker.iter().copied().max().unwrap_or(0) as f64;
         let per_worker_bytes =
             self.pair_comm_bytes as f64 / self.workers.max(1) as f64 + self.sync_comm_bytes as f64;
         max_pairs * model.seconds_per_pair

@@ -28,7 +28,7 @@ use crate::report::DistReport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sisg_corpus::{Corpus, EnrichedCorpus, ItemCatalog, TokenId};
-use sisg_embedding::math::dot;
+use sisg_embedding::matrix::RowPtr;
 use sisg_embedding::EmbeddingStore;
 use sisg_sgns::sigmoid::SigmoidTable;
 use sisg_sgns::{NoiseTable, PairSampler, SubsampleTable, WindowMode};
@@ -359,8 +359,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
                     let done = progress.fetch_add(1, Ordering::Relaxed);
                     let frac = (done as f64 / schedule_pairs.max(1) as f64).min(1.0);
                     let lr = (config.learning_rate as f64 * (1.0 - frac))
-                        .max(config.min_learning_rate as f64)
-                        as f32;
+                        .max(config.min_learning_rate as f64) as f32;
 
                     // The TNS call happens on the context's owner; local when
                     // the context is hot (every worker holds a replica).
@@ -371,8 +370,8 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
                         (owner, owner != me)
                     };
                     counters.pairs += 1;
-                    let both_items = enriched.space().is_item(target)
-                        && enriched.space().is_item(context);
+                    let both_items =
+                        enriched.space().is_item(target) && enriched.space().is_item(context);
                     if both_items {
                         counters.item_pairs += 1;
                     }
@@ -396,13 +395,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
                     }
 
                     tns_step(
-                        &resolver,
-                        target,
-                        context,
-                        &negatives,
-                        lr,
-                        sigmoid,
-                        &mut grad,
+                        &resolver, target, context, &negatives, lr, sigmoid, &mut grad,
                     );
                 }
             }
@@ -429,24 +422,23 @@ struct RowResolver<'a> {
 }
 
 impl RowResolver<'_> {
-    // SAFETY (both methods): Hogwild contract of `Matrix::row_mut_shared`;
-    // rows are in bounds because TokenIds come from the enriched corpus the
-    // matrices were sized for, and replica slots come from `hot`.
-    #[allow(clippy::mut_from_ref)]
+    // Both methods return sound shared Hogwild views (relaxed atomic
+    // accessors); rows are in bounds because TokenIds come from the
+    // enriched corpus the matrices were sized for, and replica slots come
+    // from `hot` (row_ptr asserts either way).
     #[inline]
-    fn input(&self, token: TokenId) -> &mut [f32] {
+    fn input(&self, token: TokenId) -> RowPtr<'_> {
         match self.hot.slot(token) {
-            Some(slot) => unsafe { self.replicas.input_row(self.me, slot) },
-            None => unsafe { self.store.input_matrix().row_mut_shared(token.index()) },
+            Some(slot) => self.replicas.input_row(self.me, slot),
+            None => self.store.input_matrix().row_ptr(token.index()),
         }
     }
 
-    #[allow(clippy::mut_from_ref)]
     #[inline]
-    fn output(&self, token: TokenId) -> &mut [f32] {
+    fn output(&self, token: TokenId) -> RowPtr<'_> {
         match self.hot.slot(token) {
-            Some(slot) => unsafe { self.replicas.output_row(self.me, slot) },
-            None => unsafe { self.store.output_matrix().row_mut_shared(token.index()) },
+            Some(slot) => self.replicas.output_row(self.me, slot),
+            None => self.store.output_matrix().row_ptr(token.index()),
         }
     }
 }
@@ -466,21 +458,21 @@ fn tns_step(
     grad.fill(0.0);
     let mut step = |token: TokenId, label: f32| {
         let vp = resolver.output(token);
-        let f = dot(v, vp);
+        let f = v.dot(&vp);
         let g = (label - sigmoid.sigmoid(f)) * lr;
-        for d in 0..grad.len() {
-            grad[d] += g * vp[d];
+        for (d, slot) in grad.iter_mut().enumerate() {
+            *slot += g * vp.get(d);
         }
         for d in 0..vp.len() {
-            vp[d] += g * v[d];
+            vp.add(d, g * v.get(d));
         }
     };
     step(context, 1.0);
     for &neg in negatives {
         step(neg, 0.0);
     }
-    for d in 0..v.len() {
-        v[d] += grad[d];
+    for (d, &delta) in grad.iter().enumerate() {
+        v.add(d, delta);
     }
 }
 
@@ -535,10 +527,7 @@ mod tests {
         // Subsampling RNG differs per worker, so totals differ slightly —
         // but they must agree within a tolerance.
         let (a, b) = (one.total_pairs() as f64, four.total_pairs() as f64);
-        assert!(
-            (a - b).abs() / a < 0.15,
-            "pair totals diverge: {a} vs {b}"
-        );
+        assert!((a - b).abs() / a < 0.15, "pair totals diverge: {a} vs {b}");
     }
 
     #[test]
@@ -597,8 +586,7 @@ mod tests {
         for a in 0..120u32 {
             for b in (a + 1)..120u32 {
                 let s = cosine(store.input(TokenId(a)), store.input(TokenId(b))) as f64;
-                if gen.catalog.leaf_category(ItemId(a)) == gen.catalog.leaf_category(ItemId(b))
-                {
+                if gen.catalog.leaf_category(ItemId(a)) == gen.catalog.leaf_category(ItemId(b)) {
                     within += s;
                     wn += 1;
                 } else {

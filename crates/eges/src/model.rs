@@ -21,7 +21,7 @@ use rand::SeedableRng;
 use sisg_corpus::schema::ItemFeature;
 use sisg_corpus::vocab::TokenSpace;
 use sisg_corpus::{GeneratedCorpus, ItemId, TokenId};
-use sisg_embedding::math::{cosine, dot};
+use sisg_embedding::math::cosine;
 use sisg_embedding::{retrieve_top_k, Matrix, Neighbor};
 use sisg_sgns::sigmoid::SigmoidTable;
 use sisg_sgns::{NoiseTable, PairSampler, WindowMode};
@@ -140,8 +140,7 @@ impl EgesModel {
                     processed += walk.len() as u64;
                     let frac = (processed as f64 / schedule as f64).min(1.0);
                     let lr = (config.learning_rate as f64 * (1.0 - frac))
-                        .max(config.min_learning_rate as f64)
-                        as f32;
+                        .max(config.min_learning_rate as f64) as f32;
                     sampler.pairs_into(walk, &mut rng, &mut pair_buf);
                     for &(target, context) in &pair_buf {
                         negatives.clear();
@@ -310,16 +309,14 @@ fn train_eges_pair(
     grad_h.fill(0.0);
 
     let mut step = |ctx: ItemId, label: f32| {
-        // SAFETY: single-threaded trainer; rows are in bounds.
-        let z = unsafe { output.row_mut_shared(ctx.index()) };
-        let f = dot(h, z);
+        // Rows are in bounds (row_ptr asserts); relaxed atomic accesses
+        // keep this kernel valid under the shared Hogwild model even
+        // though this trainer currently runs single-threaded.
+        let z = output.row_ptr(ctx.index());
+        let f = z.dot_slice(h);
         let g = (label - sigmoid.sigmoid(f)) * lr;
-        for d in 0..dim {
-            grad_h[d] += g * z[d];
-        }
-        for d in 0..dim {
-            z[d] += g * h[d];
-        }
+        z.accumulate_scaled(g, grad_h);
+        z.axpy_slice(g, h);
     };
     step(context, 1.0);
     for &neg in negatives {
@@ -330,17 +327,15 @@ fn train_eges_pair(
     // gradients use the *pre-update* channel embeddings.
     let mut d = [0.0f32; CHANNELS];
     for s in 0..CHANNELS {
-        d[s] = dot(input.row(tokens[s].index()), grad_h);
+        d[s] = input.row_ptr(tokens[s].index()).dot_slice(grad_h);
     }
     let mean: f32 = (0..CHANNELS).map(|s| alpha[s] * d[s]).sum();
+    let a = attention.row_ptr(target.index());
     for s in 0..CHANNELS {
-        // SAFETY: single-threaded trainer; rows are in bounds.
-        let e = unsafe { input.row_mut_shared(tokens[s].index()) };
-        for k in 0..dim {
-            e[k] += alpha[s] * grad_h[k];
-        }
-        let a = unsafe { attention.row_mut_shared(target.index()) };
-        a[s] += alpha[s] * (d[s] - mean);
+        input
+            .row_ptr(tokens[s].index())
+            .axpy_slice(alpha[s], grad_h);
+        a.add(s, alpha[s] * (d[s] - mean));
     }
 }
 
@@ -438,7 +433,11 @@ mod tests {
         let config = EgesConfig {
             dim: 8,
             epochs: 0,
-            walk: WalkConfig { walks_per_node: 1, walk_length: 2, seed: 1 },
+            walk: WalkConfig {
+                walks_per_node: 1,
+                walk_length: 2,
+                seed: 1,
+            },
             ..Default::default()
         };
         let model = EgesModel::train(&corpus, &config);
@@ -472,9 +471,7 @@ mod tests {
         let sim_self = sisg_embedding::math::cosine(&cold, model.embedding(ItemId(3)));
         let other = (0..corpus.config.n_items)
             .map(ItemId)
-            .find(|&i| {
-                corpus.catalog.leaf_category(i) != corpus.catalog.leaf_category(ItemId(3))
-            })
+            .find(|&i| corpus.catalog.leaf_category(i) != corpus.catalog.leaf_category(ItemId(3)))
             .unwrap();
         let sim_other = sisg_embedding::math::cosine(&cold, model.embedding(other));
         assert!(

@@ -85,10 +85,7 @@ mod tests {
 
     fn line_graph() -> ItemGraph {
         let mut c = Corpus::new();
-        c.push(
-            UserId(0),
-            &[ItemId(0), ItemId(1), ItemId(2), ItemId(3)],
-        );
+        c.push(UserId(0), &[ItemId(0), ItemId(1), ItemId(2), ItemId(3)]);
         ItemGraph::from_corpus(&c, 4)
     }
 

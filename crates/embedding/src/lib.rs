@@ -9,11 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod codec;
-pub mod word2vec;
 pub mod math;
 pub mod matrix;
 pub mod store;
 pub mod topk;
+pub mod word2vec;
 
 pub use matrix::Matrix;
 pub use store::EmbeddingStore;

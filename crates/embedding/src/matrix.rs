@@ -1,35 +1,219 @@
-//! A flat row-major `f32` matrix with Hogwild-style shared mutation.
+//! A flat row-major `f32` matrix with *sound* Hogwild-style shared mutation.
 //!
-//! Embedding matrices are stored as one contiguous allocation; row `i` is
-//! the embedding of token `i`. Parallel SGNS training follows the Hogwild
-//! recipe (lock-free, racy-but-benign updates, as in the original word2vec
-//! code): [`Matrix::row_mut_shared`] hands out overlapping mutable views
-//! across threads. The race is bounded — concurrent `+=` on `f32` rows may
-//! lose individual updates but cannot corrupt memory or produce values not
-//! written by some thread.
+//! Embedding matrices are stored as one contiguous allocation of
+//! [`AtomicU32`] cells holding `f32` bit patterns; row `i` is the embedding
+//! of token `i`. Parallel SGNS training follows the Hogwild recipe
+//! (lock-free, racy-but-benign updates, as in the original word2vec code),
+//! exposed through [`Matrix::row_ptr`] / [`RowPtr`].
+//!
+//! # Soundness contract
+//!
+//! The previous design handed out aliasing `&mut [f32]` slices across
+//! threads — a data race and therefore undefined behavior under Rust's
+//! memory model, however benign it looks in practice. This design never
+//! materializes an aliased `&mut`:
+//!
+//! - Concurrent access goes through [`RowPtr`], whose accessors are
+//!   `Relaxed` per-element atomic loads/stores of the `f32` bit pattern.
+//!   On every mainstream ISA these compile to the same plain 32-bit moves
+//!   the unsound version emitted, so the Hogwild inner loop costs the same
+//!   — but each individual read/write is now a *defined* atomic access.
+//!   Racing threads may still interleave read-modify-write sequences and
+//!   lose updates (that is the Hogwild trade), yet every value observed is
+//!   one some thread actually wrote: no tearing, no UB.
+//! - [`Matrix::row`] / [`Matrix::as_slice`] return plain `&[f32]` views
+//!   for the quiescent phases (initialization, evaluation, serialization,
+//!   between-epoch barriers). Their contract is that no thread is
+//!   concurrently writing; this is a *logical* requirement for fresh
+//!   values, not a soundness precondition of the caller — the unsafe cast
+//!   below is justified by layout compatibility alone.
+//! - [`Matrix::row_mut`] requires `&mut self` and is therefore
+//!   race-free by construction.
+//!
+//! `Matrix` is `Send + Sync` automatically (atomics are `Sync`); the old
+//! blanket `unsafe impl` is gone.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
 
-/// A dense `rows × dim` matrix of `f32`.
+/// A dense `rows × dim` matrix of `f32`, stored as atomic bit cells so
+/// that Hogwild updates are defined behavior.
 pub struct Matrix {
-    data: UnsafeCell<Vec<f32>>,
+    data: Box<[AtomicU32]>,
     rows: usize,
     dim: usize,
 }
 
-// SAFETY: concurrent access is only exposed through `row_shared` /
-// `row_mut_shared`, whose contract documents the Hogwild data-race model;
-// all other accessors require `&mut self` or return shared `&[f32]`.
-unsafe impl Sync for Matrix {}
-unsafe impl Send for Matrix {}
+/// A shared, lock-free view of one matrix row — the Hogwild entry point.
+///
+/// Copyable and cheap; obtained from [`Matrix::row_ptr`]. All accessors
+/// use `Relaxed` per-element atomic operations, so concurrent use from
+/// many threads is sound. [`RowPtr::add`] is a non-atomic
+/// read-modify-write *sequence* (load, add, store): concurrent adds to
+/// the same cell may lose one of the updates, which is exactly the
+/// approximation Hogwild SGD tolerates.
+#[derive(Clone, Copy)]
+pub struct RowPtr<'a> {
+    cells: &'a [AtomicU32],
+}
+
+impl<'a> RowPtr<'a> {
+    /// Number of elements in the row.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the row has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads element `d` (relaxed atomic load).
+    ///
+    /// # Panics
+    /// Panics when `d >= len()`.
+    #[inline]
+    pub fn get(&self, d: usize) -> f32 {
+        f32::from_bits(self.cells[d].load(Ordering::Relaxed))
+    }
+
+    /// Writes element `d` (relaxed atomic store).
+    ///
+    /// # Panics
+    /// Panics when `d >= len()`.
+    #[inline]
+    pub fn set(&self, d: usize, v: f32) {
+        self.cells[d].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` to element `d` as a load/add/store sequence.
+    ///
+    /// Not an atomic fetch-add: a concurrent update between the load and
+    /// the store is overwritten (a lost update, permitted by Hogwild).
+    #[inline]
+    pub fn add(&self, d: usize, delta: f32) {
+        self.set(d, self.get(d) + delta);
+    }
+
+    /// Copies the row into `dst`.
+    ///
+    /// # Panics
+    /// Panics when `dst.len() != len()`.
+    #[inline]
+    pub fn load_into(&self, dst: &mut [f32]) {
+        assert_eq!(dst.len(), self.cells.len(), "length mismatch");
+        for (out, cell) in dst.iter_mut().zip(self.cells) {
+            *out = f32::from_bits(cell.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Overwrites the row from `src`.
+    ///
+    /// # Panics
+    /// Panics when `src.len() != len()`.
+    #[inline]
+    pub fn store_from(&self, src: &[f32]) {
+        assert_eq!(src.len(), self.cells.len(), "length mismatch");
+        for (cell, &v) in self.cells.iter().zip(src) {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Dot product of two rows via relaxed loads.
+    ///
+    /// # Panics
+    /// Panics when the rows differ in length.
+    #[inline]
+    pub fn dot(&self, other: &RowPtr<'_>) -> f32 {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let mut acc = 0.0f32;
+        for (a, b) in self.cells.iter().zip(other.cells) {
+            acc += f32::from_bits(a.load(Ordering::Relaxed))
+                * f32::from_bits(b.load(Ordering::Relaxed));
+        }
+        acc
+    }
+
+    /// Dot product of the row with a plain slice via relaxed loads.
+    ///
+    /// # Panics
+    /// Panics when `xs.len() != len()`.
+    #[inline]
+    pub fn dot_slice(&self, xs: &[f32]) -> f32 {
+        assert_eq!(self.len(), xs.len(), "length mismatch");
+        let mut acc = 0.0f32;
+        for (cell, &x) in self.cells.iter().zip(xs) {
+            acc += f32::from_bits(cell.load(Ordering::Relaxed)) * x;
+        }
+        acc
+    }
+
+    /// `self += a · x` over a whole row — the batched form of [`RowPtr::add`]
+    /// used by the SGD inner loop. One length check instead of a bounds
+    /// check per element; each element update is still an independent
+    /// relaxed load/add/store (lost updates possible, tearing not).
+    ///
+    /// # Panics
+    /// Panics when the rows differ in length.
+    #[inline]
+    pub fn axpy_row(&self, a: f32, x: &RowPtr<'_>) {
+        assert_eq!(self.len(), x.len(), "length mismatch");
+        for (cell, xc) in self.cells.iter().zip(x.cells) {
+            let v = f32::from_bits(cell.load(Ordering::Relaxed))
+                + a * f32::from_bits(xc.load(Ordering::Relaxed));
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// `self += a · xs` with a plain-slice right-hand side.
+    ///
+    /// # Panics
+    /// Panics when `xs.len() != len()`.
+    #[inline]
+    pub fn axpy_slice(&self, a: f32, xs: &[f32]) {
+        assert_eq!(self.len(), xs.len(), "length mismatch");
+        for (cell, &x) in self.cells.iter().zip(xs) {
+            let v = f32::from_bits(cell.load(Ordering::Relaxed)) + a * x;
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// `dst += a · self` — accumulates the row, scaled, into a caller-owned
+    /// buffer (the gradient-accumulation step of SGNS).
+    ///
+    /// # Panics
+    /// Panics when `dst.len() != len()`.
+    #[inline]
+    pub fn accumulate_scaled(&self, a: f32, dst: &mut [f32]) {
+        assert_eq!(self.len(), dst.len(), "length mismatch");
+        for (slot, cell) in dst.iter_mut().zip(self.cells) {
+            *slot += a * f32::from_bits(cell.load(Ordering::Relaxed));
+        }
+    }
+}
+
+impl std::fmt::Debug for RowPtr<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowPtr")
+            .field("len", &self.cells.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn to_cells(data: Vec<f32>) -> Box<[AtomicU32]> {
+    data.into_iter()
+        .map(|v| AtomicU32::new(v.to_bits()))
+        .collect()
+}
 
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, dim: usize) -> Self {
         Self {
-            data: UnsafeCell::new(vec![0.0; rows * dim]),
+            data: (0..rows * dim).map(|_| AtomicU32::new(0)).collect(),
             rows,
             dim,
         }
@@ -44,7 +228,7 @@ impl Matrix {
             .map(|_| rng.gen_range(-half..half))
             .collect();
         Self {
-            data: UnsafeCell::new(data),
+            data: to_cells(data),
             rows,
             dim,
         }
@@ -57,7 +241,7 @@ impl Matrix {
     pub fn from_data(rows: usize, dim: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * dim, "data length mismatch");
         Self {
-            data: UnsafeCell::new(data),
+            data: to_cells(data),
             rows,
             dim,
         }
@@ -75,56 +259,80 @@ impl Matrix {
         self.dim
     }
 
-    /// Row `i` as an immutable slice.
+    /// Row `i` as a shared lock-free view — sound under concurrent use
+    /// from any number of threads (see [`RowPtr`]).
+    ///
+    /// # Panics
+    /// Panics when `i >= rows()`.
+    #[inline]
+    pub fn row_ptr(&self, i: usize) -> RowPtr<'_> {
+        assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
+        RowPtr {
+            cells: &self.data[i * self.dim..(i + 1) * self.dim],
+        }
+    }
+
+    /// Bounds-checked variant of [`Matrix::row_ptr`]: `None` when
+    /// `i >= rows()`.
+    #[inline]
+    pub fn try_row_ptr(&self, i: usize) -> Option<RowPtr<'_>> {
+        if i < self.rows {
+            Some(RowPtr {
+                cells: &self.data[i * self.dim..(i + 1) * self.dim],
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Row `i` as an immutable plain slice — the quiescent-phase reader
+    /// (initialization, evaluation, serialization). Callers that need
+    /// values while writers are active must use [`Matrix::row_ptr`];
+    /// this view may observe stale data mid-training but is always
+    /// memory-safe.
     ///
     /// # Panics
     /// Panics when `i >= rows()`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
         assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
-        // SAFETY: within bounds; aliasing with concurrent writers is the
-        // documented Hogwild model.
-        unsafe {
-            let ptr = (*self.data.get()).as_ptr().add(i * self.dim);
-            std::slice::from_raw_parts(ptr, self.dim)
-        }
+        let cells = &self.data[i * self.dim..(i + 1) * self.dim];
+        // SAFETY: `AtomicU32` has the same size and alignment as `u32`
+        // (guaranteed by std), whose bit patterns we store from `f32`
+        // values; reinterpreting the shared slice as `&[f32]` is a pure
+        // layout cast. Non-atomic reads of these cells are sound — the
+        // only writers go through `&mut self` or `RowPtr`'s atomic stores,
+        // and mixing an atomic store with this plain load is a race the
+        // quiescence contract above rules out for correctness, while the
+        // read itself stays defined for any 32-bit pattern.
+        unsafe { std::slice::from_raw_parts(cells.as_ptr().cast::<f32>(), cells.len()) }
     }
 
-    /// Row `i` as a mutable slice through `&mut self` (single-threaded path).
+    /// Row `i` as a mutable slice through `&mut self` (single-threaded
+    /// path; exclusive by construction).
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
         assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
-        let dim = self.dim;
-        let data = self.data.get_mut();
-        &mut data[i * dim..(i + 1) * dim]
+        let cells = &mut self.data[i * self.dim..(i + 1) * self.dim];
+        // SAFETY: same layout argument as `row`; `&mut self` guarantees
+        // no other view of the cells exists, so a unique `&mut [f32]` is
+        // sound.
+        unsafe { std::slice::from_raw_parts_mut(cells.as_mut_ptr().cast::<f32>(), cells.len()) }
     }
 
-    /// Row `i` as a mutable slice through a shared reference — the Hogwild
-    /// entry point.
-    ///
-    /// # Safety
-    /// Callers must accept the Hogwild data-race model: multiple threads may
-    /// hold overlapping views and perform unsynchronized `f32` reads/writes.
-    /// Lost updates are possible; memory unsafety is not, as long as no
-    /// caller reads a row while another resizes the matrix (the API offers
-    /// no resizing).
-    #[allow(clippy::mut_from_ref)]
-    #[inline]
-    pub unsafe fn row_mut_shared(&self, i: usize) -> &mut [f32] {
-        debug_assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
-        let ptr = (*self.data.get()).as_mut_ptr().add(i * self.dim);
-        std::slice::from_raw_parts_mut(ptr, self.dim)
-    }
-
-    /// The full row-major buffer.
+    /// The full row-major buffer as a plain slice (quiescent-phase
+    /// reader; see [`Matrix::row`] for the contract).
     pub fn as_slice(&self) -> &[f32] {
-        // SAFETY: same aliasing model as `row`.
-        unsafe { (*self.data.get()).as_slice() }
+        // SAFETY: same layout argument as `row`, over the whole buffer.
+        unsafe { std::slice::from_raw_parts(self.data.as_ptr().cast::<f32>(), self.data.len()) }
     }
 
     /// Consumes the matrix, returning the row-major buffer.
     pub fn into_data(self) -> Vec<f32> {
-        self.data.into_inner()
+        self.data
+            .iter()
+            .map(|cell| f32::from_bits(cell.load(Ordering::Relaxed)))
+            .collect()
     }
 
     /// Copies row `src` of `other` into row `dst` of `self`.
@@ -138,7 +346,7 @@ impl Matrix {
 impl Clone for Matrix {
     fn clone(&self) -> Self {
         Self {
-            data: UnsafeCell::new(self.as_slice().to_vec()),
+            data: to_cells(self.as_slice().to_vec()),
             rows: self.rows,
             dim: self.dim,
         }
@@ -186,6 +394,55 @@ mod tests {
     }
 
     #[test]
+    fn row_ptr_reads_and_writes() {
+        let m = Matrix::from_data(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = m.row_ptr(1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(0), 4.0);
+        r.set(0, 9.0);
+        r.add(1, 0.5);
+        assert_eq!(m.row(1), &[9.0, 5.5, 6.0]);
+        let mut buf = [0.0f32; 3];
+        r.load_into(&mut buf);
+        assert_eq!(buf, [9.0, 5.5, 6.0]);
+        r.store_from(&[1.0, 1.0, 1.0]);
+        assert_eq!(m.row(1), &[1.0, 1.0, 1.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0], "row 0 untouched");
+    }
+
+    #[test]
+    fn row_ptr_dot() {
+        let m = Matrix::from_data(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let d = m.row_ptr(0).dot(&m.row_ptr(1));
+        assert_eq!(d, 4.0 + 10.0 + 18.0);
+    }
+
+    #[test]
+    fn row_ptr_batched_kernels_match_scalar() {
+        let m = Matrix::from_data(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r0 = m.row_ptr(0);
+        let r1 = m.row_ptr(1);
+        assert_eq!(r0.dot_slice(&[4.0, 5.0, 6.0]), r0.dot(&r1));
+
+        r1.axpy_row(2.0, &r0);
+        assert_eq!(m.row(1), &[6.0, 9.0, 12.0]);
+
+        r1.axpy_slice(-1.0, &[1.0, 1.0, 1.0]);
+        assert_eq!(m.row(1), &[5.0, 8.0, 11.0]);
+
+        let mut acc = vec![1.0f32; 3];
+        r0.accumulate_scaled(3.0, &mut acc);
+        assert_eq!(acc, [4.0, 7.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_slice_length_mismatch_panics() {
+        let m = Matrix::zeros(1, 3);
+        m.row_ptr(0).axpy_slice(1.0, &[0.0; 2]);
+    }
+
+    #[test]
     fn shared_mutation_across_threads() {
         let m = Matrix::zeros(8, 4);
         std::thread::scope(|s| {
@@ -194,9 +451,10 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..8 {
                         if i % 4 == t {
-                            // Disjoint rows per thread: no race at all here.
-                            let row = unsafe { m.row_mut_shared(i) };
-                            row.fill(i as f32);
+                            let row = m.row_ptr(i);
+                            for d in 0..row.len() {
+                                row.set(d, i as f32);
+                            }
                         }
                     }
                 });
@@ -212,6 +470,13 @@ mod tests {
     fn row_out_of_bounds_panics() {
         let m = Matrix::zeros(1, 1);
         let _ = m.row(1);
+    }
+
+    #[test]
+    fn try_row_ptr_bounds() {
+        let m = Matrix::zeros(2, 2);
+        assert!(m.try_row_ptr(1).is_some());
+        assert!(m.try_row_ptr(2).is_none());
     }
 
     #[test]

@@ -167,13 +167,7 @@ mod tests {
     #[test]
     fn retrieval_excludes_query() {
         let m = Matrix::from_data(3, 2, vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0]);
-        let hits = retrieve_top_k(
-            &[1.0, 0.0],
-            &m,
-            (0..3).map(TokenId),
-            2,
-            Some(TokenId(0)),
-        );
+        let hits = retrieve_top_k(&[1.0, 0.0], &m, (0..3).map(TokenId), 2, Some(TokenId(0)));
         assert_eq!(hits[0].token, TokenId(1));
         assert!(hits.iter().all(|n| n.token != TokenId(0)));
     }

@@ -104,7 +104,9 @@ pub fn read_text<R: BufRead>(input: R) -> Result<(Vec<String>, Matrix), W2vParse
         let token = parts.next().ok_or(W2vParseError::BadRow { line: i + 2 })?;
         let before = data.len();
         for p in parts {
-            let v: f32 = p.parse().map_err(|_| W2vParseError::BadRow { line: i + 2 })?;
+            let v: f32 = p
+                .parse()
+                .map_err(|_| W2vParseError::BadRow { line: i + 2 })?;
             data.push(v);
         }
         if data.len() - before != dim {
@@ -143,7 +145,10 @@ mod tests {
 
     #[test]
     fn bad_header_rejected() {
-        assert_eq!(read_text(&b"oops\n"[..]).unwrap_err(), W2vParseError::BadHeader);
+        assert_eq!(
+            read_text(&b"oops\n"[..]).unwrap_err(),
+            W2vParseError::BadHeader
+        );
         assert_eq!(read_text(&b""[..]).unwrap_err(), W2vParseError::BadHeader);
     }
 

@@ -1,0 +1,106 @@
+//! Concurrency soundness tests for the shared-row Hogwild API.
+//!
+//! The [`sisg_embedding::matrix::RowPtr`] contract is that every element
+//! access is a single relaxed 32-bit atomic load/store: concurrent writers
+//! may *lose* updates (the Hogwild approximation) but can never tear a
+//! word or corrupt memory. These tests drive that contract hard from many
+//! threads and check the observable half of it.
+
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest};
+use sisg_embedding::Matrix;
+
+/// Bit pattern thread `t` stamps everywhere. Patterns differ in every byte
+/// so a torn write (any mix of two patterns within one word) would produce
+/// a value no thread ever wrote.
+fn pattern(t: usize) -> f32 {
+    let b = (t as u32 + 1) * 0x0101_0101;
+    f32::from_bits(b)
+}
+
+#[test]
+fn concurrent_writes_never_tear() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 500;
+    let m = Matrix::zeros(4, 64);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let m = &m;
+            scope.spawn(move || {
+                let p = pattern(t);
+                for round in 0..ROUNDS {
+                    // Every thread hammers every row; vary the cell order
+                    // per thread so writes genuinely interleave.
+                    for r in 0..m.rows() {
+                        let row = m.row_ptr(r);
+                        for i in 0..row.len() {
+                            let d = (i * (t + 1) + round) % row.len();
+                            row.set(d, p);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Every surviving bit pattern must be exactly one some thread wrote —
+    // a torn word would mix bytes of two patterns and match neither.
+    let allowed: Vec<u32> = (0..THREADS).map(|t| pattern(t).to_bits()).collect();
+    for r in 0..m.rows() {
+        for &v in m.row(r) {
+            assert!(
+                allowed.contains(&v.to_bits()),
+                "cell holds {:#010x}, which no thread wrote",
+                v.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_adds_accumulate_without_corruption() {
+    // `add` is load+store (not fetch_add): increments may be lost under
+    // contention but the result must stay a sane sum of step-sized
+    // increments — never garbage from a torn word.
+    const THREADS: usize = 4;
+    const ADDS: usize = 1_000;
+    let m = Matrix::zeros(1, 8);
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let m = &m;
+            scope.spawn(move || {
+                let row = m.row_ptr(0);
+                for _ in 0..ADDS {
+                    for d in 0..row.len() {
+                        row.add(d, 1.0);
+                    }
+                }
+            });
+        }
+    });
+
+    let max = (THREADS * ADDS) as f32;
+    for &v in m.row(0) {
+        assert!(v >= 1.0 && v <= max, "cell {v} outside [1, {max}]");
+        assert_eq!(v.fract(), 0.0, "cell {v} is not a whole number of adds");
+    }
+}
+
+proptest! {
+    #[test]
+    fn try_row_ptr_rejects_out_of_range(
+        rows in 1usize..32,
+        dim in 1usize..16,
+        probe in 0usize..64,
+    ) {
+        let m = Matrix::zeros(rows, dim);
+        match m.try_row_ptr(probe) {
+            Some(row) => {
+                prop_assert!(probe < rows, "row {probe} of {rows} accepted");
+                prop_assert_eq!(row.len(), dim);
+            }
+            None => prop_assert!(probe >= rows, "row {probe} of {rows} rejected"),
+        }
+    }
+}

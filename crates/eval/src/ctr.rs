@@ -123,7 +123,9 @@ pub fn click_propensity(
     p *= 1.0 + 0.25 * extra as f64;
     // Demographic match.
     let demo_slot = ItemFeature::AgeGenderPurchaseLevel.slot();
-    let user_demo = corpus.users.demographics_cross(corpus.users.user_type(user));
+    let user_demo = corpus
+        .users
+        .demographics_cross(corpus.users.user_type(user));
     if cat.si_values(candidate)[demo_slot] == user_demo {
         p *= 1.3;
     }
@@ -195,9 +197,11 @@ pub fn simulate_ab_test(
                     }
                 }
             }
-            out[arm]
-                .daily_ctr
-                .push(if shown > 0 { clicks as f64 / shown as f64 } else { 0.0 });
+            out[arm].daily_ctr.push(if shown > 0 {
+                clicks as f64 / shown as f64
+            } else {
+                0.0
+            });
         }
     }
     out
@@ -207,7 +211,9 @@ pub fn simulate_ab_test(
 /// session.
 fn sample_context(corpus: &GeneratedCorpus, rng: &mut StdRng) -> (UserId, ItemId) {
     loop {
-        let s = corpus.sessions.session(rng.gen_range(0..corpus.sessions.len()));
+        let s = corpus
+            .sessions
+            .session(rng.gen_range(0..corpus.sessions.len()));
         if !s.is_empty() {
             let pos = rng.gen_range(0..s.len());
             return (s.user, s.items[pos]);
@@ -248,7 +254,10 @@ mod tests {
     struct Random;
     impl ItemRetriever for Random {
         fn retrieve(&self, query: ItemId, k: usize) -> Vec<ItemId> {
-            (0..k as u32).map(|i| ItemId(i * 7 % 400)).filter(|&i| i != query).collect()
+            (0..k as u32)
+                .map(|i| ItemId(i * 7 % 400))
+                .filter(|&i| i != query)
+                .collect()
         }
     }
 

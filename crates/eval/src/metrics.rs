@@ -137,13 +137,9 @@ mod tests {
     fn tail_exposure_tracks_popularity_of_recommendations() {
         // Items 1..=10 are recommended. Make them the hottest vs coldest.
         let mut hot = vec![0u64; 20];
-        for i in 1..=10 {
-            hot[i] = 100;
-        }
+        hot[1..=10].fill(100);
         let mut cold = vec![100u64; 20];
-        for i in 1..=10 {
-            cold[i] = 0;
-        }
+        cold[1..=10].fill(0);
         let r_hot = evaluate_ranking("m", &Fixed, &[case(1)], 10, &hot, 20);
         let r_cold = evaluate_ranking("m", &Fixed, &[case(1)], 10, &cold, 20);
         assert!(

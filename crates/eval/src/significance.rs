@@ -122,8 +122,12 @@ mod tests {
 
     #[test]
     fn clear_difference_is_significant() {
-        let a: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { 0.8 }).collect();
-        let b: Vec<f64> = (0..200).map(|i| if i % 3 == 0 { 0.4 } else { 0.2 }).collect();
+        let a: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.8 })
+            .collect();
+        let b: Vec<f64> = (0..200)
+            .map(|i| if i % 3 == 0 { 0.4 } else { 0.2 })
+            .collect();
         let r = paired_bootstrap(&a, &b, 500, 0.95, 7);
         assert!(r.delta > 0.5);
         assert!(r.significant(), "large gap must be significant: {r:?}");

@@ -44,7 +44,7 @@ impl Default for TsneConfig {
 /// Panics when `data.len()` is not a multiple of `dim` or fewer than two
 /// points are given.
 pub fn tsne_2d(data: &[f32], dim: usize, config: &TsneConfig) -> Vec<[f32; 2]> {
-    assert!(dim > 0 && data.len() % dim == 0, "bad data shape");
+    assert!(dim > 0 && data.len().is_multiple_of(dim), "bad data shape");
     let n = data.len() / dim;
     assert!(n >= 2, "need at least two points");
 
@@ -92,10 +92,18 @@ pub fn tsne_2d(data: &[f32], dim: usize, config: &TsneConfig) -> Vec<[f32; 2]> {
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi >= 1e19 { beta * 2.0 } else { (beta + hi) / 2.0 };
+                beta = if hi >= 1e19 {
+                    beta * 2.0
+                } else {
+                    (beta + hi) / 2.0
+                };
             } else {
                 hi = beta;
-                beta = if lo <= 1e-19 { beta / 2.0 } else { (beta + lo) / 2.0 };
+                beta = if lo <= 1e-19 {
+                    beta / 2.0
+                } else {
+                    (beta + lo) / 2.0
+                };
             }
         }
         let mut sum = 0.0;
@@ -161,8 +169,7 @@ pub fn tsne_2d(data: &[f32], dim: usize, config: &TsneConfig) -> Vec<[f32; 2]> {
                 grad[1] += 4.0 * coeff * (y[i][1] - y[j][1]);
             }
             for c in 0..2 {
-                velocity[i][c] =
-                    config.momentum * velocity[i][c] - config.learning_rate * grad[c];
+                velocity[i][c] = config.momentum * velocity[i][c] - config.learning_rate * grad[c];
             }
         }
         for i in 0..n {
@@ -170,9 +177,7 @@ pub fn tsne_2d(data: &[f32], dim: usize, config: &TsneConfig) -> Vec<[f32; 2]> {
             y[i][1] += velocity[i][1];
         }
         // Keep the layout centered.
-        let (mx, my) = y
-            .iter()
-            .fold((0.0, 0.0), |(a, b), p| (a + p[0], b + p[1]));
+        let (mx, my) = y.iter().fold((0.0, 0.0), |(a, b), p| (a + p[0], b + p[1]));
         let (mx, my) = (mx / n as f64, my / n as f64);
         for point in y.iter_mut() {
             point[0] -= mx;
@@ -288,7 +293,7 @@ mod tests {
             let center = if blob == 0 { -5.0f32 } else { 5.0 };
             for _ in 0..n_per {
                 for _ in 0..5 {
-                    data.push(center + rng.gen_range(-0.5..0.5));
+                    data.push(center + rng.gen_range(-0.5f32..0.5));
                 }
                 labels.push(blob);
             }
@@ -361,18 +366,16 @@ mod tests {
             labels.push((i % 2) as u32);
         }
         let p = knn_purity(&pts, &labels, 10);
-        assert!((p - 0.5).abs() < 0.15, "random-ish labels should score ~0.5, got {p}");
+        assert!(
+            (p - 0.5).abs() < 0.15,
+            "random-ish labels should score ~0.5, got {p}"
+        );
     }
 
     #[test]
     fn silhouette_prefers_separated_labels() {
         // Four points: two tight pairs far apart.
-        let pts = [
-            [0.0f32, 0.0],
-            [0.1, 0.0],
-            [10.0, 0.0],
-            [10.1, 0.0],
-        ];
+        let pts = [[0.0f32, 0.0], [0.1, 0.0], [10.0, 0.0], [10.1, 0.0]];
         let good = silhouette(&pts, &[0, 0, 1, 1]);
         let bad = silhouette(&pts, &[0, 1, 0, 1]);
         assert!(good > 0.9);

@@ -106,7 +106,7 @@ impl SgnsConfig {
         if self.epochs == 0 {
             return Err("epochs must be positive".into());
         }
-        if !(self.learning_rate > 0.0) {
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
             return Err("learning_rate must be positive".into());
         }
         if self.min_learning_rate > self.learning_rate {
@@ -142,11 +142,24 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        assert!(SgnsConfig { dim: 0, ..Default::default() }.validate().is_err());
-        assert!(SgnsConfig { window: 0, ..Default::default() }.validate().is_err());
-        assert!(SgnsConfig { epochs: 0, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(SgnsConfig {
+            dim: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SgnsConfig {
+            window: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SgnsConfig {
+            epochs: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(SgnsConfig {
             learning_rate: 0.001,
             min_learning_rate: 0.01,

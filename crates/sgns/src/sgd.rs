@@ -9,16 +9,19 @@
 //! the accumulated input gradient ships back).
 
 use crate::sigmoid::{log_sigmoid, SigmoidTable};
-use sisg_embedding::math::dot;
-use sisg_embedding::Matrix;
 use sisg_corpus::TokenId;
+use sisg_embedding::matrix::RowPtr;
+use sisg_embedding::Matrix;
 
 /// One SGD update for `(target, context)` with `negatives`, at learning rate
 /// `lr`. `grad` is a caller-provided scratch buffer of length `dim` (its
 /// contents are overwritten). Returns the sampled negative-sampling loss
 /// (for monitoring only).
 ///
-/// Uses the Hogwild access path — see [`Matrix::row_mut_shared`].
+/// Uses the Hogwild access path — see [`Matrix::row_ptr`] / [`RowPtr`]:
+/// every element access is a relaxed atomic load/store, so concurrent
+/// calls from many threads are sound (lost updates remain possible, which
+/// is the Hogwild approximation).
 #[allow(clippy::too_many_arguments)]
 pub fn train_pair(
     input: &Matrix,
@@ -32,22 +35,17 @@ pub fn train_pair(
 ) -> f64 {
     debug_assert_eq!(grad.len(), input.dim());
     grad.fill(0.0);
-    // SAFETY: Hogwild model — racy f32 updates are benign; rows are in
-    // bounds because TokenIds come from the vocabulary the matrices were
-    // sized for.
-    let v = unsafe { input.row_mut_shared(target.index()) };
+    // Rows are in bounds because TokenIds come from the vocabulary the
+    // matrices were sized for (row_ptr asserts it).
+    let v = input.row_ptr(target.index());
     let mut loss = 0.0f64;
 
-    let step = |ctx: TokenId, label: f32, v: &[f32], grad: &mut [f32]| -> f64 {
-        let vp = unsafe { output.row_mut_shared(ctx.index()) };
-        let f = dot(v, vp);
+    let step = |ctx: TokenId, label: f32, v: RowPtr<'_>, grad: &mut [f32]| -> f64 {
+        let vp = output.row_ptr(ctx.index());
+        let f = v.dot(&vp);
         let g = (label - sigmoid.sigmoid(f)) * lr;
-        for d in 0..grad.len() {
-            grad[d] += g * vp[d];
-        }
-        for d in 0..vp.len() {
-            vp[d] += g * v[d];
-        }
+        vp.accumulate_scaled(g, grad);
+        vp.axpy_row(g, &v);
         let fx = f as f64;
         if label > 0.5 {
             -log_sigmoid(fx)
@@ -67,16 +65,14 @@ pub fn train_pair(
         loss += step(neg, 0.0, v, grad);
     }
 
-    for d in 0..v.len() {
-        v[d] += grad[d];
-    }
+    v.axpy_slice(1.0, grad);
     loss
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sisg_embedding::math::cosine;
+    use sisg_embedding::math::{cosine, dot};
 
     fn setup(dim: usize) -> (Matrix, Matrix, SigmoidTable, Vec<f32>) {
         (

@@ -90,8 +90,8 @@ mod tests {
         assert!(log_sigmoid(-1000.0).is_finite());
         assert!(log_sigmoid(1000.0).abs() < 1e-9);
         // ln σ(x) + ln σ(-x) symmetry check at a moderate point.
-        let x = 1.3;
-        let s = 1.0 / (1.0 + (-x as f64).exp());
+        let x = 1.3f64;
+        let s = 1.0 / (1.0 + (-x).exp());
         assert!((log_sigmoid(x) - s.ln()).abs() < 1e-12);
     }
 

@@ -394,7 +394,7 @@ mod tests {
         for _ in 0..400 {
             let topic = if rng.gen_bool(0.5) { 0u32 } else { 10u32 };
             let seq: Vec<TokenId> = (0..8)
-                .map(|_| TokenId(topic + rng.gen_range(0..10)))
+                .map(|_| TokenId(topic + rng.gen_range(0u32..10)))
                 .collect();
             seqs.push(seq);
         }
@@ -454,9 +454,7 @@ mod tests {
     fn directional_mode_trains() {
         // Chain corpus: 0 → 1 → 2 → 3; directional training should place
         // output(successor) near input(predecessor).
-        let seqs: Vec<Vec<TokenId>> = (0..300)
-            .map(|_| (0..4).map(TokenId).collect())
-            .collect();
+        let seqs: Vec<Vec<TokenId>> = (0..300).map(|_| (0..4).map(TokenId).collect()).collect();
         let cfg = SgnsConfig {
             window: 1,
             window_mode: WindowMode::RightOnly,

@@ -1,0 +1,528 @@
+//! Workspace automation tasks (the cargo-xtask pattern).
+//!
+//! `cargo run -p xtask -- lint` runs the repo's static-analysis rules —
+//! textual invariants that `rustc`/`clippy` cannot express — as hard
+//! errors:
+//!
+//! 1. **`unsafe` needs a justification**: every line containing the
+//!    `unsafe` keyword must carry a `// SAFETY:` comment on the same line
+//!    or within the preceding lines (an `/// # Safety` doc section also
+//!    counts, for `unsafe fn` declarations).
+//! 2. **No unseeded RNG outside tests**: `thread_rng` and `from_entropy`
+//!    are banned in non-test code. DESIGN.md §5 promises bit-reproducible
+//!    runs from a CLI seed; one unseeded generator silently breaks that.
+//! 3. **Every crate root opts into `missing_docs`**: each `src/lib.rs` /
+//!    `src/main.rs` must declare `#![warn(missing_docs)]` (promoted to an
+//!    error by `-D warnings` in scripts/check.sh).
+//! 4. **The serving path is panic-free**: `.unwrap()` / `.expect(` are
+//!    banned in non-test library code of `crates/core` and `crates/ann`
+//!    (the retrieval/serving crates) — recoverable errors must be
+//!    propagated, not turned into aborts while answering queries.
+//!
+//! The rules are enforced by line-level scanning with comment/string
+//! stripping and `#[cfg(test)]`-region tracking; see the unit tests for
+//! seeded violations proving each rule actually fires.
+#![warn(missing_docs)]
+// This file talks *about* SAFETY comments (it implements the lint that
+// requires them); clippy's `unnecessary_safety_comment` misreads that
+// prose as misplaced safety comments.
+#![allow(clippy::unnecessary_safety_comment)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root();
+            match run_lint(&root) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("xtask lint: OK");
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!("xtask lint: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+                Err(err) => {
+                    eprintln!("xtask lint: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Locates the workspace root: xtask is always run via `cargo run -p xtask`,
+/// so `CARGO_MANIFEST_DIR` is `<root>/crates/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// One rule violation, formatted `path:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Violation {
+    path: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Crates whose non-test library code must be `unwrap()`/`expect()`-free.
+const PANIC_FREE_CRATES: &[&str] = &["crates/core", "crates/ann"];
+
+fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+    let mut crate_dirs = Vec::new();
+    for holder in ["crates", "compat"] {
+        crate_dirs.extend(list_crate_dirs(&root.join(holder))?);
+    }
+    for crate_dir in crate_dirs {
+        let rel_crate = crate_dir
+            .strip_prefix(root)
+            .unwrap_or(&crate_dir)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let panic_free = PANIC_FREE_CRATES.contains(&rel_crate.as_str());
+
+        let mut saw_root = false;
+        for file in rust_files(&crate_dir)? {
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let content = std::fs::read_to_string(&file)
+                .map_err(|e| format!("read {}: {e}", file.display()))?;
+            let is_crate_root = file.ends_with("src/lib.rs") || file.ends_with("src/main.rs");
+            if is_crate_root {
+                saw_root = true;
+                violations.extend(check_missing_docs_attr(&rel, &content));
+            }
+            // Integration tests and benches are test code end to end.
+            let all_test = {
+                let s = rel.to_string_lossy().replace('\\', "/");
+                s.contains("/tests/") || s.contains("/benches/")
+            };
+            violations.extend(scan_file(&rel, &content, all_test, panic_free));
+        }
+        if !saw_root {
+            violations.push(Violation {
+                path: PathBuf::from(&rel_crate),
+                line: 1,
+                rule: "missing-docs",
+                message: "crate has no src/lib.rs or src/main.rs".into(),
+            });
+        }
+    }
+    Ok(violations)
+}
+
+/// Workspace member directories under `crates/` (one level, plus
+/// `crates/compat/*`).
+fn list_crate_dirs(crates_dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(crates_dir)
+        .map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if !path.is_dir() {
+            continue;
+        }
+        if path.join("Cargo.toml").is_file() {
+            out.push(path);
+        } else {
+            // A holder of nested members (crates/compat/*).
+            let nested = std::fs::read_dir(&path)
+                .map_err(|e| format!("read_dir {}: {e}", path.display()))?;
+            for sub in nested {
+                let sub = sub.map_err(|e| e.to_string())?.path();
+                if sub.is_dir() && sub.join("Cargo.toml").is_file() {
+                    out.push(sub);
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// All `.rs` files in a crate directory, recursively, skipping `target/`.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let entries = std::fs::read_dir(&current)
+            .map_err(|e| format!("read_dir {}: {e}", current.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Rule 3: the crate root must opt into missing-docs warnings.
+fn check_missing_docs_attr(rel: &Path, content: &str) -> Option<Violation> {
+    if content.contains("#![warn(missing_docs)]") || content.contains("#![deny(missing_docs)]") {
+        None
+    } else {
+        Some(Violation {
+            path: rel.to_path_buf(),
+            line: 1,
+            rule: "missing-docs",
+            message: "crate root lacks #![warn(missing_docs)]".into(),
+        })
+    }
+}
+
+/// Rules 1, 2 and 4 over one file's source text.
+fn scan_file(rel: &Path, content: &str, all_test: bool, panic_free: bool) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut regions = TestRegionTracker::default();
+    let mut in_block_comment = false;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let (code, now_in_block) = strip_comments_and_strings(raw, in_block_comment);
+        in_block_comment = now_in_block;
+        let in_test = all_test || regions.in_test();
+        regions.observe(raw, &code);
+
+        // Rule 1: `unsafe` requires a nearby justification. Applies in test
+        // code too — tests exercising unsafe APIs document why they are
+        // sound just like production call sites.
+        if has_word(&code, "unsafe") && !has_safety_comment(&lines, idx) {
+            violations.push(Violation {
+                path: rel.to_path_buf(),
+                line: line_no,
+                rule: "safety-comment",
+                message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc) on this or a preceding line".into(),
+            });
+        }
+
+        if !in_test {
+            // Rule 2: determinism — no ambient-entropy RNG constructors.
+            for banned in ["thread_rng", "from_entropy"] {
+                if has_word(&code, banned) {
+                    violations.push(Violation {
+                        path: rel.to_path_buf(),
+                        line: line_no,
+                        rule: "seeded-rng",
+                        message: format!(
+                            "`{banned}` is banned outside tests; seed explicitly (DESIGN.md §5)"
+                        ),
+                    });
+                }
+            }
+
+            // Rule 4: panic-free serving path.
+            if panic_free && (code.contains(".unwrap()") || code.contains(".expect(")) {
+                violations.push(Violation {
+                    path: rel.to_path_buf(),
+                    line: line_no,
+                    rule: "no-unwrap",
+                    message: "`.unwrap()`/`.expect()` banned in serving-path library code; propagate the error".into(),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Tracks whether the scanner is inside a `#[cfg(test)]`-gated item by
+/// brace counting: after the attribute, the next `{` opens the region and
+/// it ends when the depth returns to the opening level.
+#[derive(Debug, Default)]
+struct TestRegionTracker {
+    depth: i64,
+    pending_attr: bool,
+    region_close_depth: Option<i64>,
+}
+
+impl TestRegionTracker {
+    fn in_test(&self) -> bool {
+        self.region_close_depth.is_some() || self.pending_attr
+    }
+
+    fn observe(&mut self, raw: &str, code: &str) {
+        if raw.contains("#[cfg(test)]") && self.region_close_depth.is_none() {
+            self.pending_attr = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if self.pending_attr {
+                        self.pending_attr = false;
+                        self.region_close_depth = Some(self.depth);
+                    }
+                    self.depth += 1;
+                }
+                '}' => {
+                    self.depth -= 1;
+                    if self.region_close_depth == Some(self.depth) {
+                        self.region_close_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// True when `word` appears in `code` delimited by non-identifier chars.
+fn has_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let begin = start + pos;
+        let end = begin + word.len();
+        let left_ok = begin == 0 || !is_ident_char(bytes[begin - 1]);
+        let right_ok = end == bytes.len() || !is_ident_char(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// How many lines above an `unsafe` occurrence we look for a SAFETY note.
+const SAFETY_LOOKBACK: usize = 12;
+
+/// True when the line itself or one of the preceding [`SAFETY_LOOKBACK`]
+/// lines carries a `SAFETY:` comment or a `# Safety` doc heading.
+fn has_safety_comment(lines: &[&str], idx: usize) -> bool {
+    let from = idx.saturating_sub(SAFETY_LOOKBACK);
+    lines[from..=idx]
+        .iter()
+        .any(|l| l.contains("SAFETY:") || l.contains("# Safety"))
+}
+
+/// Blanks out string/char literal contents, line comments, and block
+/// comments so keyword scans don't fire on prose. Returns the cleaned
+/// line and whether a block comment continues onto the next line.
+fn strip_comments_and_strings(line: &str, mut in_block_comment: bool) -> (String, bool) {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' if i + 2 < bytes.len() && (bytes[i + 2] == b'\'' || (bytes[i + 1] == b'\\')) => {
+                // Char literal ('x' or '\n'); lifetimes ('a) fall through.
+                i += 1; // opening quote
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                    } else if bytes[i] == b'\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                out.push(other as char);
+                i += 1;
+            }
+        }
+    }
+    (out, in_block_comment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(content: &str, panic_free: bool) -> Vec<Violation> {
+        scan_file(Path::new("x.rs"), content, false, panic_free)
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let bad = "fn f(p: *mut f32) {\n    unsafe { *p = 1.0; }\n}\n";
+        let v = scan(bad, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comment");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_passes() {
+        let good =
+            "fn f(p: *mut f32) {\n    // SAFETY: p is valid and exclusive here.\n    unsafe { *p = 1.0; }\n}\n";
+        assert!(scan(good, false).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_with_safety_doc_section_passes() {
+        let good = "/// Does things.\n///\n/// # Safety\n/// Caller must uphold X.\npub unsafe fn f() {}\n";
+        assert!(scan(good, false).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let ok = "// this mentions unsafe in prose\nlet s = \"unsafe\";\n";
+        assert!(scan(ok, false).is_empty());
+    }
+
+    #[test]
+    fn thread_rng_outside_tests_is_flagged() {
+        let bad = "fn f() { let mut r = rand::thread_rng(); }\n";
+        let v = scan(bad, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "seeded-rng");
+    }
+
+    #[test]
+    fn from_entropy_outside_tests_is_flagged() {
+        let bad = "fn f() { let r = StdRng::from_entropy(); }\n";
+        let v = scan(bad, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "seeded-rng");
+    }
+
+    #[test]
+    fn thread_rng_inside_cfg_test_module_passes() {
+        let ok = "#[cfg(test)]\nmod tests {\n    fn f() { let r = rand::thread_rng(); }\n}\n";
+        assert!(scan(ok, false).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_panic_free_crate_is_flagged() {
+        let bad = "fn f() { let x: Option<u32> = None; x.unwrap(); }\n";
+        let v = scan(bad, true);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+    }
+
+    #[test]
+    fn expect_in_panic_free_crate_is_flagged() {
+        let bad = "fn f() { let x: Option<u32> = None; x.expect(\"boom\"); }\n";
+        let v = scan(bad, true);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+    }
+
+    #[test]
+    fn unwrap_in_test_module_of_panic_free_crate_passes() {
+        let ok = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(scan(ok, true).is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_panic_free_crates_passes() {
+        let ok = "fn f() { Some(1).unwrap(); }\n";
+        assert!(scan(ok, false).is_empty());
+    }
+
+    #[test]
+    fn missing_docs_attr_detected() {
+        assert!(check_missing_docs_attr(Path::new("x.rs"), "//! Docs.\nfn f() {}\n").is_some());
+        assert!(check_missing_docs_attr(
+            Path::new("x.rs"),
+            "//! Docs.\n#![warn(missing_docs)]\nfn f() {}\n"
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn test_region_tracker_handles_nesting() {
+        let src = "mod a {\n#[cfg(test)]\nmod tests {\n fn f() { let x = { 1 }; }\n}\nfn g() { thread_rng(); }\n}\n";
+        let v = scan(src, false);
+        // Only the call *outside* the test module fires.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn integration_test_files_are_exempt_from_rng_rule() {
+        let src = "fn f() { thread_rng(); }\n";
+        let v = scan_file(Path::new("crates/x/tests/t.rs"), src, true, false);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn lint_runs_clean_on_this_workspace() {
+        // The self-hosting check: the real tree must pass. Covered here so
+        // `cargo test` fails fast if a violation slips in without running
+        // scripts/check.sh.
+        let root = workspace_root();
+        let violations = run_lint(&root).expect("lint walks the tree");
+        assert!(
+            violations.is_empty(),
+            "workspace has lint violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -7,12 +7,12 @@
 //!
 //! Run with: `cargo run --release --example cold_start`
 
+use std::collections::HashSet;
 use taobao_sisg::core::cold_start::{cold_item_recommendations, cold_user_recommendations};
 use taobao_sisg::core::{SisgModel, Variant};
 use taobao_sisg::corpus::schema::ItemFeature;
 use taobao_sisg::corpus::{Corpus, CorpusConfig, GeneratedCorpus, ItemId};
 use taobao_sisg::sgns::SgnsConfig;
-use std::collections::HashSet;
 
 fn main() {
     let corpus = GeneratedCorpus::generate(CorpusConfig::scaled(1_000, 13));
@@ -70,8 +70,7 @@ fn main() {
         let si = corpus.catalog.si_values(item);
         for n in cold_item_recommendations(&model, si, 10) {
             total += 1;
-            if corpus.catalog.leaf_category(ItemId(n.token.0))
-                == corpus.catalog.leaf_category(item)
+            if corpus.catalog.leaf_category(ItemId(n.token.0)) == corpus.catalog.leaf_category(item)
             {
                 coherent += 1;
             }
@@ -89,8 +88,7 @@ fn main() {
         ("male, 19-25", 1, 1),
         ("male, 61+", 1, 6),
     ] {
-        match cold_user_recommendations(&model, &corpus.users, Some(gender), Some(age), None, 5)
-        {
+        match cold_user_recommendations(&model, &corpus.users, Some(gender), Some(age), None, 5) {
             Some(recs) => {
                 let items: Vec<u32> = recs.iter().map(|n| n.token.0).collect();
                 println!("  {label:<16} -> items {items:?}");

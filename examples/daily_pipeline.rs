@@ -65,7 +65,11 @@ fn main() {
     );
 
     let (store, report) = pipeline.train();
-    println!("\ntrained: {} pairs, {:.1}s wall", report.total_pairs(), report.seconds);
+    println!(
+        "\ntrained: {} pairs, {:.1}s wall",
+        report.total_pairs(),
+        report.seconds
+    );
     println!(
         "comm: {:.1} MB pair traffic ({:.1}% pairs remote) + {:.1} MB sync",
         report.pair_comm_bytes as f64 / 1e6,

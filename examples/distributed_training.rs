@@ -17,7 +17,11 @@ fn main() {
     );
 
     for (label, strategy, hot) in [
-        ("HBGP + ATNS (production design)", PartitionStrategy::Hbgp { beta: 1.2 }, 256),
+        (
+            "HBGP + ATNS (production design)",
+            PartitionStrategy::Hbgp { beta: 1.2 },
+            256,
+        ),
         ("hash partitioning, no hot set", PartitionStrategy::Hash, 0),
     ] {
         let config = DistConfig {
@@ -34,7 +38,10 @@ fn main() {
         let (_store, report) = train_distributed_on(&corpus, EnrichOptions::FULL, &config);
         println!("== {label} ==");
         println!("  pairs/worker:     {:?}", report.pairs_per_worker);
-        println!("  remote fraction:  {:.1}%", report.remote_fraction() * 100.0);
+        println!(
+            "  remote fraction:  {:.1}%",
+            report.remote_fraction() * 100.0
+        );
         println!(
             "  comm: {:.1} MB pair traffic + {:.1} MB hot-set sync ({} rounds)",
             report.pair_comm_bytes as f64 / 1e6,

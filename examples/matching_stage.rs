@@ -83,7 +83,10 @@ fn main() {
         let sisg_hr = evaluate_hit_rates("SISG-F-U-D", &serving, cases, &ks);
         let cf_hr = evaluate_hit_rates("CF", &cf, cases, &ks);
         println!("\n  [{label}]");
-        println!("  {:>12}  {:>8}  {:>8}  {:>8}", "model", "HR@1", "HR@10", "HR@50");
+        println!(
+            "  {:>12}  {:>8}  {:>8}  {:>8}",
+            "model", "HR@1", "HR@10", "HR@50"
+        );
         for r in [&sisg_hr, &cf_hr] {
             println!(
                 "  {:>12}  {:>8.4}  {:>8.4}  {:>8.4}",

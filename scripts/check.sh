@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# The one-command local gate: everything CI runs, in order, fail-fast.
+# See README "Static analysis & CI" and DESIGN.md §7.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "xtask lint"
+cargo run -p xtask --quiet -- lint
+
+step "miri (single-threaded embedding + sgns unit tests)"
+# Miri proves the refactored Hogwild core UB-free on the non-racy tests.
+# The component only exists on nightly toolchains; skip gracefully where
+# it is unavailable instead of failing the whole gate.
+if cargo miri --version >/dev/null 2>&1; then
+  # MIRIFLAGS: isolation stays on; these tests touch no files or clocks.
+  cargo miri test -p sisg-embedding -p sisg-sgns --lib
+else
+  echo "miri unavailable on this toolchain — skipping (not a failure)"
+fi
+
+step "tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+printf '\ncheck.sh: all gates passed\n'

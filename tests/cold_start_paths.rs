@@ -103,9 +103,7 @@ fn cold_user_vectors_average_matching_types_only() {
         "gender-conditioned recommendations must differ"
     );
     // Impossible demographics yield None, not garbage.
-    assert!(
-        cold_user_recommendations(&model, &corpus.users, Some(0), Some(99), None, 5).is_none()
-    );
+    assert!(cold_user_recommendations(&model, &corpus.users, Some(0), Some(99), None, 5).is_none());
 }
 
 #[test]

@@ -5,9 +5,7 @@
 use taobao_sisg::core::{SisgModel, Variant};
 use taobao_sisg::corpus::split::{NextItemSplit, SplitStage};
 use taobao_sisg::corpus::vocab::TokenSpace;
-use taobao_sisg::corpus::{
-    CorpusConfig, EnrichOptions, EnrichedCorpus, GeneratedCorpus, TokenId,
-};
+use taobao_sisg::corpus::{CorpusConfig, EnrichOptions, EnrichedCorpus, GeneratedCorpus, TokenId};
 use taobao_sisg::distributed::runtime::{train_distributed, PartitionStrategy};
 use taobao_sisg::distributed::DistConfig;
 use taobao_sisg::embedding::retrieve_top_k;
@@ -59,8 +57,7 @@ fn distributed_hit_rate_is_comparable_to_single_process() {
         strategy: PartitionStrategy::Hbgp { beta: 1.2 },
         ..Default::default()
     };
-    let (store, report) =
-        train_distributed(&enriched, &split.train, &corpus.catalog, &dist_cfg);
+    let (store, report) = train_distributed(&enriched, &split.train, &corpus.catalog, &dist_cfg);
     let space = TokenSpace::new(
         corpus.config.n_items,
         corpus.catalog.cardinalities(),

@@ -84,7 +84,11 @@ fn every_retriever_family_answers_the_same_query() {
             ..Default::default()
         },
     );
-    let cf = CfModel::train(&corpus.sessions, corpus.config.n_items, &CfConfig::default());
+    let cf = CfModel::train(
+        &corpus.sessions,
+        corpus.config.n_items,
+        &CfConfig::default(),
+    );
 
     for (name, list) in [
         ("sisg", sisg.retrieve(query, k)),
@@ -112,11 +116,7 @@ fn recommender_round_trips_through_codec() {
     let rec = Recommender::train(&corpus, Variant::SisgFUD, &sgns());
     let blob = codec::encode(rec.model().store());
     let store = codec::decode(&blob).expect("decode");
-    let served = SisgModel::from_store(
-        Variant::SisgFUD,
-        rec.model().space().clone(),
-        store,
-    );
+    let served = SisgModel::from_store(Variant::SisgFUD, rec.model().space().clone(), store);
     for q in [ItemId(0), ItemId(5), ItemId(42)] {
         assert_eq!(
             rec.model().retrieve(q, 20),
@@ -129,7 +129,15 @@ fn recommender_round_trips_through_codec() {
 #[test]
 fn directional_variant_encodes_click_order() {
     let corpus = corpus();
-    let (model, _) = SisgModel::train(&corpus, Variant::SisgFUD, &sgns());
+    // This test measures *adjacent* click transitions, so train with an
+    // adjacency-scale window: wider windows legitimately also draw
+    // longer-range right-context pairs (users browse back and forth),
+    // which dilutes the forward-vs-reverse margin on adjacent pairs.
+    let cfg = SgnsConfig {
+        window: 1,
+        ..sgns()
+    };
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFUD, &cfg);
     // Count frequent forward transitions; the model should usually score
     // them above their reverses.
     let mut forward_wins = 0u32;
@@ -149,7 +157,10 @@ fn directional_variant_encodes_click_order() {
             }
         }
     }
-    assert!(total >= 10, "need enough strongly-directional pairs, got {total}");
+    assert!(
+        total >= 10,
+        "need enough strongly-directional pairs, got {total}"
+    );
     assert!(
         forward_wins as f64 / total as f64 > 0.6,
         "directional model ranks forward above reverse in only {forward_wins}/{total}"

@@ -12,18 +12,16 @@ fn catalog(n_items: u32) -> ItemCatalog {
 }
 
 fn sessions_strategy(n_items: u32) -> impl Strategy<Value = Corpus> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..n_items, 2..10),
-        1..60,
+    proptest::collection::vec(proptest::collection::vec(0..n_items, 2..10), 1..60).prop_map(
+        move |raw| {
+            let mut c = Corpus::new();
+            for (u, items) in raw.into_iter().enumerate() {
+                let items: Vec<ItemId> = items.into_iter().map(ItemId).collect();
+                c.push(UserId(u as u32), &items);
+            }
+            c
+        },
     )
-    .prop_map(move |raw| {
-        let mut c = Corpus::new();
-        for (u, items) in raw.into_iter().enumerate() {
-            let items: Vec<ItemId> = items.into_iter().map(ItemId).collect();
-            c.push(UserId(u as u32), &items);
-        }
-        c
-    })
 }
 
 proptest! {

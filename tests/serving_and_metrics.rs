@@ -58,7 +58,10 @@ fn serving_layer_matches_direct_retrieval_for_warm_items() {
         .into_iter()
         .map(|r| r.item)
         .collect();
-    assert_eq!(direct, served, "precomputed lists must equal live retrieval");
+    assert_eq!(
+        direct, served,
+        "precomputed lists must equal live retrieval"
+    );
     assert_eq!(svc.stats().requests.load(Ordering::Relaxed), 1);
 }
 
