@@ -256,6 +256,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` passes through both traits unchanged, so callers can work with
+// dynamically shaped JSON (e.g. merging result files whose schemas differ)
+// without declaring a struct per file.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

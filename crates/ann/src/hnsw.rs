@@ -123,10 +123,19 @@ impl HnswIndex {
     }
 
     /// Greedy beam search on one layer; returns up to `ef` best nodes,
-    /// best first.
-    fn search_layer(&self, query: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Scored> {
+    /// best first. `hops` counts score evaluations (node visits) so the
+    /// serving path can report search effort; construction passes a dummy.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entry: u32,
+        ef: usize,
+        layer: usize,
+        hops: &mut u64,
+    ) -> Vec<Scored> {
         let mut visited = vec![false; self.links.len()];
         visited[entry as usize] = true;
+        *hops += 1;
         let e = Scored {
             score: self.score(entry, query),
             id: entry,
@@ -149,6 +158,7 @@ impl HnswIndex {
                     continue;
                 }
                 visited[nb as usize] = true;
+                *hops += 1;
                 let s = Scored {
                     score: self.score(nb, query),
                     id: nb,
@@ -179,13 +189,22 @@ impl HnswIndex {
         let query: Vec<f32> = self.vectors.row(id as usize).to_vec();
 
         // Zoom down through layers above the node's level.
+        let mut zoom_hops = 0u64;
         for layer in ((level + 1)..=self.max_layer).rev() {
-            current = self.greedy_step(&query, current, layer);
+            current = self.greedy_step(&query, current, layer, &mut zoom_hops);
         }
 
         // Insert into each layer from min(level, max_layer) down to 0.
+        // Construction effort is not a serving metric; discard the hops.
+        let mut build_hops = 0u64;
         for layer in (0..=level.min(self.max_layer)).rev() {
-            let found = self.search_layer(&query, current, self.config.ef_construction, layer);
+            let found = self.search_layer(
+                &query,
+                current,
+                self.config.ef_construction,
+                layer,
+                &mut build_hops,
+            );
             let max_links = if layer == 0 {
                 self.config.m * 2
             } else {
@@ -226,16 +245,19 @@ impl HnswIndex {
             scored.into_iter().take(max_links).map(|s| s.id).collect();
     }
 
-    /// One greedy hill-climb on `layer` from `from`.
-    fn greedy_step(&self, query: &[f32], from: u32, layer: usize) -> u32 {
+    /// One greedy hill-climb on `layer` from `from`. `hops` counts score
+    /// evaluations, matching [`HnswIndex::search_layer`].
+    fn greedy_step(&self, query: &[f32], from: u32, layer: usize, hops: &mut u64) -> u32 {
         let mut current = from;
         let mut best = self.score(current, query);
+        *hops += 1;
         loop {
             let mut improved = false;
             for &nb in &self.links[current as usize]
                 [layer.min(self.links[current as usize].len().saturating_sub(1))]
             {
                 let s = self.score(nb, query);
+                *hops += 1;
                 if s > best {
                     best = s;
                     current = nb;
@@ -268,9 +290,26 @@ fn sample_level(rng: &mut StdRng, ml: f64) -> usize {
     ((-u.ln() * ml).floor() as usize).min(24)
 }
 
+/// Cached obs handles so each search pays two relaxed-atomic records, not
+/// a registry lookup.
+struct HnswMetrics {
+    search_us: &'static sisg_obs::Histogram,
+    hops: &'static sisg_obs::Histogram,
+}
+
+fn hnsw_metrics() -> &'static HnswMetrics {
+    static M: std::sync::OnceLock<HnswMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| HnswMetrics {
+        search_us: sisg_obs::registry().histogram(sisg_obs::names::ANN_SEARCH_US),
+        hops: sisg_obs::registry().histogram(sisg_obs::names::ANN_HNSW_HOPS),
+    })
+}
+
 impl AnnIndex for HnswIndex {
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        let m = hnsw_metrics();
+        let watch = sisg_obs::Stopwatch::start();
         // Augment the query with a zero coordinate: augmented inner
         // products equal the original ones exactly.
         let mut query = query.to_vec();
@@ -279,18 +318,23 @@ impl AnnIndex for HnswIndex {
         let Some(mut current) = self.entry else {
             return Vec::new();
         };
+        let mut hops = 0u64;
         for layer in (1..=self.max_layer).rev() {
-            current = self.greedy_step(query, current, layer);
+            current = self.greedy_step(query, current, layer, &mut hops);
         }
         let ef = self.config.ef_search.max(k);
-        self.search_layer(query, current, ef, 0)
+        let out: Vec<Hit> = self
+            .search_layer(query, current, ef, 0, &mut hops)
             .into_iter()
             .take(k)
             .map(|s| Hit {
                 id: TokenId(s.id),
                 score: s.score,
             })
-            .collect()
+            .collect();
+        m.hops.record(hops);
+        m.search_us.record_duration(watch.elapsed());
+        out
     }
 
     fn len(&self) -> usize {

@@ -5,7 +5,7 @@
 use crate::AnnIndex;
 use sisg_corpus::TokenId;
 use sisg_embedding::{retrieve_top_k, Matrix};
-use std::time::Instant;
+use sisg_obs::{names, registry, Stopwatch};
 
 /// Result of one recall evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,14 +47,18 @@ pub fn recall_at_k(
     let mut total = 0usize;
     let mut ann_time = 0.0f64;
     let mut exact_time = 0.0f64;
+    let probes = registry().counter(names::ANN_RECALL_PROBES_TOTAL);
+    let true_hits = registry().counter(names::ANN_RECALL_HITS_TOTAL);
     for &q in query_rows {
         let query = vectors.row(q as usize);
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let approx = index.search(query, k);
-        ann_time += t.elapsed().as_secs_f64();
-        let t = Instant::now();
+        ann_time += t.elapsed_seconds();
+        let t = Stopwatch::start();
         let exact = retrieve_top_k(query, vectors, (0..n).map(TokenId), k, None);
-        exact_time += t.elapsed().as_secs_f64();
+        exact_time += t.elapsed_seconds();
+        // One ANN probe and one exact probe per query.
+        probes.add(2);
         for e in exact {
             total += 1;
             if approx.iter().any(|h| h.id == e.token) {
@@ -62,6 +66,7 @@ pub fn recall_at_k(
             }
         }
     }
+    true_hits.add(hits as u64);
     RecallReport {
         k,
         queries: query_rows.len(),

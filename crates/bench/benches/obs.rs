@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the observability primitives, next to the
+//! hot kernels they instrument.
+//!
+//! Prints the per-op cost of every `sisg-obs` recording primitive and, for
+//! scale, the kernels those primitives wrap (`train_pair`, a warm serving
+//! lookup's equivalent clone). The hard <2% guard lives in
+//! `tests/obs_overhead.rs`; this bench is the human-readable companion.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sisg_corpus::TokenId;
+use sisg_embedding::Matrix;
+use sisg_obs::{registry, span, Stopwatch};
+use sisg_sgns::sgd::train_pair;
+use sisg_sgns::sigmoid::SigmoidTable;
+use std::time::Duration;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    group.measurement_time(Duration::from_secs(1));
+
+    let counter = registry().counter("bench.counter");
+    group.bench_function("counter_add", |b| b.iter(|| counter.add(black_box(1))));
+
+    let gauge = registry().gauge("bench.gauge");
+    group.bench_function("gauge_set", |b| b.iter(|| gauge.set(black_box(0.5))));
+
+    let histogram = registry().histogram("bench.histogram");
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| histogram.record(black_box(12_345)))
+    });
+
+    group.bench_function("stopwatch_start_elapsed", |b| {
+        b.iter(|| Stopwatch::start().elapsed())
+    });
+
+    group.bench_function("span_record", |b| b.iter(|| span("bench.span").finish()));
+
+    group.finish();
+}
+
+/// The kernels the primitives amortize over, for eyeballing the ratio.
+fn bench_reference_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_reference");
+    group.measurement_time(Duration::from_secs(1));
+
+    let dim = 128;
+    let input = Matrix::uniform_init(1000, dim, 1);
+    let output = Matrix::uniform_init(1000, dim, 2);
+    let sigmoid = SigmoidTable::new();
+    let negs: Vec<TokenId> = (2..22).map(TokenId).collect();
+    let mut grad = vec![0.0f32; dim];
+    group.bench_function("train_pair_d128_n20", |b| {
+        b.iter(|| {
+            train_pair(
+                &input,
+                &output,
+                TokenId(0),
+                TokenId(1),
+                black_box(&negs),
+                0.025,
+                &sigmoid,
+                &mut grad,
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_reference_kernels);
+criterion_main!(benches);

@@ -63,7 +63,7 @@ fn main() {
     );
 
     let mut eval_index = |name: String, index: &dyn AnnIndex, scan_fraction: f64| {
-        let start = std::time::Instant::now();
+        let start = sisg_obs::Stopwatch::start();
         let mut hits = 0usize;
         let mut total = 0usize;
         for (q, truth) in query_vectors.iter().zip(&exact) {
@@ -75,7 +75,7 @@ fn main() {
                 }
             }
         }
-        let us = start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
+        let us = start.elapsed_seconds() * 1e6 / queries.len() as f64;
         table.push_row(vec![
             name,
             format!("{:.4}", hits as f64 / total as f64),
@@ -142,5 +142,6 @@ fn main() {
     );
     let path = results_dir().join("ablation_ann.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("ablation_ann");
+    println!("wrote {} and {}", path.display(), metrics.display());
 }

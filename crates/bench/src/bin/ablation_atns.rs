@@ -58,5 +58,6 @@ fn main() {
     );
     let path = results_dir().join("ablation_atns.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("ablation_atns");
+    println!("wrote {} and {}", path.display(), metrics.display());
 }

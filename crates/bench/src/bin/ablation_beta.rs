@@ -54,5 +54,6 @@ fn main() {
     println!("\npaper production setting: beta = 1.2");
     let path = results_dir().join("ablation_beta.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("ablation_beta");
+    println!("wrote {} and {}", path.display(), metrics.display());
 }

@@ -63,5 +63,6 @@ fn main() {
     );
     let path = results_dir().join("ablation_partition.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("ablation_partition");
+    println!("wrote {} and {}", path.display(), metrics.display());
 }

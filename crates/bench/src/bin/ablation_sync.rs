@@ -79,5 +79,6 @@ fn main() {
     );
     let path = results_dir().join("ablation_sync.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("ablation_sync");
+    println!("wrote {} and {}", path.display(), metrics.display());
 }

@@ -125,5 +125,6 @@ fn main() {
 
     let path = results_dir().join("fig3_ctr.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("fig3_ctr");
+    println!("wrote {} and {}", path.display(), metrics.display());
 }

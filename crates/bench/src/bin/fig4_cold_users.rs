@@ -93,5 +93,6 @@ fn main() {
 
     let path = results_dir().join("fig4_cold_users.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("fig4_cold_users");
+    println!("wrote {} and {}", path.display(), metrics.display());
 }

@@ -127,5 +127,11 @@ fn main() {
     .expect("write points");
     let tpath = results_dir().join("fig5_tsne.json");
     table.write_json(&tpath).expect("write results");
-    println!("wrote {} and {}", tpath.display(), path.display());
+    let metrics = sisg_bench::emit_metrics("fig5_tsne");
+    println!(
+        "wrote {}, {} and {}",
+        tpath.display(),
+        path.display(),
+        metrics.display()
+    );
 }

@@ -136,5 +136,6 @@ fn main() {
 
     let path = results_dir().join("fig6_cold_items.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("fig6_cold_items");
+    println!("wrote {} and {}", path.display(), metrics.display());
 }

@@ -77,5 +77,6 @@ fn main() {
 
     let path = results_dir().join("fig7b_corpus.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("fig7b_corpus");
+    println!("wrote {} and {}", path.display(), metrics.display());
 }

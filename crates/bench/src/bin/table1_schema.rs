@@ -42,5 +42,6 @@ fn main() {
     print!("{}", table.render());
     let path = results_dir().join("table1_schema.json");
     table.write_json(&path).expect("write results");
-    println!("\nwrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("table1_schema");
+    println!("\nwrote {} and {}", path.display(), metrics.display());
 }

@@ -72,5 +72,6 @@ fn main() {
     );
     let path = results_dir().join("table2_datasets.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("table2_datasets");
+    println!("wrote {} and {}", path.display(), metrics.display());
 }

@@ -15,7 +15,7 @@ use sisg_corpus::split::{NextItemSplit, SplitStage};
 use sisg_eges::{EgesConfig, EgesModel, WalkConfig};
 use sisg_eval::report::{fmt4, fmt_pct};
 use sisg_eval::{evaluate_hit_rates, ExperimentTable, HitRateResult};
-use std::time::Instant;
+use sisg_obs::Stopwatch;
 
 const KS: [usize; 5] = [1, 10, 20, 100, 200];
 
@@ -45,7 +45,7 @@ fn main() {
         .chain([Variant::SisgD])
         .collect();
     for variant in variants {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let (model, report) = SisgModel::train_on_sessions(
             &split.train,
             &corpus.catalog,
@@ -57,13 +57,13 @@ fn main() {
         eprintln!(
             "{variant}: {} pairs in {:.1}s (avg loss {:.3})",
             report.stats.pairs,
-            t.elapsed().as_secs_f64(),
+            t.elapsed_seconds(),
             report.stats.avg_loss
         );
         results.push(evaluate_hit_rates(variant.name(), &model, &split.eval, &KS));
         // EGES goes right after SGNS, matching the table's row order.
         if variant == Variant::Sgns {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let train_bundle = with_sessions(&corpus, split.train.clone());
             let eges = EgesModel::train(
                 &train_bundle,
@@ -81,7 +81,7 @@ fn main() {
                     ..Default::default()
                 },
             );
-            eprintln!("EGES: trained in {:.1}s", t.elapsed().as_secs_f64());
+            eprintln!("EGES: trained in {:.1}s", t.elapsed_seconds());
             results.push(evaluate_hit_rates("EGES", &eges, &split.eval, &KS));
         }
     }
@@ -148,5 +148,12 @@ fn main() {
 
     let path = results_dir().join("table3_hitrate.json");
     table.write_json(&path).expect("write results");
-    println!("wrote {}", path.display());
+    let metrics = sisg_bench::emit_metrics("table3_hitrate");
+    let obs = sisg_bench::update_bench_obs("table3_hitrate");
+    println!(
+        "wrote {}, {} and {}",
+        path.display(),
+        metrics.display(),
+        obs.display()
+    );
 }

@@ -1,0 +1,145 @@
+//! The metric-catalog cross-check: every metric the instrumented code can
+//! emit is (a) declared in `sisg_obs::names::ALL` and (b) documented in
+//! `docs/OBSERVABILITY.md`, and every declared name is actually produced
+//! by a real workload.
+//!
+//! One test drives each instrumented layer on a tiny corpus — SGNS and
+//! EGES training, the shared-memory and message-passing distributed
+//! runtimes, warm/cold/cold-user serving, HNSW search, and the recall
+//! harness — then snapshots the process-wide registry and reconciles it
+//! against the declared catalog and the documentation, in both directions.
+//!
+//! The declared-⊆-documented check always runs; the emission checks skip
+//! when sisg-obs was built with recording compiled out.
+
+use sisg_ann::{recall_at_k, AnnIndex, HnswConfig, HnswIndex};
+use sisg_core::{MatchingService, ServingConfig, SisgModel, Variant};
+use sisg_corpus::{CorpusConfig, EnrichOptions, EnrichedCorpus, GeneratedCorpus, ItemId};
+use sisg_distributed::runtime::{train_distributed_on, PartitionStrategy};
+use sisg_distributed::{train_distributed_channels, DistConfig};
+use sisg_eges::{EgesConfig, EgesModel, WalkConfig};
+use sisg_embedding::Matrix;
+use sisg_obs::{names, registry};
+use sisg_sgns::SgnsConfig;
+use std::path::Path;
+
+fn exercise_every_layer() -> GeneratedCorpus {
+    let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+    let sgns = SgnsConfig {
+        dim: 8,
+        window: 2,
+        negatives: 2,
+        epochs: 1,
+        ..Default::default()
+    };
+
+    // SGNS (inside SisgModel) + the serving layer, one all-warm and one
+    // all-cold service so every request path records.
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns);
+    let clicks = vec![10u64; corpus.config.n_items as usize];
+    let warm_svc = MatchingService::build(
+        model,
+        corpus.users.clone(),
+        &clicks,
+        ServingConfig {
+            k: 10,
+            min_clicks_for_warm: 1,
+        },
+    );
+    let si = *corpus.catalog.si_values(ItemId(0));
+    warm_svc.candidates(ItemId(0), &si, 5);
+    warm_svc.cold_user_candidates(Some(0), None, None, 5);
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns);
+    let cold_svc = MatchingService::build(
+        model,
+        corpus.users.clone(),
+        &vec![0u64; corpus.config.n_items as usize],
+        ServingConfig {
+            k: 10,
+            min_clicks_for_warm: 1_000,
+        },
+    );
+    cold_svc.candidates(ItemId(0), &si, 5);
+
+    // EGES.
+    EgesModel::train(
+        &corpus,
+        &EgesConfig {
+            dim: 8,
+            window: 2,
+            negatives: 2,
+            epochs: 1,
+            walk: WalkConfig {
+                walks_per_node: 1,
+                walk_length: 5,
+                seed: 1,
+            },
+            ..Default::default()
+        },
+    );
+
+    // Both distributed runtimes; a tiny sync interval forces ATNS rounds
+    // so the sync span records.
+    let dist = DistConfig {
+        workers: 2,
+        dim: 8,
+        window: 2,
+        negatives: 2,
+        epochs: 1,
+        hot_set_size: 32,
+        sync_interval: 4,
+        strategy: PartitionStrategy::Hash,
+        ..Default::default()
+    };
+    train_distributed_on(&corpus, EnrichOptions::FULL, &dist);
+    let enriched = EnrichedCorpus::build(&corpus, EnrichOptions::FULL);
+    train_distributed_channels(&enriched, &corpus.sessions, &corpus.catalog, &dist);
+
+    // HNSW search and the recall harness.
+    let vectors = Matrix::uniform_init(200, 8, 3);
+    let index = HnswIndex::build(&vectors, HnswConfig::default());
+    index.search(vectors.row(0), 5);
+    recall_at_k(&index, &vectors, &[0, 7, 21], 5);
+
+    corpus
+}
+
+#[test]
+fn every_emitted_metric_is_declared_and_documented() {
+    // Declared ⊆ documented: docs/OBSERVABILITY.md names every metric.
+    let doc_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/OBSERVABILITY.md");
+    let doc = std::fs::read_to_string(&doc_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", doc_path.display()));
+    for name in names::ALL {
+        assert!(
+            doc.contains(name),
+            "metric `{name}` is not documented in docs/OBSERVABILITY.md"
+        );
+    }
+
+    exercise_every_layer();
+    let snapshot = registry().snapshot("metrics_catalog");
+    let emitted: Vec<&str> = snapshot.metric_names();
+    if emitted.is_empty() {
+        eprintln!("sisg-obs recording compiled out; skipping the emission checks");
+        return;
+    }
+
+    // Emitted ⊆ declared: no instrumentation site invents a name outside
+    // the catalog.
+    for name in &emitted {
+        assert!(
+            names::ALL.contains(name),
+            "metric `{name}` is emitted but not declared in sisg_obs::names::ALL"
+        );
+    }
+
+    // Declared ⊆ emitted: every declared name is reachable by a real
+    // workload — dead catalog entries rot documentation.
+    for name in names::ALL {
+        assert!(
+            emitted.contains(name),
+            "metric `{name}` is declared but none of the workloads emitted it"
+        );
+    }
+}

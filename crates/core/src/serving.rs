@@ -13,7 +13,30 @@ use crate::model::SisgModel;
 use crate::recommender::Recommendation;
 use sisg_corpus::schema::ItemFeature;
 use sisg_corpus::{ItemId, UserRegistry};
+use sisg_obs::{names, registry, Counter, Histogram, Stopwatch};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Cached `&'static` obs handles: fetched once, then every request is a
+/// handful of relaxed atomic ops (the serving-path overhead budget).
+struct ServingMetrics {
+    requests: &'static Counter,
+    warm_hits: &'static Counter,
+    cold_items: &'static Counter,
+    cold_users: &'static Counter,
+    recommend_us: &'static Histogram,
+}
+
+fn serving_metrics() -> &'static ServingMetrics {
+    static M: OnceLock<ServingMetrics> = OnceLock::new();
+    M.get_or_init(|| ServingMetrics {
+        requests: registry().counter(names::SERVING_REQUESTS_TOTAL),
+        warm_hits: registry().counter(names::SERVING_WARM_HITS_TOTAL),
+        cold_items: registry().counter(names::SERVING_COLD_ITEM_TOTAL),
+        cold_users: registry().counter(names::SERVING_COLD_USER_TOTAL),
+        recommend_us: registry().histogram(names::SERVING_RECOMMEND_US),
+    })
+}
 
 /// Build options for the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,24 +132,34 @@ impl MatchingService {
         si_values: &[u32; ItemFeature::COUNT],
         k: usize,
     ) -> Vec<Recommendation> {
+        let m = serving_metrics();
+        let watch = Stopwatch::start();
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        m.requests.inc();
         if !self.cold[item.index()] {
             self.stats.warm_hits.fetch_add(1, Ordering::Relaxed);
+            m.warm_hits.inc();
             let list = &self.lists[item.index()];
-            return list[..k.min(list.len())].to_vec();
+            let out = list[..k.min(list.len())].to_vec();
+            m.recommend_us.record_duration(watch.elapsed());
+            return out;
         }
         self.stats
             .cold_item_requests
             .fetch_add(1, Ordering::Relaxed);
-        cold_start::cold_item_recommendations(&self.model, si_values, k + 1)
-            .into_iter()
-            .map(|n| Recommendation {
-                item: ItemId(n.token.0),
-                score: n.score,
-            })
-            .filter(|r| r.item != item)
-            .take(k)
-            .collect()
+        m.cold_items.inc();
+        let out: Vec<Recommendation> =
+            cold_start::cold_item_recommendations(&self.model, si_values, k + 1)
+                .into_iter()
+                .map(|n| Recommendation {
+                    item: ItemId(n.token.0),
+                    score: n.score,
+                })
+                .filter(|r| r.item != item)
+                .take(k)
+                .collect();
+        m.recommend_us.record_duration(watch.elapsed());
+        out
     }
 
     /// Serves a cold-user request from demographics.
@@ -137,18 +170,30 @@ impl MatchingService {
         purchase: Option<u8>,
         k: usize,
     ) -> Option<Vec<Recommendation>> {
+        let m = serving_metrics();
+        let watch = Stopwatch::start();
         self.stats
             .cold_user_requests
             .fetch_add(1, Ordering::Relaxed);
-        cold_start::cold_user_recommendations(&self.model, &self.users, gender, age, purchase, k)
-            .map(|hits| {
-                hits.into_iter()
-                    .map(|n| Recommendation {
-                        item: ItemId(n.token.0),
-                        score: n.score,
-                    })
-                    .collect()
-            })
+        m.cold_users.inc();
+        let out = cold_start::cold_user_recommendations(
+            &self.model,
+            &self.users,
+            gender,
+            age,
+            purchase,
+            k,
+        )
+        .map(|hits| {
+            hits.into_iter()
+                .map(|n| Recommendation {
+                    item: ItemId(n.token.0),
+                    score: n.score,
+                })
+                .collect()
+        });
+        m.recommend_us.record_duration(watch.elapsed());
+        out
     }
 
     /// True when `item` is served through the cold path.

@@ -29,10 +29,10 @@ use rand::SeedableRng;
 use sisg_corpus::{Corpus, EnrichedCorpus, ItemCatalog, TokenId};
 use sisg_embedding::math::dot;
 use sisg_embedding::{EmbeddingStore, Matrix};
+use sisg_obs::names as obs_names;
 use sisg_sgns::sigmoid::SigmoidTable;
 use sisg_sgns::{NoiseTable, PairSampler, SubsampleTable};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// A remote TNS call: "here is my input vector for `target`; run the step
 /// against `context` on your shard and send the gradient back".
@@ -204,7 +204,12 @@ pub fn train_distributed_channels(
             * config.epochs as u64
     };
 
-    let start = Instant::now();
+    // Channel-depth tracking: senders increment, receivers decrement, and
+    // the peak is the run's backpressure high-water mark.
+    let in_flight = AtomicU64::new(0);
+    let depth_peak = AtomicU64::new(0);
+
+    let span = sisg_obs::span(obs_names::DIST_CHANNELS_TRAIN_SPAN);
     let mut shards: Vec<Option<(Shard, ChannelReport)>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(w);
@@ -217,6 +222,8 @@ pub fn train_distributed_channels(
             let sigmoid = &sigmoid;
             let scanning_done = &scanning_done;
             let progress = &progress;
+            let in_flight = &in_flight;
+            let depth_peak = &depth_peak;
             handles.push(scope.spawn(move || {
                 worker(WorkerEnv {
                     me,
@@ -233,6 +240,8 @@ pub fn train_distributed_channels(
                     scanning_done,
                     progress,
                     schedule_pairs,
+                    in_flight,
+                    depth_peak,
                 })
             }));
         }
@@ -240,7 +249,7 @@ pub fn train_distributed_channels(
             shards.push(Some(h.join().expect("worker thread panicked")));
         }
     });
-    let seconds = start.elapsed().as_secs_f64();
+    let seconds = span.finish().as_secs_f64();
 
     // Assemble the global store from the shards.
     let dim = config.dim;
@@ -264,7 +273,22 @@ pub fn train_distributed_channels(
             }
         }
     }
+
+    let reg = sisg_obs::registry();
+    reg.counter(obs_names::DIST_CHANNEL_MESSAGES_TOTAL)
+        .add(report.messages);
+    reg.counter(obs_names::DIST_CHANNEL_PAYLOAD_BYTES_TOTAL)
+        .add(report.payload_bytes);
+    reg.gauge(obs_names::DIST_CHANNEL_DEPTH_PEAK)
+        .record_max(depth_peak.load(Ordering::Relaxed) as f64);
+
     (EmbeddingStore::from_matrices(input, output), report)
+}
+
+/// Bumps the in-flight message count before a send and maintains the peak.
+fn track_send(in_flight: &AtomicU64, peak: &AtomicU64) {
+    let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+    peak.fetch_max(depth, Ordering::Relaxed);
 }
 
 struct WorkerEnv<'a> {
@@ -282,6 +306,8 @@ struct WorkerEnv<'a> {
     scanning_done: &'a AtomicUsize,
     progress: &'a AtomicU64,
     schedule_pairs: u64,
+    in_flight: &'a AtomicU64,
+    depth_peak: &'a AtomicU64,
 }
 
 fn worker(env: WorkerEnv<'_>) -> (Shard, ChannelReport) {
@@ -317,6 +343,7 @@ fn worker(env: WorkerEnv<'_>) -> (Shard, ChannelReport) {
                 );
                 counters.messages += 1;
                 counters.payload_bytes += (grad.len() * 4) as u64;
+                track_send(env.in_flight, env.depth_peak);
                 env.senders[req.from]
                     .send(Message::Response(TnsResponse {
                         target: req.target,
@@ -364,6 +391,7 @@ fn worker(env: WorkerEnv<'_>) -> (Shard, ChannelReport) {
                     counters.messages += 1;
                     let input: Vec<f32> = shard.input.row(shard.row(target)).to_vec();
                     counters.payload_bytes += (input.len() * 4) as u64;
+                    track_send(env.in_flight, env.depth_peak);
                     env.senders[owner]
                         .send(Message::Request(TnsRequest {
                             from: env.me,
@@ -375,6 +403,7 @@ fn worker(env: WorkerEnv<'_>) -> (Shard, ChannelReport) {
                         .expect("owner inbox closed");
                     loop {
                         let msg = env.rx.recv().expect("channel closed while waiting");
+                        env.in_flight.fetch_sub(1, Ordering::Relaxed);
                         if let Some(resp) =
                             handle(msg, &mut shard, &mut counters, &mut rng, &mut negatives)
                         {
@@ -397,6 +426,7 @@ fn worker(env: WorkerEnv<'_>) -> (Shard, ChannelReport) {
     while env.scanning_done.load(Ordering::SeqCst) < env.w {
         match env.rx.try_recv() {
             Ok(msg) => {
+                env.in_flight.fetch_sub(1, Ordering::Relaxed);
                 let r = handle(msg, &mut shard, &mut counters, &mut rng, &mut negatives);
                 debug_assert!(r.is_none(), "unexpected response after scan");
             }
@@ -404,6 +434,7 @@ fn worker(env: WorkerEnv<'_>) -> (Shard, ChannelReport) {
         }
     }
     while let Ok(msg) = env.rx.try_recv() {
+        env.in_flight.fetch_sub(1, Ordering::Relaxed);
         let r = handle(msg, &mut shard, &mut counters, &mut rng, &mut negatives);
         debug_assert!(r.is_none(), "unexpected response during drain");
     }

@@ -30,11 +30,11 @@ use rand::SeedableRng;
 use sisg_corpus::{Corpus, EnrichedCorpus, ItemCatalog, TokenId};
 use sisg_embedding::matrix::RowPtr;
 use sisg_embedding::EmbeddingStore;
+use sisg_obs::names as obs_names;
 use sisg_sgns::sigmoid::SigmoidTable;
 use sisg_sgns::{NoiseTable, PairSampler, SubsampleTable, WindowMode};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
-use std::time::Instant;
 
 /// Which item partitioner the run uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -192,7 +192,7 @@ pub fn train_distributed(
     let sync_rounds = AtomicU64::new(0);
 
     // Per-worker counters, collected after the scope.
-    let start = Instant::now();
+    let span = sisg_obs::span(obs_names::DIST_TRAIN_SPAN);
     let mut per_worker: Vec<WorkerCounters> = Vec::with_capacity(w);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(w);
@@ -234,7 +234,7 @@ pub fn train_distributed(
             per_worker.push(h.join().expect("worker thread panicked"));
         }
     });
-    let seconds = start.elapsed().as_secs_f64();
+    let seconds = span.finish().as_secs_f64();
 
     // Item-frequency load balance (items only, the quantity HBGP targets).
     let n_items = space.n_items() as usize;
@@ -266,7 +266,32 @@ pub fn train_distributed(
         cut_fraction: partition.cut_fraction(sessions),
         imbalance: item_map.imbalance(item_freqs),
     };
+    publish_report_to_obs(&report);
     (store, report)
+}
+
+/// Mirrors one run's accounting into the global obs registry, so the same
+/// numbers reach snapshots without any per-pair instrumentation.
+fn publish_report_to_obs(report: &DistReport) {
+    let reg = sisg_obs::registry();
+    reg.counter(obs_names::DIST_PAIRS_TOTAL)
+        .add(report.total_pairs());
+    reg.counter(obs_names::DIST_REMOTE_PAIRS_TOTAL)
+        .add(report.remote_pairs);
+    reg.counter(obs_names::DIST_SYNC_ROUNDS_TOTAL)
+        .add(report.sync_rounds);
+    reg.counter(obs_names::DIST_SYNC_BYTES_TOTAL)
+        .add(report.sync_comm_bytes);
+    reg.gauge(obs_names::DIST_REMOTE_FRACTION)
+        .set(report.remote_fraction());
+    reg.gauge(obs_names::DIST_PAIR_IMBALANCE)
+        .set(report.pair_imbalance());
+    reg.gauge(obs_names::DIST_CUT_FRACTION)
+        .set(report.cut_fraction);
+    let worker_pairs = reg.histogram(obs_names::DIST_WORKER_PAIRS);
+    for &pairs in &report.pairs_per_worker {
+        worker_pairs.record(pairs);
+    }
 }
 
 #[derive(Debug, Default, Clone)]
@@ -402,7 +427,9 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
             // ATNS synchronization barrier: worker 0 averages the replicas
             // while everyone else waits, then all resume.
             if barrier.wait().is_leader() {
+                let sync_span = sisg_obs::span(obs_names::DIST_SYNC_SPAN);
                 let bytes = replicas.synchronize(store, hot, config.sync_mode);
+                sync_span.finish();
                 sync_bytes.fetch_add(bytes, Ordering::Relaxed);
                 sync_rounds.fetch_add(1, Ordering::Relaxed);
             }

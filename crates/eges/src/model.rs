@@ -116,6 +116,10 @@ impl EgesModel {
             }
         }
         let total_tokens: u64 = freqs.iter().sum();
+        let span = sisg_obs::span(sisg_obs::names::EGES_TRAIN_SPAN);
+        let obs_pairs = sisg_obs::registry().counter(sisg_obs::names::EGES_PAIRS_TOTAL);
+        let obs_tokens = sisg_obs::registry().counter(sisg_obs::names::EGES_TOKENS_TOTAL);
+        let obs_lr = sisg_obs::registry().gauge(sisg_obs::names::EGES_LR);
         if total_tokens > 0 {
             let noise = NoiseTable::from_freqs(&freqs, config.noise_exponent);
             let sampler = PairSampler {
@@ -135,13 +139,21 @@ impl EgesModel {
             let mut pair_buf: Vec<(TokenId, TokenId)> = Vec::new();
             let mut negatives: Vec<TokenId> = Vec::with_capacity(config.negatives);
 
+            // Accumulated locally and flushed to obs once per epoch so the
+            // pair loop stays instrumentation-free.
+            let mut epoch_pairs = 0u64;
+            let mut epoch_tokens = 0u64;
+            let mut last_lr = config.learning_rate;
             for _epoch in 0..config.epochs {
                 for walk in &walks {
                     processed += walk.len() as u64;
+                    epoch_tokens += walk.len() as u64;
                     let frac = (processed as f64 / schedule as f64).min(1.0);
                     let lr = (config.learning_rate as f64 * (1.0 - frac))
                         .max(config.min_learning_rate as f64) as f32;
+                    last_lr = lr;
                     sampler.pairs_into(walk, &mut rng, &mut pair_buf);
+                    epoch_pairs += pair_buf.len() as u64;
                     for &(target, context) in &pair_buf {
                         negatives.clear();
                         for _ in 0..config.negatives {
@@ -168,8 +180,14 @@ impl EgesModel {
                         );
                     }
                 }
+                obs_pairs.add(epoch_pairs);
+                obs_tokens.add(epoch_tokens);
+                obs_lr.set(last_lr as f64);
+                epoch_pairs = 0;
+                epoch_tokens = 0;
             }
         }
+        span.finish();
 
         // Materialize aggregated representations for retrieval.
         let mut aggregated = Matrix::zeros(n_items, config.dim);

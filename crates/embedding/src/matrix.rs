@@ -124,6 +124,15 @@ impl<'a> RowPtr<'a> {
 
     /// Dot product of two rows via relaxed loads.
     ///
+    /// # Examples
+    /// ```
+    /// use sisg_embedding::Matrix;
+    ///
+    /// let m = Matrix::from_data(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    /// let d = m.row_ptr(0).dot(&m.row_ptr(1));
+    /// assert_eq!(d, 1.0 * 4.0 + 2.0 * 5.0 + 3.0 * 6.0);
+    /// ```
+    ///
     /// # Panics
     /// Panics when the rows differ in length.
     #[inline]
@@ -138,6 +147,14 @@ impl<'a> RowPtr<'a> {
     }
 
     /// Dot product of the row with a plain slice via relaxed loads.
+    ///
+    /// # Examples
+    /// ```
+    /// use sisg_embedding::Matrix;
+    ///
+    /// let m = Matrix::from_data(1, 3, vec![1.0, 2.0, 3.0]);
+    /// assert_eq!(m.row_ptr(0).dot_slice(&[1.0, 0.0, -1.0]), 1.0 - 3.0);
+    /// ```
     ///
     /// # Panics
     /// Panics when `xs.len() != len()`.
@@ -156,6 +173,16 @@ impl<'a> RowPtr<'a> {
     /// check per element; each element update is still an independent
     /// relaxed load/add/store (lost updates possible, tearing not).
     ///
+    /// # Examples
+    /// ```
+    /// use sisg_embedding::Matrix;
+    ///
+    /// let m = Matrix::from_data(2, 2, vec![1.0, 2.0, 10.0, 20.0]);
+    /// // row 1 += 0.5 · row 0
+    /// m.row_ptr(1).axpy_row(0.5, &m.row_ptr(0));
+    /// assert_eq!(m.row(1), &[10.5, 21.0]);
+    /// ```
+    ///
     /// # Panics
     /// Panics when the rows differ in length.
     #[inline]
@@ -170,6 +197,15 @@ impl<'a> RowPtr<'a> {
 
     /// `self += a · xs` with a plain-slice right-hand side.
     ///
+    /// # Examples
+    /// ```
+    /// use sisg_embedding::Matrix;
+    ///
+    /// let m = Matrix::from_data(1, 2, vec![1.0, 2.0]);
+    /// m.row_ptr(0).axpy_slice(-1.0, &[0.5, 0.5]);
+    /// assert_eq!(m.row(0), &[0.5, 1.5]);
+    /// ```
+    ///
     /// # Panics
     /// Panics when `xs.len() != len()`.
     #[inline]
@@ -183,6 +219,16 @@ impl<'a> RowPtr<'a> {
 
     /// `dst += a · self` — accumulates the row, scaled, into a caller-owned
     /// buffer (the gradient-accumulation step of SGNS).
+    ///
+    /// # Examples
+    /// ```
+    /// use sisg_embedding::Matrix;
+    ///
+    /// let m = Matrix::from_data(1, 2, vec![3.0, 4.0]);
+    /// let mut grad = vec![1.0f32, 1.0];
+    /// m.row_ptr(0).accumulate_scaled(2.0, &mut grad);
+    /// assert_eq!(grad, [7.0, 9.0]);
+    /// ```
     ///
     /// # Panics
     /// Panics when `dst.len() != len()`.

@@ -1,0 +1,156 @@
+//! The metric-name catalog.
+//!
+//! Every metric an instrumented crate records is named here, once, so call
+//! sites can't typo a name and tooling can enumerate the full surface.
+//! `docs/OBSERVABILITY.md` documents each entry; the
+//! `metrics_catalog` integration test in `crates/bench` runs instrumented
+//! workloads and cross-checks every name that shows up in a snapshot
+//! against that document.
+
+/// Skip-gram pairs trained (positives; negatives are `negatives ×` this).
+pub const SGNS_PAIRS_TOTAL: &str = "sgns.pairs_total";
+/// Tokens kept after subsampling, summed over epochs and threads.
+pub const SGNS_TOKENS_TOTAL: &str = "sgns.tokens_total";
+/// Tokens removed by Mikolov subsampling.
+pub const SGNS_TOKENS_DROPPED_TOTAL: &str = "sgns.tokens_dropped_total";
+/// Exponential moving average of the per-pair SGNS loss.
+pub const SGNS_LOSS_EMA: &str = "sgns.loss_ema";
+/// Effective (decayed) learning rate at the last flush.
+pub const SGNS_LR: &str = "sgns.lr";
+/// Fraction of corpus tokens dropped by subsampling, `0.0..=1.0`.
+pub const SGNS_SUBSAMPLE_DROP_RATE: &str = "sgns.subsample_drop_rate";
+/// Span: one SGNS training run (`sisg_sgns::train*`).
+pub const SGNS_TRAIN_SPAN: &str = "sgns.train";
+
+/// EGES skip-gram pairs trained over random-walk windows.
+pub const EGES_PAIRS_TOTAL: &str = "eges.pairs_total";
+/// Random-walk tokens consumed by the EGES trainer.
+pub const EGES_TOKENS_TOTAL: &str = "eges.tokens_total";
+/// Effective (decayed) learning rate at the last flush.
+pub const EGES_LR: &str = "eges.lr";
+/// Span: one EGES training run.
+pub const EGES_TRAIN_SPAN: &str = "eges.train";
+
+/// Pairs trained across all distributed workers.
+pub const DIST_PAIRS_TOTAL: &str = "dist.pairs_total";
+/// Pairs whose context vector lived on a remote HBGP partition.
+pub const DIST_REMOTE_PAIRS_TOTAL: &str = "dist.remote_pairs_total";
+/// `remote / total` pair ratio — the HBGP cut quality as trained.
+pub const DIST_REMOTE_FRACTION: &str = "dist.remote_fraction";
+/// `max / mean` per-worker pair count — step skew across workers.
+pub const DIST_PAIR_IMBALANCE: &str = "dist.pair_imbalance";
+/// Fraction of corpus transitions cut by the partitioner.
+pub const DIST_CUT_FRACTION: &str = "dist.cut_fraction";
+/// Hot-set replica synchronization rounds.
+pub const DIST_SYNC_ROUNDS_TOTAL: &str = "dist.sync.rounds_total";
+/// Bytes moved by hot-set replica synchronization.
+pub const DIST_SYNC_BYTES_TOTAL: &str = "dist.sync.bytes_total";
+/// Span: one hot-set synchronization barrier (leader-side).
+pub const DIST_SYNC_SPAN: &str = "dist.sync";
+/// Span: one shared-memory distributed training run.
+pub const DIST_TRAIN_SPAN: &str = "dist.train";
+/// Histogram: per-worker trained-pair counts (spread = step skew).
+pub const DIST_WORKER_PAIRS: &str = "dist.worker.pairs";
+/// Messages sent over the message-passing engine's channels.
+pub const DIST_CHANNEL_MESSAGES_TOTAL: &str = "dist.channel.messages_total";
+/// Payload bytes shipped over those channels.
+pub const DIST_CHANNEL_PAYLOAD_BYTES_TOTAL: &str = "dist.channel.payload_bytes_total";
+/// Peak in-flight messages across all channels — backpressure indicator.
+pub const DIST_CHANNEL_DEPTH_PEAK: &str = "dist.channel.depth_peak";
+/// Span: one message-passing distributed training run.
+pub const DIST_CHANNELS_TRAIN_SPAN: &str = "dist.channels.train";
+
+/// Candidate-list lookups served (warm + cold item paths).
+pub const SERVING_REQUESTS_TOTAL: &str = "serving.requests_total";
+/// Lookups answered from the precomputed artifact.
+pub const SERVING_WARM_HITS_TOTAL: &str = "serving.warm_hits_total";
+/// Lookups that went through the Eq. (6) cold-item path.
+pub const SERVING_COLD_ITEM_TOTAL: &str = "serving.cold_item_requests_total";
+/// Cold-user (demographic fallback) requests served.
+pub const SERVING_COLD_USER_TOTAL: &str = "serving.cold_user_requests_total";
+/// Histogram: end-to-end `candidates()` latency in microseconds.
+pub const SERVING_RECOMMEND_US: &str = "serving.recommend.us";
+
+/// Histogram: ANN index `search()` latency in microseconds.
+pub const ANN_SEARCH_US: &str = "ann.search.us";
+/// Histogram: HNSW nodes visited per search (hops).
+pub const ANN_HNSW_HOPS: &str = "ann.hnsw.hops";
+/// Ground-truth + ANN probe queries issued by the recall harness.
+pub const ANN_RECALL_PROBES_TOTAL: &str = "ann.recall.probes_total";
+/// True-neighbor hits accumulated by the recall harness.
+pub const ANN_RECALL_HITS_TOTAL: &str = "ann.recall.hits_total";
+
+/// Every catalog name, including the `.us` histogram each span feeds.
+/// Documentation tooling iterates this; there must be no duplicates.
+pub const ALL: &[&str] = &[
+    SGNS_PAIRS_TOTAL,
+    SGNS_TOKENS_TOTAL,
+    SGNS_TOKENS_DROPPED_TOTAL,
+    SGNS_LOSS_EMA,
+    SGNS_LR,
+    SGNS_SUBSAMPLE_DROP_RATE,
+    "sgns.train.us",
+    EGES_PAIRS_TOTAL,
+    EGES_TOKENS_TOTAL,
+    EGES_LR,
+    "eges.train.us",
+    DIST_PAIRS_TOTAL,
+    DIST_REMOTE_PAIRS_TOTAL,
+    DIST_REMOTE_FRACTION,
+    DIST_PAIR_IMBALANCE,
+    DIST_CUT_FRACTION,
+    DIST_SYNC_ROUNDS_TOTAL,
+    DIST_SYNC_BYTES_TOTAL,
+    "dist.sync.us",
+    "dist.train.us",
+    DIST_WORKER_PAIRS,
+    DIST_CHANNEL_MESSAGES_TOTAL,
+    DIST_CHANNEL_PAYLOAD_BYTES_TOTAL,
+    DIST_CHANNEL_DEPTH_PEAK,
+    "dist.channels.train.us",
+    SERVING_REQUESTS_TOTAL,
+    SERVING_WARM_HITS_TOTAL,
+    SERVING_COLD_ITEM_TOTAL,
+    SERVING_COLD_USER_TOTAL,
+    SERVING_RECOMMEND_US,
+    ANN_SEARCH_US,
+    ANN_HNSW_HOPS,
+    ANN_RECALL_PROBES_TOTAL,
+    ANN_RECALL_HITS_TOTAL,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn catalog_has_no_duplicates_and_sane_names() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(name), "duplicate catalog entry {name}");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "bad metric name {name}"
+            );
+            assert!(!name.starts_with('.') && !name.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn span_names_have_their_us_histograms_in_all() {
+        for span in [
+            super::SGNS_TRAIN_SPAN,
+            super::EGES_TRAIN_SPAN,
+            super::DIST_SYNC_SPAN,
+            super::DIST_TRAIN_SPAN,
+            super::DIST_CHANNELS_TRAIN_SPAN,
+        ] {
+            let us = format!("{span}.us");
+            assert!(
+                ALL.contains(&us.as_str()),
+                "span {span} missing {us} in ALL"
+            );
+        }
+    }
+}

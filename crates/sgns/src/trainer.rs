@@ -15,8 +15,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sisg_corpus::{EnrichedCorpus, TokenId};
 use sisg_embedding::EmbeddingStore;
+use sisg_obs::{names, registry, Counter, Gauge};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::OnceLock;
 
 /// A source of training sequences.
 pub trait Sequences: Sync {
@@ -61,6 +62,8 @@ pub struct TrainStats {
     pub pairs: u64,
     /// Tokens surviving subsampling, summed over epochs.
     pub tokens: u64,
+    /// Tokens seen before subsampling, summed over epochs.
+    pub raw_tokens: u64,
     /// Mean negative-sampling loss over the run.
     pub avg_loss: f64,
     /// Wall-clock seconds of the training loop.
@@ -76,6 +79,97 @@ impl TrainStats {
             0.0
         }
     }
+
+    /// Fraction of corpus tokens removed by Mikolov subsampling.
+    pub fn subsample_drop_rate(&self) -> f64 {
+        if self.raw_tokens > 0 {
+            1.0 - self.tokens as f64 / self.raw_tokens as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-chunk accumulator: the hot loop writes plain locals here and the
+/// driver flushes them to the obs registry once per epoch per thread, so
+/// instrumentation costs nothing inside the pair loop.
+#[derive(Debug, Clone, Default)]
+struct ChunkStats {
+    pairs: u64,
+    /// Tokens surviving subsampling.
+    tokens: u64,
+    /// Tokens seen before subsampling.
+    raw_tokens: u64,
+    loss_sum: f64,
+    loss_count: u64,
+    /// Effective (decayed) learning rate at the last trained pair.
+    last_lr: f32,
+}
+
+impl ChunkStats {
+    fn merge(&mut self, o: &ChunkStats) {
+        self.pairs += o.pairs;
+        self.tokens += o.tokens;
+        self.raw_tokens += o.raw_tokens;
+        self.loss_sum += o.loss_sum;
+        self.loss_count += o.loss_count;
+        self.last_lr = o.last_lr;
+    }
+
+    fn avg_loss(&self) -> f64 {
+        if self.loss_count > 0 {
+            self.loss_sum / self.loss_count as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Publishes this chunk's deltas to the global registry.
+    fn flush_to_obs(&self) {
+        let m = sgns_metrics();
+        m.pairs.add(self.pairs);
+        m.tokens.add(self.tokens);
+        m.dropped.add(self.raw_tokens.saturating_sub(self.tokens));
+        m.lr.set(self.last_lr as f64);
+        if self.raw_tokens > 0 {
+            m.drop_rate
+                .set(1.0 - self.tokens as f64 / self.raw_tokens as f64);
+        }
+        if self.loss_count > 0 {
+            // Approximate EMA across flushes; concurrent flushers may
+            // interleave get/set, which only blurs the smoothing — fine
+            // for a convergence-trend gauge.
+            let prev = m.loss_ema.get();
+            let cur = self.avg_loss();
+            m.loss_ema.set(if prev == 0.0 {
+                cur
+            } else {
+                0.8 * prev + 0.2 * cur
+            });
+        }
+    }
+}
+
+/// Cached `&'static` handles so flushing never takes the registry lock.
+struct SgnsMetrics {
+    pairs: &'static Counter,
+    tokens: &'static Counter,
+    dropped: &'static Counter,
+    loss_ema: &'static Gauge,
+    lr: &'static Gauge,
+    drop_rate: &'static Gauge,
+}
+
+fn sgns_metrics() -> &'static SgnsMetrics {
+    static M: OnceLock<SgnsMetrics> = OnceLock::new();
+    M.get_or_init(|| SgnsMetrics {
+        pairs: registry().counter(names::SGNS_PAIRS_TOTAL),
+        tokens: registry().counter(names::SGNS_TOKENS_TOTAL),
+        dropped: registry().counter(names::SGNS_TOKENS_DROPPED_TOTAL),
+        loss_ema: registry().gauge(names::SGNS_LOSS_EMA),
+        lr: registry().gauge(names::SGNS_LR),
+        drop_rate: registry().gauge(names::SGNS_SUBSAMPLE_DROP_RATE),
+    })
 }
 
 /// Counts per-token frequencies of `seqs` over a vocabulary of `n_tokens`.
@@ -167,8 +261,9 @@ struct EpochContext<'a> {
 }
 
 /// Processes the sequences `range` once, updating `store` in place.
-/// `progress` counts tokens globally across threads and epochs.
-#[allow(clippy::too_many_arguments)]
+/// `progress` counts tokens globally across threads and epochs; all
+/// bookkeeping lands in the plain-local `stats` (the caller flushes it to
+/// obs after the chunk, keeping the pair loop instrumentation-free).
 fn run_chunk<S: Sequences + ?Sized>(
     seqs: &S,
     range: std::ops::Range<usize>,
@@ -176,10 +271,7 @@ fn run_chunk<S: Sequences + ?Sized>(
     ctx: &EpochContext<'_>,
     progress: &AtomicU64,
     rng: &mut StdRng,
-    stats_pairs: &mut u64,
-    stats_tokens: &mut u64,
-    loss_sum: &mut f64,
-    loss_count: &mut u64,
+    stats: &mut ChunkStats,
 ) {
     let dim = store.dim();
     let mut grad = vec![0.0f32; dim];
@@ -192,19 +284,18 @@ fn run_chunk<S: Sequences + ?Sized>(
         let seq = seqs.sequence(i);
         ctx.subsample.filter_into(seq, rng, &mut filtered);
         let done = progress.fetch_add(seq.len() as u64, Ordering::Relaxed);
-        *stats_tokens += filtered.len() as u64;
+        stats.raw_tokens += seq.len() as u64;
+        stats.tokens += filtered.len() as u64;
 
         // Linear LR decay by global token progress.
         let frac = (done as f64 / ctx.schedule_tokens.max(1) as f64).min(1.0);
         let lr = (ctx.config.learning_rate as f64 * (1.0 - frac))
             .max(ctx.config.min_learning_rate as f64) as f32;
+        stats.last_lr = lr;
 
         let filtered_ref = &filtered;
         let negatives_ref = &mut negatives;
         let grad_ref = &mut grad;
-        let pairs_ref = &mut *stats_pairs;
-        let loss_sum_ref = &mut *loss_sum;
-        let loss_count_ref = &mut *loss_count;
         // `for_each_pair` needs the rng; draw pairs first into a scratch
         // buffer to keep a single mutable borrow of rng at a time.
         let mut pair_buf: Vec<(TokenId, TokenId)> = Vec::with_capacity(filtered_ref.len() * 2);
@@ -224,9 +315,9 @@ fn run_chunk<S: Sequences + ?Sized>(
                 ctx.sigmoid,
                 grad_ref,
             );
-            *pairs_ref += 1;
-            *loss_sum_ref += loss;
-            *loss_count_ref += 1;
+            stats.pairs += 1;
+            stats.loss_sum += loss;
+            stats.loss_count += 1;
         }
     }
 }
@@ -259,11 +350,10 @@ fn train_single<S: Sequences + ?Sized>(
 
     let progress = AtomicU64::new(0);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7124);
-    let mut stats = TrainStats::default();
-    let mut loss_sum = 0.0;
-    let mut loss_count = 0u64;
-    let start = Instant::now();
+    let mut total = ChunkStats::default();
+    let span = sisg_obs::span(names::SGNS_TRAIN_SPAN);
     for _epoch in 0..config.epochs {
+        let mut epoch_stats = ChunkStats::default();
         run_chunk(
             seqs,
             0..seqs.n_sequences(),
@@ -271,17 +361,17 @@ fn train_single<S: Sequences + ?Sized>(
             &ctx,
             &progress,
             &mut rng,
-            &mut stats.pairs,
-            &mut stats.tokens,
-            &mut loss_sum,
-            &mut loss_count,
+            &mut epoch_stats,
         );
+        epoch_stats.flush_to_obs();
+        total.merge(&epoch_stats);
     }
-    stats.seconds = start.elapsed().as_secs_f64();
-    stats.avg_loss = if loss_count > 0 {
-        loss_sum / loss_count as f64
-    } else {
-        0.0
+    let stats = TrainStats {
+        pairs: total.pairs,
+        tokens: total.tokens,
+        raw_tokens: total.raw_tokens,
+        avg_loss: total.avg_loss(),
+        seconds: span.finish().as_secs_f64(),
     };
     (store, stats)
 }
@@ -326,11 +416,9 @@ fn train_parallel_into<S: Sequences + ?Sized>(
     let n = seqs.n_sequences();
     let threads = config.threads.min(n.max(1));
     let chunk = n.div_ceil(threads.max(1));
-    let start = Instant::now();
+    let span = sisg_obs::span(names::SGNS_TRAIN_SPAN);
 
-    let mut stats = TrainStats::default();
-    let mut loss_sum = 0.0;
-    let mut loss_count = 0u64;
+    let mut total = ChunkStats::default();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
@@ -341,11 +429,9 @@ fn train_parallel_into<S: Sequences + ?Sized>(
             let seed = config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9);
             handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let mut pairs = 0u64;
-                let mut tokens = 0u64;
-                let mut lsum = 0.0f64;
-                let mut lcount = 0u64;
+                let mut thread_total = ChunkStats::default();
                 for _epoch in 0..ctx.config.epochs {
+                    let mut epoch_stats = ChunkStats::default();
                     run_chunk(
                         seqs,
                         range.clone(),
@@ -353,28 +439,25 @@ fn train_parallel_into<S: Sequences + ?Sized>(
                         ctx,
                         progress,
                         &mut rng,
-                        &mut pairs,
-                        &mut tokens,
-                        &mut lsum,
-                        &mut lcount,
+                        &mut epoch_stats,
                     );
+                    epoch_stats.flush_to_obs();
+                    thread_total.merge(&epoch_stats);
                 }
-                (pairs, tokens, lsum, lcount)
+                thread_total
             }));
         }
         for h in handles {
-            let (pairs, tokens, lsum, lcount) = h.join().expect("training thread panicked");
-            stats.pairs += pairs;
-            stats.tokens += tokens;
-            loss_sum += lsum;
-            loss_count += lcount;
+            let thread_total = h.join().expect("training thread panicked");
+            total.merge(&thread_total);
         }
     });
-    stats.seconds = start.elapsed().as_secs_f64();
-    stats.avg_loss = if loss_count > 0 {
-        loss_sum / loss_count as f64
-    } else {
-        0.0
+    let stats = TrainStats {
+        pairs: total.pairs,
+        tokens: total.tokens,
+        raw_tokens: total.raw_tokens,
+        avg_loss: total.avg_loss(),
+        seconds: span.finish().as_secs_f64(),
     };
     (store, stats)
 }
@@ -475,9 +558,15 @@ mod tests {
         let seqs = topic_corpus(4);
         let (_, stats) = train(&seqs, 20, &small_config());
         assert!(stats.tokens > 0);
+        assert!(stats.raw_tokens >= stats.tokens);
+        assert!((0.0..=1.0).contains(&stats.subsample_drop_rate()));
         assert!(stats.seconds >= 0.0);
         assert!(stats.tokens_per_second() > 0.0);
         assert!(stats.avg_loss > 0.0);
+        // The run must also have published to the global registry.
+        use sisg_obs::{names, registry};
+        assert!(registry().counter(names::SGNS_PAIRS_TOTAL).get() >= stats.pairs);
+        assert!(registry().gauge(names::SGNS_LR).get() > 0.0);
     }
 
     #[test]

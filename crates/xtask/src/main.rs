@@ -18,6 +18,15 @@
 //!    banned in non-test library code of `crates/core` and `crates/ann`
 //!    (the retrieval/serving crates) — recoverable errors must be
 //!    propagated, not turned into aborts while answering queries.
+//! 5. **All timing flows through the observability layer**:
+//!    `Instant::now()` is banned in non-test code outside `crates/obs`
+//!    and `compat/` — use `sisg_obs::Stopwatch`/`span` so elapsed time
+//!    stays visible to metrics snapshots (docs/OBSERVABILITY.md).
+//!
+//! `cargo run -p xtask -- validate-metrics <file>...` checks that emitted
+//! metrics files (`results/metrics/*.json`, `results/BENCH_obs.json`)
+//! parse and have the documented snapshot shape; CI runs it against a
+//! fresh experiment run.
 //!
 //! The rules are enforced by line-level scanning with comment/string
 //! stripping and `#[cfg(test)]`-region tracking; see the unit tests for
@@ -55,8 +64,26 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("validate-metrics") if args.len() > 1 => {
+            let mut snapshots = 0usize;
+            let mut metrics = 0usize;
+            for path in &args[1..] {
+                match validate_metrics_file(Path::new(path)) {
+                    Ok((s, m)) => {
+                        snapshots += s;
+                        metrics += m;
+                    }
+                    Err(err) => {
+                        eprintln!("xtask validate-metrics: {path}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            println!("xtask validate-metrics: OK ({snapshots} snapshot(s), {metrics} metric(s))");
+            ExitCode::SUCCESS
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- lint | validate-metrics <file>...");
             ExitCode::from(2)
         }
     }
@@ -98,6 +125,13 @@ impl fmt::Display for Violation {
 /// Crates whose non-test library code must be `unwrap()`/`expect()`-free.
 const PANIC_FREE_CRATES: &[&str] = &["crates/core", "crates/ann"];
 
+/// Crates allowed to call `Instant::now()` directly: the observability
+/// layer itself (it implements `Stopwatch`) and the offline dependency
+/// stubs (they mirror upstream APIs verbatim).
+fn instant_exempt(rel_crate: &str) -> bool {
+    rel_crate == "crates/obs" || rel_crate.starts_with("compat/")
+}
+
 fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
     let mut violations = Vec::new();
     let mut crate_dirs = Vec::new();
@@ -111,6 +145,7 @@ fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
             .to_string_lossy()
             .replace('\\', "/");
         let panic_free = PANIC_FREE_CRATES.contains(&rel_crate.as_str());
+        let obs_timing = !instant_exempt(&rel_crate);
 
         let mut saw_root = false;
         for file in rust_files(&crate_dir)? {
@@ -127,7 +162,7 @@ fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
                 let s = rel.to_string_lossy().replace('\\', "/");
                 s.contains("/tests/") || s.contains("/benches/")
             };
-            violations.extend(scan_file(&rel, &content, all_test, panic_free));
+            violations.extend(scan_file(&rel, &content, all_test, panic_free, obs_timing));
         }
         if !saw_root {
             violations.push(Violation {
@@ -207,8 +242,14 @@ fn check_missing_docs_attr(rel: &Path, content: &str) -> Option<Violation> {
     }
 }
 
-/// Rules 1, 2 and 4 over one file's source text.
-fn scan_file(rel: &Path, content: &str, all_test: bool, panic_free: bool) -> Vec<Violation> {
+/// Rules 1, 2, 4 and 5 over one file's source text.
+fn scan_file(
+    rel: &Path,
+    content: &str,
+    all_test: bool,
+    panic_free: bool,
+    obs_timing: bool,
+) -> Vec<Violation> {
     let mut violations = Vec::new();
     let lines: Vec<&str> = content.lines().collect();
     let mut regions = TestRegionTracker::default();
@@ -257,9 +298,93 @@ fn scan_file(rel: &Path, content: &str, all_test: bool, panic_free: bool) -> Vec
                     message: "`.unwrap()`/`.expect()` banned in serving-path library code; propagate the error".into(),
                 });
             }
+
+            // Rule 5: timing goes through sisg-obs so it is observable.
+            if obs_timing && code.contains("Instant::now") {
+                violations.push(Violation {
+                    path: rel.to_path_buf(),
+                    line: line_no,
+                    rule: "no-instant",
+                    message: "`Instant::now()` banned outside crates/obs; use sisg_obs::Stopwatch or span (docs/OBSERVABILITY.md)".into(),
+                });
+            }
         }
     }
     violations
+}
+
+/// Validates one emitted metrics file: either a single registry snapshot
+/// (`results/metrics/<run>.json`) or the consolidated run-name → snapshot
+/// map (`results/BENCH_obs.json`). Returns (snapshots, metrics) counted.
+fn validate_metrics_file(path: &Path) -> Result<(usize, usize), String> {
+    use serde::Value;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let doc: Value = serde_json::from_str(&text).map_err(|e| format!("parse: {e}"))?;
+    let Value::Object(fields) = &doc else {
+        return Err(format!("expected a JSON object, got {}", doc.kind()));
+    };
+    if fields.iter().any(|(k, _)| k == "counters") {
+        let n = validate_snapshot(&doc)?;
+        return Ok((1, n));
+    }
+    // Consolidated map: every value must be a snapshot.
+    let mut metrics = 0usize;
+    for (run, snapshot) in fields {
+        metrics += validate_snapshot(snapshot).map_err(|e| format!("run `{run}`: {e}"))?;
+    }
+    Ok((fields.len(), metrics))
+}
+
+/// Checks the documented snapshot shape; returns the metric count.
+fn validate_snapshot(snapshot: &serde::Value) -> Result<usize, String> {
+    use serde::Value;
+    let name = snapshot.get_field("name").map_err(|e| e.to_string())?;
+    if !matches!(name, Value::Str(_)) {
+        return Err(format!("`name` must be a string, got {}", name.kind()));
+    }
+    let mut metrics = 0usize;
+    for (section, check) in [
+        ("counters", is_u64 as fn(&Value) -> bool),
+        ("gauges", is_number_or_null),
+        ("histograms", is_histogram),
+    ] {
+        let Value::Object(entries) = snapshot.get_field(section).map_err(|e| e.to_string())? else {
+            return Err(format!("`{section}` must be an object"));
+        };
+        for (metric, value) in entries {
+            if !check(value) {
+                return Err(format!("`{section}.{metric}` has the wrong shape"));
+            }
+            metrics += 1;
+        }
+    }
+    Ok(metrics)
+}
+
+fn is_u64(v: &serde::Value) -> bool {
+    matches!(v, serde::Value::U64(_))
+}
+
+fn is_number_or_null(v: &serde::Value) -> bool {
+    use serde::Value;
+    matches!(
+        v,
+        Value::U64(_) | Value::I64(_) | Value::F64(_) | Value::Null
+    )
+}
+
+/// A histogram entry: count/sum/max totals plus p50/p90/p99 quantiles
+/// (null when the histogram is empty).
+fn is_histogram(v: &serde::Value) -> bool {
+    let serde::Value::Object(fields) = v else {
+        return false;
+    };
+    ["count", "sum", "max"]
+        .iter()
+        .all(|k| fields.iter().any(|(n, fv)| n == k && is_u64(fv)))
+        && ["p50", "p90", "p99"]
+            .iter()
+            .all(|k| fields.iter().any(|(n, fv)| n == k && is_number_or_null(fv)))
 }
 
 /// Tracks whether the scanner is inside a `#[cfg(test)]`-gated item by
@@ -401,7 +526,7 @@ mod tests {
     use super::*;
 
     fn scan(content: &str, panic_free: bool) -> Vec<Violation> {
-        scan_file(Path::new("x.rs"), content, false, panic_free)
+        scan_file(Path::new("x.rs"), content, false, panic_free, true)
     }
 
     #[test]
@@ -504,8 +629,58 @@ mod tests {
     #[test]
     fn integration_test_files_are_exempt_from_rng_rule() {
         let src = "fn f() { thread_rng(); }\n";
-        let v = scan_file(Path::new("crates/x/tests/t.rs"), src, true, false);
+        let v = scan_file(Path::new("crates/x/tests/t.rs"), src, true, false, true);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn instant_now_outside_obs_is_flagged() {
+        let bad = "fn f() { let t = std::time::Instant::now(); }\n";
+        let v = scan(bad, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-instant");
+    }
+
+    #[test]
+    fn instant_now_in_exempt_crate_or_test_passes() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(scan_file(Path::new("o.rs"), src, false, false, false).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n fn f() { Instant::now(); }\n}\n";
+        assert!(scan(test_src, false).is_empty());
+        assert!(instant_exempt("crates/obs"));
+        assert!(instant_exempt("compat/criterion"));
+        assert!(!instant_exempt("crates/sgns"));
+    }
+
+    #[test]
+    fn validate_snapshot_accepts_the_documented_shape() {
+        let good: serde::Value = serde_json::from_str(
+            r#"{
+              "name": "run",
+              "counters": {"sgns.pairs_total": 12},
+              "gauges": {"sgns.lr": 0.01, "bad_day": null},
+              "histograms": {
+                "sgns.train.us": {"count": 1, "sum": 9, "max": 9,
+                                  "p50": 9.0, "p90": 9.0, "p99": null}
+              }
+            }"#,
+        )
+        .expect("parse");
+        assert_eq!(validate_snapshot(&good).expect("valid"), 4);
+    }
+
+    #[test]
+    fn validate_snapshot_rejects_malformed_sections() {
+        for bad in [
+            r#"{"name": 3, "counters": {}, "gauges": {}, "histograms": {}}"#,
+            r#"{"name": "r", "gauges": {}, "histograms": {}}"#,
+            r#"{"name": "r", "counters": {"c": -1}, "gauges": {}, "histograms": {}}"#,
+            r#"{"name": "r", "counters": {}, "gauges": {"g": "x"}, "histograms": {}}"#,
+            r#"{"name": "r", "counters": {}, "gauges": {}, "histograms": {"h": {"count": 1}}}"#,
+        ] {
+            let doc: serde::Value = serde_json::from_str(bad).expect("parse");
+            assert!(validate_snapshot(&doc).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]

@@ -30,4 +30,14 @@ step "tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+step "metrics smoke: emit a snapshot and validate its shape"
+# A fast instrumented experiment writes its obs snapshot into a scratch
+# results tree; validate-metrics fails on unparsable or misshapen JSON.
+# See docs/OBSERVABILITY.md for the snapshot format.
+rm -rf target/ci-results
+SISG_RESULTS=target/ci-results SISG_ITEMS=400 SISG_EPOCHS=1 \
+  cargo run --release --quiet -p sisg-bench --bin ablation_ann >/dev/null
+cargo run -p xtask --quiet -- validate-metrics \
+  target/ci-results/metrics/ablation_ann.json
+
 printf '\ncheck.sh: all gates passed\n'
