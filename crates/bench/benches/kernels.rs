@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sisg_corpus::TokenId;
 use sisg_embedding::math::{axpy, cosine, dot};
-use sisg_embedding::{retrieve_top_k, Matrix};
-use sisg_sgns::sgd::train_pair;
+use sisg_embedding::{kernels, retrieve_top_k, Matrix};
+use sisg_sgns::sgd::{train_pair, PairScratch};
 use sisg_sgns::sigmoid::SigmoidTable;
 use sisg_sgns::{NoiseTable, PairSampler, WindowMode};
 use std::time::Duration;
@@ -26,6 +26,70 @@ fn bench_vector_math(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |b, _| {
             b.iter(|| cosine(black_box(&x), black_box(&y)))
+        });
+    }
+    group.finish();
+}
+
+/// The DESIGN.md §8 kernel variants against each other: the strict serial
+/// dot (training order contract), the 4-accumulator unrolled dot (serving),
+/// the 4-row interleaved ordered dot (batched training/scan), and the fused
+/// gradient step against its two-pass equivalent.
+fn bench_kernel_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_variants");
+    group.measurement_time(Duration::from_secs(2));
+    for dim in [32usize, 128] {
+        let x: Vec<f32> = (0..dim).map(|i| i as f32 * 0.01).collect();
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..dim).map(|i| ((r * dim + i) as f32).sin()).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("dot_ordered", dim), &dim, |b, _| {
+            b.iter(|| kernels::dot_ordered(black_box(&rows[0]), black_box(&x)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot_unrolled", dim), &dim, |b, _| {
+            b.iter(|| kernels::dot(black_box(&rows[0]), black_box(&x)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot_ordered_x4", dim), &dim, |b, _| {
+            b.iter(|| {
+                kernels::dot_ordered_x4(
+                    [
+                        black_box(&rows[0][..]),
+                        black_box(&rows[1][..]),
+                        black_box(&rows[2][..]),
+                        black_box(&rows[3][..]),
+                    ],
+                    black_box(&x),
+                )
+            })
+        });
+        let mut out = rows[1].clone();
+        let mut grad = vec![0.0f32; dim];
+        group.bench_with_input(BenchmarkId::new("fused_step", dim), &dim, |b, _| {
+            b.iter(|| {
+                kernels::fused_step(
+                    black_box(0.01),
+                    black_box(&x),
+                    black_box(&mut out),
+                    black_box(&mut grad),
+                )
+            })
+        });
+        let m = Matrix::uniform_init(1, dim, 11);
+        let row = m.row_ptr(0);
+        group.bench_with_input(BenchmarkId::new("fused_grad_step", dim), &dim, |b, _| {
+            b.iter(|| {
+                black_box(&row).fused_grad_step(
+                    black_box(0.01),
+                    black_box(&x),
+                    black_box(&mut grad),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_pass_step", dim), &dim, |b, _| {
+            b.iter(|| {
+                black_box(&row).accumulate_scaled(black_box(0.01), black_box(&mut grad));
+                black_box(&row).axpy_slice(black_box(0.01), black_box(&x));
+            })
         });
     }
     group.finish();
@@ -79,7 +143,7 @@ fn bench_sgd_step(c: &mut Criterion) {
         let output = Matrix::uniform_init(1000, dim, 2);
         let sigmoid = SigmoidTable::new();
         let negs: Vec<TokenId> = (2..2 + negatives as u32).map(TokenId).collect();
-        let mut grad = vec![0.0f32; dim];
+        let mut scratch = PairScratch::new(dim);
         group.bench_with_input(
             BenchmarkId::new("train_pair", format!("d{dim}_n{negatives}")),
             &dim,
@@ -93,7 +157,7 @@ fn bench_sgd_step(c: &mut Criterion) {
                         black_box(&negs),
                         0.025,
                         &sigmoid,
-                        &mut grad,
+                        &mut scratch,
                     )
                 })
             },
@@ -140,6 +204,7 @@ fn bench_pair_sampling(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_vector_math,
+    bench_kernel_variants,
     bench_row_ptr_vs_slice,
     bench_noise_sampling,
     bench_sgd_step,

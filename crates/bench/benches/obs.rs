@@ -48,7 +48,7 @@ fn bench_reference_kernels(c: &mut Criterion) {
     let output = Matrix::uniform_init(1000, dim, 2);
     let sigmoid = SigmoidTable::new();
     let negs: Vec<TokenId> = (2..22).map(TokenId).collect();
-    let mut grad = vec![0.0f32; dim];
+    let mut scratch = sisg_sgns::PairScratch::new(dim);
     group.bench_function("train_pair_d128_n20", |b| {
         b.iter(|| {
             train_pair(
@@ -59,7 +59,7 @@ fn bench_reference_kernels(c: &mut Criterion) {
                 black_box(&negs),
                 0.025,
                 &sigmoid,
-                &mut grad,
+                &mut scratch,
             )
         })
     });

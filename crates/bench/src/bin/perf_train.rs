@@ -1,0 +1,277 @@
+//! End-to-end SGNS training throughput: pairs/sec and tokens/sec across
+//! thread counts and dimensionalities, plus nanosecond-level timings of the
+//! kernel layer itself.
+//!
+//! This is the perf trajectory of the repo (DESIGN.md §8): the run writes
+//! `results/BENCH_perf.json` (schema `sisg.perf.v1`) and *preserves* the
+//! committed `reference` section — the numbers measured on the pre-kernel
+//! commit — so before/after is always visible in one file. `--smoke` runs a
+//! seconds-scale subset with the same schema for CI validation
+//! (`xtask validate-metrics`).
+//!
+//! Scale knobs: `SISG_PERF_TOKENS`, `SISG_PERF_SEQS`, `SISG_PERF_LEN`,
+//! `SISG_SEED`, and `SISG_RESULTS` for the output directory.
+//!
+//! Note: on a single-core host the multi-thread rows time-slice one CPU —
+//! they measure Hogwild overhead, not parallel speedup; the headline number
+//! is the `threads == 1` row (the exact non-atomic path).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use sisg_bench::{emit_metrics, env_u64, env_usize, results_dir};
+use sisg_corpus::TokenId;
+use sisg_obs::Stopwatch;
+use sisg_sgns::{count_freqs, train_with_freqs, SgnsConfig, WindowMode};
+
+/// One measured training run.
+struct RunResult {
+    threads: usize,
+    dim: usize,
+    pairs: u64,
+    tokens: u64,
+    seconds: f64,
+}
+
+impl RunResult {
+    fn pairs_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.pairs as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn tokens_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.tokens as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("threads".into(), Value::U64(self.threads as u64)),
+            ("dim".into(), Value::U64(self.dim as u64)),
+            ("pairs".into(), Value::U64(self.pairs)),
+            ("tokens".into(), Value::U64(self.tokens)),
+            ("seconds".into(), Value::F64(self.seconds)),
+            ("pairs_per_sec".into(), Value::F64(self.pairs_per_sec())),
+            ("tokens_per_sec".into(), Value::F64(self.tokens_per_sec())),
+        ])
+    }
+}
+
+/// Synthetic click-log-like corpus: token frequency follows `u²` skew (a
+/// hot head and a long tail, like item popularity), fixed-length sessions.
+fn perf_corpus(n_tokens: u32, n_seqs: usize, seq_len: usize, seed: u64) -> Vec<Vec<TokenId>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_seqs)
+        .map(|_| {
+            (0..seq_len)
+                .map(|_| {
+                    let u: f64 = rng.gen();
+                    TokenId((u * u * n_tokens as f64) as u32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_once(seqs: &Vec<Vec<TokenId>>, freqs: &[u64], dim: usize, threads: usize) -> RunResult {
+    let cfg = SgnsConfig {
+        dim,
+        window: 4,
+        window_mode: WindowMode::Symmetric,
+        negatives: 5,
+        epochs: 1,
+        // Subsampling off: identical pair counts across runs makes the
+        // pairs/sec ratio a pure kernel comparison.
+        subsample: 0.0,
+        threads,
+        seed: env_u64("SISG_SEED", 42),
+        ..Default::default()
+    };
+    let (_store, stats) = train_with_freqs(seqs, freqs, &cfg);
+    RunResult {
+        threads,
+        dim,
+        pairs: stats.pairs,
+        tokens: stats.tokens,
+        seconds: stats.seconds,
+    }
+}
+
+/// Times `f` over `iters` calls and returns mean nanoseconds per call.
+fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    // One warm call to fault in caches and touch allocations.
+    f();
+    let watch = Stopwatch::start();
+    for _ in 0..iters {
+        f();
+    }
+    watch.elapsed_seconds() * 1e9 / iters as f64
+}
+
+/// Microbenchmarks of the kernel layer (dim 128, the paper's production
+/// dimensionality). Criterion covers these with proper statistics in
+/// `benches/kernels.rs`; this cheap Stopwatch variant puts indicative
+/// numbers into the perf trajectory file alongside the e2e rows.
+fn kernel_micro(smoke: bool) -> Value {
+    use sisg_embedding::kernels;
+    use sisg_embedding::Matrix;
+    use std::hint::black_box;
+
+    const DIM: usize = 128;
+    let iters: u64 = if smoke { 20_000 } else { 200_000 };
+    let x: Vec<f32> = (0..DIM).map(|i| (i as f32).sin()).collect();
+    let y: Vec<f32> = (0..DIM).map(|i| (i as f32).cos()).collect();
+    let m = Matrix::uniform_init(4, DIM, 7);
+    let row = m.row_ptr(0);
+    let mut dst = vec![0.0f32; DIM];
+    let mut grad = vec![0.0f32; DIM];
+
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    let mut push = |name: &str, ns: f64| fields.push((name.into(), Value::F64(ns)));
+
+    push(
+        "dot_ordered_d128_ns",
+        time_ns(iters, || {
+            black_box(kernels::dot_ordered(black_box(&x), black_box(&y)));
+        }),
+    );
+    push(
+        "dot_unrolled_d128_ns",
+        time_ns(iters, || {
+            black_box(kernels::dot(black_box(&x), black_box(&y)));
+        }),
+    );
+    push(
+        "axpy_unrolled_d128_ns",
+        time_ns(iters, || {
+            kernels::axpy(black_box(0.001), black_box(&x), black_box(&mut dst));
+        }),
+    );
+    push(
+        "fused_step_mut_d128_ns",
+        time_ns(iters, || {
+            kernels::fused_step(
+                black_box(1e-6),
+                black_box(&x),
+                black_box(&mut dst),
+                black_box(&mut grad),
+            );
+        }),
+    );
+    push(
+        "rowptr_dot_ordered_d128_ns",
+        time_ns(iters, || {
+            black_box(row.dot_slice(black_box(&x)));
+        }),
+    );
+    push(
+        "rowptr_fused_step_d128_ns",
+        time_ns(iters, || {
+            row.fused_grad_step(black_box(1e-6), black_box(&x), black_box(&mut grad));
+        }),
+    );
+    push(
+        "rowptr_axpy_slice_d128_ns",
+        time_ns(iters, || {
+            row.axpy_slice(black_box(1e-6), black_box(&x));
+        }),
+    );
+    Value::Object(fields)
+}
+
+/// Reads the `reference` section out of an existing perf file, if any.
+fn load_reference(path: &std::path::Path) -> Value {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Value::Null;
+    };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+        return Value::Null;
+    };
+    doc.get_field("reference")
+        .ok()
+        .cloned()
+        .unwrap_or(Value::Null)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_tokens, n_seqs, seq_len) = if smoke {
+        (300u32, 120usize, 20usize)
+    } else {
+        (
+            env_usize("SISG_PERF_TOKENS", 2_000) as u32,
+            env_usize("SISG_PERF_SEQS", 3_000),
+            env_usize("SISG_PERF_LEN", 40),
+        )
+    };
+    let seed = env_u64("SISG_SEED", 42);
+    let seqs = perf_corpus(n_tokens, n_seqs, seq_len, seed ^ 0x9E1F);
+    let freqs = count_freqs(&seqs, n_tokens as usize);
+    eprintln!(
+        "perf corpus: {} tokens, {} sequences × {} ({} raw tokens)",
+        n_tokens,
+        n_seqs,
+        seq_len,
+        n_seqs * seq_len
+    );
+
+    let thread_counts: &[usize] = if smoke { &[1] } else { &[1, 2, 4, 8] };
+    let dims: &[usize] = if smoke { &[32] } else { &[32, 128] };
+
+    // Warm-up run so page faults and lazy init don't land in row one.
+    let _ = run_once(&seqs, &freqs, dims[0], 1);
+
+    let mut runs = Vec::new();
+    println!(
+        "{:>7} {:>5} {:>10} {:>9} {:>14} {:>14}",
+        "threads", "dim", "pairs", "seconds", "pairs/sec", "tokens/sec"
+    );
+    for &dim in dims {
+        for &threads in thread_counts {
+            let r = run_once(&seqs, &freqs, dim, threads);
+            println!(
+                "{:>7} {:>5} {:>10} {:>9.3} {:>14.0} {:>14.0}",
+                r.threads,
+                r.dim,
+                r.pairs,
+                r.seconds,
+                r.pairs_per_sec(),
+                r.tokens_per_sec()
+            );
+            runs.push(r);
+        }
+    }
+
+    let path = results_dir().join("BENCH_perf.json");
+    let reference = load_reference(&path);
+    let doc = Value::Object(vec![
+        ("schema".into(), Value::Str("sisg.perf.v1".into())),
+        ("name".into(), Value::Str("perf_train".into())),
+        (
+            "corpus".into(),
+            Value::Object(vec![
+                ("tokens".into(), Value::U64(n_tokens as u64)),
+                ("sequences".into(), Value::U64(n_seqs as u64)),
+                ("seq_len".into(), Value::U64(seq_len as u64)),
+                ("smoke".into(), Value::Bool(smoke)),
+            ]),
+        ),
+        ("reference".into(), reference),
+        ("kernels".into(), kernel_micro(smoke)),
+        (
+            "runs".into(),
+            Value::Array(runs.iter().map(RunResult::to_value).collect()),
+        ),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("perf doc serializes");
+    std::fs::write(&path, text + "\n").expect("write BENCH_perf.json");
+    println!("wrote {}", path.display());
+    let metrics = emit_metrics("perf_train");
+    println!("metrics: {}", metrics.display());
+}

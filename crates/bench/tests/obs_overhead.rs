@@ -61,7 +61,7 @@ fn counter_and_gauge_cost_under_2_percent_of_a_training_step() {
     let output = Matrix::uniform_init(1000, dim, 2);
     let sigmoid = SigmoidTable::new();
     let negs: Vec<TokenId> = (2..22).map(TokenId).collect();
-    let mut grad = vec![0.0f32; dim];
+    let mut scratch = sisg_sgns::PairScratch::new(dim);
     let pair_ns = ns_per_op(2_000, 5, || {
         train_pair(
             &input,
@@ -71,7 +71,7 @@ fn counter_and_gauge_cost_under_2_percent_of_a_training_step() {
             black_box(&negs),
             0.025,
             &sigmoid,
-            &mut grad,
+            &mut scratch,
         );
     });
 

@@ -8,6 +8,7 @@
 
 use sisg_corpus::vocab::Vocab;
 use sisg_corpus::TokenId;
+use sisg_embedding::kernels;
 use sisg_embedding::matrix::RowPtr;
 use sisg_embedding::Matrix;
 
@@ -167,26 +168,21 @@ impl ReplicaSet {
             (&self.output, &self.output_base, store.output_matrix()),
         ] {
             for (slot, t) in hot.tokens().iter().enumerate() {
+                // The unrolled kernels are elementwise (per-lane order is
+                // unchanged), so the documented reconciliation order — and
+                // the bit-identity test below — is preserved.
                 match mode {
                     SyncMode::Average => {
                         acc.fill(0.0);
                         for m in matrices.iter() {
-                            for (a, &v) in acc.iter_mut().zip(m.row(slot)) {
-                                *a += v;
-                            }
+                            kernels::add_assign(&mut acc, m.row(slot));
                         }
-                        let inv = 1.0 / workers as f32;
-                        for a in acc.iter_mut() {
-                            *a *= inv;
-                        }
+                        kernels::scale(&mut acc, 1.0 / workers as f32);
                     }
                     SyncMode::DeltaSum => {
                         acc.copy_from_slice(base.row(slot));
                         for m in matrices.iter() {
-                            for ((a, &v), &b) in acc.iter_mut().zip(m.row(slot)).zip(base.row(slot))
-                            {
-                                *a += v - b;
-                            }
+                            kernels::accumulate_delta(&mut acc, m.row(slot), base.row(slot));
                         }
                     }
                 }

@@ -31,8 +31,9 @@ use sisg_corpus::{Corpus, EnrichedCorpus, ItemCatalog, TokenId};
 use sisg_embedding::matrix::RowPtr;
 use sisg_embedding::EmbeddingStore;
 use sisg_obs::names as obs_names;
+use sisg_sgns::sgd::hogwild_steps;
 use sisg_sgns::sigmoid::SigmoidTable;
-use sisg_sgns::{NoiseTable, PairSampler, SubsampleTable, WindowMode};
+use sisg_sgns::{NoiseTable, PairSampler, PairScratch, SubsampleTable, WindowMode};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -351,7 +352,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
     let mut filtered: Vec<TokenId> = Vec::with_capacity(64);
     let mut pair_buf: Vec<(TokenId, TokenId)> = Vec::with_capacity(256);
     let mut negatives: Vec<TokenId> = Vec::with_capacity(config.negatives);
-    let mut grad = vec![0.0f32; dim];
+    let mut scratch = PairScratch::new(dim);
 
     let resolver = RowResolver {
         me,
@@ -411,16 +412,24 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
                         counters.local_pairs += 1;
                     }
 
-                    negatives.clear();
-                    for _ in 0..config.negatives {
-                        let neg = noise_tables[tns_worker].sample(&mut rng);
-                        if neg != context && neg != target {
-                            negatives.push(neg);
-                        }
-                    }
+                    // Batched draw plus the same collision filter the old
+                    // per-draw loop applied (order-preserving, identical
+                    // RNG consumption).
+                    noise_tables[tns_worker].sample_into(
+                        &mut negatives,
+                        config.negatives,
+                        &mut rng,
+                    );
+                    negatives.retain(|&n| n != context && n != target);
 
                     tns_step(
-                        &resolver, target, context, &negatives, lr, sigmoid, &mut grad,
+                        &resolver,
+                        target,
+                        context,
+                        &negatives,
+                        lr,
+                        sigmoid,
+                        &mut scratch,
                     );
                 }
             }
@@ -471,7 +480,13 @@ impl RowResolver<'_> {
 }
 
 /// The TNS SGD step over resolved rows (replica or canonical).
-#[allow(clippy::too_many_arguments)]
+///
+/// Runs the shared kernel path (DESIGN.md §8): the target row is cached
+/// into the scratch buffer once, the context + negative steps go through
+/// [`hogwild_steps`] (batched ordered dots, fused gradient steps), and the
+/// accumulated gradient is applied back in one pass. Row resolution
+/// (replica vs canonical) stays in the closure, so hot tokens keep hitting
+/// worker-local replicas.
 fn tns_step(
     resolver: &RowResolver<'_>,
     target: TokenId,
@@ -479,28 +494,22 @@ fn tns_step(
     negatives: &[TokenId],
     lr: f32,
     sigmoid: &SigmoidTable,
-    grad: &mut [f32],
+    scratch: &mut PairScratch,
 ) {
-    let v = resolver.input(target);
+    let PairScratch {
+        row,
+        grad,
+        kept,
+        scores,
+    } = scratch;
+    resolver.input(target).load_into(row);
     grad.fill(0.0);
-    let mut step = |token: TokenId, label: f32| {
-        let vp = resolver.output(token);
-        let f = v.dot(&vp);
-        let g = (label - sigmoid.sigmoid(f)) * lr;
-        for (d, slot) in grad.iter_mut().enumerate() {
-            *slot += g * vp.get(d);
-        }
-        for d in 0..vp.len() {
-            vp.add(d, g * v.get(d));
-        }
-    };
-    step(context, 1.0);
-    for &neg in negatives {
-        step(neg, 0.0);
-    }
-    for (d, &delta) in grad.iter().enumerate() {
-        v.add(d, delta);
-    }
+    kept.clear();
+    kept.push(context);
+    kept.extend_from_slice(negatives);
+    // Distributed training monitors loss elsewhere; the return is unused.
+    let _ = hogwild_steps(|t| resolver.output(t), kept, row, lr, sigmoid, grad, scores);
+    resolver.input(target).axpy_slice(1.0, grad);
 }
 
 /// Convenience for benchmarks: enrich + train in one call.

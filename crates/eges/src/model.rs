@@ -22,7 +22,8 @@ use sisg_corpus::schema::ItemFeature;
 use sisg_corpus::vocab::TokenSpace;
 use sisg_corpus::{GeneratedCorpus, ItemId, TokenId};
 use sisg_embedding::math::cosine;
-use sisg_embedding::{retrieve_top_k, Matrix, Neighbor};
+use sisg_embedding::{kernels, retrieve_top_k, Matrix, Neighbor};
+use sisg_sgns::sgd::mut_steps;
 use sisg_sgns::sigmoid::SigmoidTable;
 use sisg_sgns::{NoiseTable, PairSampler, WindowMode};
 
@@ -104,9 +105,11 @@ impl EgesModel {
         let walks = generate_walks(&graph, &config.walk);
 
         let n_items = corpus.config.n_items as usize;
-        let input = Matrix::uniform_init(space.len(), config.dim, config.seed ^ 0xE9E5);
-        let output = Matrix::zeros(n_items, config.dim);
-        let attention = Matrix::zeros(n_items, CHANNELS);
+        // The matrices are worker-local (this trainer is single-threaded),
+        // so training runs on the exact non-atomic kernel path throughout.
+        let mut input = Matrix::uniform_init(space.len(), config.dim, config.seed ^ 0xE9E5);
+        let mut output = Matrix::zeros(n_items, config.dim);
+        let mut attention = Matrix::zeros(n_items, CHANNELS);
 
         // Noise over item frequency in the walk corpus.
         let mut freqs = vec![0u64; n_items];
@@ -132,10 +135,7 @@ impl EgesModel {
             let schedule = (total_tokens * config.epochs as u64).max(1);
             let mut processed = 0u64;
 
-            let mut tokens_buf = [TokenId(0); CHANNELS];
-            let mut alpha = [0.0f32; CHANNELS];
-            let mut grad_h = vec![0.0f32; config.dim];
-            let mut h = vec![0.0f32; config.dim];
+            let mut scratch = EgesScratch::new(config.dim, config.negatives);
             let mut pair_buf: Vec<(TokenId, TokenId)> = Vec::new();
             let mut negatives: Vec<TokenId> = Vec::with_capacity(config.negatives);
 
@@ -155,28 +155,24 @@ impl EgesModel {
                     sampler.pairs_into(walk, &mut rng, &mut pair_buf);
                     epoch_pairs += pair_buf.len() as u64;
                     for &(target, context) in &pair_buf {
-                        negatives.clear();
-                        for _ in 0..config.negatives {
-                            let n = noise.sample(&mut rng);
-                            if n != context {
-                                negatives.push(n);
-                            }
-                        }
+                        // Batched draw, then the same collision filter the
+                        // per-draw loop applied (retain preserves order, so
+                        // the RNG consumption and surviving negatives are
+                        // identical).
+                        noise.sample_into(&mut negatives, config.negatives, &mut rng);
+                        negatives.retain(|&n| n != context);
                         train_eges_pair(
                             &space,
                             corpus,
-                            &input,
-                            &output,
-                            &attention,
+                            &mut input,
+                            &mut output,
+                            &mut attention,
                             ItemId(target.0),
                             ItemId(context.0),
                             &negatives,
                             lr,
                             &sigmoid,
-                            &mut tokens_buf,
-                            &mut alpha,
-                            &mut h,
-                            &mut grad_h,
+                            &mut scratch,
                         );
                     }
                 }
@@ -189,7 +185,9 @@ impl EgesModel {
         }
         span.finish();
 
-        // Materialize aggregated representations for retrieval.
+        // Materialize aggregated representations for retrieval. The
+        // aggregation writes straight into the output row — no per-item
+        // temporary.
         let mut aggregated = Matrix::zeros(n_items, config.dim);
         let mut tokens_buf = [TokenId(0); CHANNELS];
         let mut alpha = [0.0f32; CHANNELS];
@@ -197,8 +195,7 @@ impl EgesModel {
             let item = ItemId(v as u32);
             gather_channels(&space, corpus, item, &mut tokens_buf);
             softmax_into(&attention, v, &mut alpha);
-            let row = aggregate(&input, &tokens_buf, &alpha, config.dim);
-            aggregated.row_mut(v).copy_from_slice(&row);
+            aggregate_into(&input, &tokens_buf, &alpha, aggregated.row_mut(v));
             sisg_embedding::math::normalize(aggregated.row_mut(v));
         }
 
@@ -287,74 +284,118 @@ fn softmax_into(attention: &Matrix, row: usize, alpha: &mut [f32; CHANNELS]) {
     }
 }
 
-/// `H = Σ α_s · input[token_s]`.
-fn aggregate(
+/// `h = Σ α_s · input[token_s]`, written in place (no allocation).
+fn aggregate_into(
     input: &Matrix,
     tokens: &[TokenId; CHANNELS],
     alpha: &[f32; CHANNELS],
-    dim: usize,
-) -> Vec<f32> {
-    let mut h = vec![0.0f32; dim];
+    h: &mut [f32],
+) {
+    h.fill(0.0);
     for (t, &a) in tokens.iter().zip(alpha.iter()) {
-        sisg_embedding::math::axpy(a, input.row(t.index()), &mut h);
+        kernels::axpy(a, input.row(t.index()), h);
     }
-    h
+}
+
+/// Per-pair working memory for [`train_eges_pair`], allocated once per
+/// training run (DESIGN.md §8 row-cache discipline).
+struct EgesScratch {
+    tokens: [TokenId; CHANNELS],
+    alpha: [f32; CHANNELS],
+    /// The aggregated representation `H_v` — the cached "input row" of the
+    /// pair; fixed while the output steps run.
+    h: Vec<f32>,
+    /// Gradient accumulated for `H_v` across all output steps.
+    grad_h: Vec<f32>,
+    /// Step tokens (context first, then negatives) for [`mut_steps`].
+    kept: Vec<TokenId>,
+    /// Dot-phase buffer for [`mut_steps`].
+    scores: Vec<f32>,
+}
+
+impl EgesScratch {
+    fn new(dim: usize, negatives: usize) -> Self {
+        Self {
+            tokens: [TokenId(0); CHANNELS],
+            alpha: [0.0f32; CHANNELS],
+            h: vec![0.0f32; dim],
+            grad_h: vec![0.0f32; dim],
+            kept: Vec::with_capacity(1 + negatives),
+            scores: Vec::with_capacity(1 + negatives),
+        }
+    }
 }
 
 /// One EGES SGD step for `(target, context)` with `negatives`.
+///
+/// Runs entirely on the exact non-atomic kernel path: the trainer owns its
+/// matrices, so output steps go through [`mut_steps`] (batched ordered dots
+/// plus fused gradient steps) with `H_v` as the cached target row.
 #[allow(clippy::too_many_arguments)]
 fn train_eges_pair(
     space: &TokenSpace,
     corpus: &GeneratedCorpus,
-    input: &Matrix,
-    output: &Matrix,
-    attention: &Matrix,
+    input: &mut Matrix,
+    output: &mut Matrix,
+    attention: &mut Matrix,
     target: ItemId,
     context: ItemId,
     negatives: &[TokenId],
     lr: f32,
     sigmoid: &SigmoidTable,
-    tokens: &mut [TokenId; CHANNELS],
-    alpha: &mut [f32; CHANNELS],
-    h: &mut [f32],
-    grad_h: &mut [f32],
+    buf: &mut EgesScratch,
 ) {
-    let dim = h.len();
-    gather_channels(space, corpus, target, tokens);
-    softmax_into(attention, target.index(), alpha);
-    let agg = aggregate(input, tokens, alpha, dim);
-    h.copy_from_slice(&agg);
-    grad_h.fill(0.0);
+    gather_channels(space, corpus, target, &mut buf.tokens);
+    softmax_into(attention, target.index(), &mut buf.alpha);
+    aggregate_into(input, &buf.tokens, &buf.alpha, &mut buf.h);
+    buf.grad_h.fill(0.0);
 
-    let mut step = |ctx: ItemId, label: f32| {
-        // Rows are in bounds (row_ptr asserts); relaxed atomic accesses
-        // keep this kernel valid under the shared Hogwild model even
-        // though this trainer currently runs single-threaded.
-        let z = output.row_ptr(ctx.index());
-        let f = z.dot_slice(h);
-        let g = (label - sigmoid.sigmoid(f)) * lr;
-        z.accumulate_scaled(g, grad_h);
-        z.axpy_slice(g, h);
-    };
-    step(context, 1.0);
-    for &neg in negatives {
-        step(ItemId(neg.0), 0.0);
-    }
+    buf.kept.clear();
+    buf.kept.push(TokenId(context.0));
+    buf.kept.extend_from_slice(negatives);
+    // EGES monitors no loss; `mut_steps` still accumulates grad_h and steps
+    // every output row exactly as the scalar reference did.
+    let _ = mut_steps(
+        output,
+        &buf.kept,
+        &buf.h,
+        lr,
+        sigmoid,
+        &mut buf.grad_h,
+        &mut buf.scores,
+    );
 
     // Channel-embedding gradients use the attention weights; attention
-    // gradients use the *pre-update* channel embeddings.
+    // gradients use the *pre-update* channel embeddings. The channel dots
+    // are independent, so they run through the batched ordered kernel.
     let mut d = [0.0f32; CHANNELS];
-    for s in 0..CHANNELS {
-        d[s] = input.row_ptr(tokens[s].index()).dot_slice(grad_h);
+    let mut s = 0;
+    while s + 4 <= CHANNELS {
+        let rows = [
+            input.row(buf.tokens[s].index()),
+            input.row(buf.tokens[s + 1].index()),
+            input.row(buf.tokens[s + 2].index()),
+            input.row(buf.tokens[s + 3].index()),
+        ];
+        let out = kernels::dot_ordered_x4(rows, &buf.grad_h);
+        d[s..s + 4].copy_from_slice(&out);
+        s += 4;
     }
-    let mean: f32 = (0..CHANNELS).map(|s| alpha[s] * d[s]).sum();
-    let a = attention.row_ptr(target.index());
-    for s in 0..CHANNELS {
-        input
-            .row_ptr(tokens[s].index())
-            .axpy_slice(alpha[s], grad_h);
-        a.add(s, alpha[s] * (d[s] - mean));
+    while s < CHANNELS {
+        d[s] = kernels::dot_ordered(input.row(buf.tokens[s].index()), &buf.grad_h);
+        s += 1;
     }
+    let mean: f32 = (0..CHANNELS).map(|s| buf.alpha[s] * d[s]).sum();
+    let mut attn_delta = [0.0f32; CHANNELS];
+    for s in 0..CHANNELS {
+        kernels::axpy(
+            buf.alpha[s],
+            &buf.grad_h,
+            input.row_mut(buf.tokens[s].index()),
+        );
+        attn_delta[s] = buf.alpha[s] * (d[s] - mean);
+    }
+    kernels::add_assign(attention.row_mut(target.index()), &attn_delta);
 }
 
 #[cfg(test)]

@@ -1,0 +1,285 @@
+//! The batched, unrolled kernel layer behind every SGD inner loop and
+//! serving-side scorer (DESIGN.md §8).
+//!
+//! Two kernel families live here, split by *numeric contract*:
+//!
+//! - **Order-preserving kernels** (`dot_ordered`, `dot_ordered_x4`,
+//!   `fused_step`, `axpy`, `add_assign`, `scale`, `accumulate_delta`):
+//!   every f32 operation on a given element happens in exactly the order
+//!   the naive scalar loop performs it, so results are *bit-identical* to
+//!   the reference implementation. The training paths use only these —
+//!   single-threaded training output is reproducible across kernel-layer
+//!   versions (enforced by the golden checksum test in `crates/sgns`).
+//!   `dot_ordered_x4` gets its speed without reordering: it interleaves
+//!   four *independent* serial accumulation chains, one per row, which
+//!   hides the ~4-cycle FP-add latency that makes a single serial dot
+//!   throughput-starved.
+//! - **Reduction-reordering kernels** (`dot`, with [`dot_scalar_ref`] as
+//!   its semantic definition): 8-wide unrolled with 4 independent
+//!   accumulators (`acc[i % 4] += x[i] * y[i]`, combined as
+//!   `(a0 + a1) + (a2 + a3)`). Up to ~4× faster than the serial chain, but
+//!   the reordered reduction shifts low-order bits, so these serve the
+//!   retrieval / evaluation / serving scorers where bit-reproducibility
+//!   across versions is not contractual (results are still deterministic
+//!   within a build).
+//!
+//! Elementwise kernels (`axpy` and friends) have no reduction, so loop
+//! unrolling and auto-vectorization cannot change their results: each
+//! element's value is computed by the same ops in the same order
+//! regardless of how many lanes execute at once. They are safe in both
+//! families.
+//!
+//! Atomic (Hogwild) counterparts of these kernels live on
+//! [`crate::matrix::RowPtr`], which owns the `AtomicU32` cells; the
+//! soundness rules there (per-element relaxed atomics, no SIMD over
+//! atomic memory) are why the two implementations are separate.
+
+/// Strict left-to-right dot product — the order-preserving reference used
+/// by the training paths.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn dot_ordered(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let mut acc = 0.0f32;
+    for (&a, &b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Four order-preserving dot products against a shared right-hand side,
+/// with the four serial accumulation chains interleaved for instruction-
+/// level parallelism. Each result is bit-identical to
+/// `dot_ordered(rows[i], y)`; only the *scheduling* changes.
+///
+/// # Panics
+/// Panics when any row's length differs from `y.len()`.
+#[inline]
+pub fn dot_ordered_x4(rows: [&[f32]; 4], y: &[f32]) -> [f32; 4] {
+    let n = y.len();
+    for r in rows {
+        assert_eq!(r.len(), n, "length mismatch");
+    }
+    let [r0, r1, r2, r3] = rows;
+    let mut a0 = 0.0f32;
+    let mut a1 = 0.0f32;
+    let mut a2 = 0.0f32;
+    let mut a3 = 0.0f32;
+    for d in 0..n {
+        let v = y[d];
+        a0 += r0[d] * v;
+        a1 += r1[d] * v;
+        a2 += r2[d] * v;
+        a3 += r3[d] * v;
+    }
+    [a0, a1, a2, a3]
+}
+
+/// Scalar definition of the unrolled [`dot`] reduction: lane `i % 4`
+/// accumulates element `i`, lanes combine as `(a0 + a1) + (a2 + a3)`.
+/// The proptests in `tests/kernel_identity.rs` hold [`dot`] to this within
+/// 0 ULP for every length.
+#[inline]
+pub fn dot_scalar_ref(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let mut acc = [0.0f32; 4];
+    for (i, (&a, &b)) in x.iter().zip(y).enumerate() {
+        acc[i % 4] += a * b;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Dot product, 8-wide unrolled with 4 independent accumulators — the
+/// throughput kernel behind [`crate::math::dot`] and the serving scorers.
+/// Reduction order is [`dot_scalar_ref`]'s lane order, *not* the serial
+/// order; training paths use [`dot_ordered`] instead.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let mut a0 = 0.0f32;
+    let mut a1 = 0.0f32;
+    let mut a2 = 0.0f32;
+    let mut a3 = 0.0f32;
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact(8);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        a0 += xs[0] * ys[0];
+        a1 += xs[1] * ys[1];
+        a2 += xs[2] * ys[2];
+        a3 += xs[3] * ys[3];
+        a0 += xs[4] * ys[4];
+        a1 += xs[5] * ys[5];
+        a2 += xs[6] * ys[6];
+        a3 += xs[7] * ys[7];
+    }
+    // Remainder elements continue the `i % 4` lane pattern: a full chunk
+    // is 8 elements, so the first remainder element is lane 0 again.
+    let mut acc = [a0, a1, a2, a3];
+    for (i, (&a, &b)) in xc.remainder().iter().zip(yc.remainder()).enumerate() {
+        acc[i % 4] += a * b;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// `y += a · x`. Elementwise, so unrolling cannot change results; the
+/// plain loop auto-vectorizes.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    for (slot, &v) in y.iter_mut().zip(x) {
+        *slot += a * v;
+    }
+}
+
+/// `dst += src` — bit-identical to `axpy(1.0, src, dst)` since
+/// `1.0 * v == v` exactly.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    for (slot, &v) in dst.iter_mut().zip(src) {
+        *slot += v;
+    }
+}
+
+/// Scales `x` in place by `a`.
+#[inline]
+pub fn scale(x: &mut [f32], a: f32) {
+    for v in x {
+        *v *= a;
+    }
+}
+
+/// `acc += v − b`, elementwise — the DeltaSum reconciliation step of the
+/// hot-set replica sync.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn accumulate_delta(acc: &mut [f32], v: &[f32], b: &[f32]) {
+    assert_eq!(acc.len(), v.len(), "length mismatch");
+    assert_eq!(acc.len(), b.len(), "length mismatch");
+    for ((slot, &val), &base) in acc.iter_mut().zip(v).zip(b) {
+        *slot += val - base;
+    }
+}
+
+/// The fused SGD update of one sample step, non-atomic exact path:
+/// for every element, `grad[d] += g · vp[d]` (pre-update value) and then
+/// `vp[d] = vp[d] + g · v[d]` — one pass over the output row instead of
+/// the separate `accumulate_scaled` + `axpy` passes, preserving exactly
+/// their per-element op order.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn fused_step(g: f32, v: &[f32], vp: &mut [f32], grad: &mut [f32]) {
+    assert_eq!(v.len(), vp.len(), "length mismatch");
+    assert_eq!(v.len(), grad.len(), "length mismatch");
+    for ((slot, out), &x) in grad.iter_mut().zip(vp.iter_mut()).zip(v) {
+        let old = *out;
+        *slot += g * old;
+        *out = old + g * x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, salt: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.37 + salt).sin()).collect()
+    }
+
+    #[test]
+    fn dot_matches_scalar_ref_exactly() {
+        for n in 0..=33 {
+            let x = seq(n, 0.1);
+            let y = seq(n, 1.7);
+            assert_eq!(dot(&x, &y).to_bits(), dot_scalar_ref(&x, &y).to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_ordered_is_the_naive_loop() {
+        let x = seq(19, 0.3);
+        let y = seq(19, 2.2);
+        let mut acc = 0.0f32;
+        for i in 0..x.len() {
+            acc += x[i] * y[i];
+        }
+        assert_eq!(dot_ordered(&x, &y).to_bits(), acc.to_bits());
+    }
+
+    #[test]
+    fn dot_ordered_x4_matches_four_serial_dots() {
+        for n in [0usize, 1, 7, 16, 31] {
+            let rows: Vec<Vec<f32>> = (0..4).map(|r| seq(n, r as f32)).collect();
+            let y = seq(n, 9.9);
+            let got = dot_ordered_x4([&rows[0], &rows[1], &rows[2], &rows[3]], &y);
+            for r in 0..4 {
+                assert_eq!(got[r].to_bits(), dot_ordered(&rows[r], &y).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_variants_agree_approximately() {
+        let x = seq(128, 0.5);
+        let y = seq(128, 3.1);
+        assert!((dot(&x, &y) - dot_ordered(&x, &y)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fused_step_equals_two_pass_reference() {
+        let n = 21;
+        let v = seq(n, 0.2);
+        let g = 0.013f32;
+        let mut vp = seq(n, 1.1);
+        let mut grad = seq(n, 2.5);
+        let mut vp_ref = vp.clone();
+        let mut grad_ref = grad.clone();
+        // Reference: grad += g·vp (pre-update), then vp += g·v.
+        for d in 0..n {
+            grad_ref[d] += g * vp_ref[d];
+        }
+        for d in 0..n {
+            vp_ref[d] += g * v[d];
+        }
+        fused_step(g, &v, &mut vp, &mut grad);
+        for d in 0..n {
+            assert_eq!(vp[d].to_bits(), vp_ref[d].to_bits());
+            assert_eq!(grad[d].to_bits(), grad_ref[d].to_bits());
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_are_exact() {
+        let mut y = vec![1.0f32, 2.0, 3.0];
+        axpy(2.0, &[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, [3.0, 4.0, 5.0]);
+        add_assign(&mut y, &[1.0, 0.0, -1.0]);
+        assert_eq!(y, [4.0, 4.0, 4.0]);
+        scale(&mut y, 0.5);
+        assert_eq!(y, [2.0, 2.0, 2.0]);
+        let mut acc = vec![1.0f32, 1.0];
+        accumulate_delta(&mut acc, &[5.0, 7.0], &[4.0, 4.0]);
+        assert_eq!(acc, [2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -9,12 +9,13 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod kernels;
 pub mod math;
 pub mod matrix;
 pub mod store;
 pub mod topk;
 pub mod word2vec;
 
-pub use matrix::Matrix;
+pub use matrix::{dot_slice_x4, Matrix, RowPtr};
 pub use store::EmbeddingStore;
 pub use topk::{retrieve_top_k, Neighbor, TopK};

@@ -1,24 +1,21 @@
-//! Vector math kernels used by the trainers and the retrieval path.
+//! Vector math for the retrieval / evaluation / serving paths, backed by
+//! the unrolled kernels in [`crate::kernels`].
 //!
-//! These are the innermost loops of the whole system — a training run calls
-//! [`dot`] and [`axpy`] once per (positive + 20 negatives) per pair, i.e.
-//! billions of times at paper scale. They are written over plain `f32`
-//! slices with explicit length equality asserted once per call so the
-//! optimizer can vectorize the loop bodies without per-element bounds
-//! checks.
+//! [`dot`] here uses the reduction-reordering 4-accumulator kernel — fast,
+//! deterministic within a build, but *not* the bit-reproducible serial
+//! order the training loops require. Training goes through the
+//! order-preserving kernels on [`crate::matrix::RowPtr`] and in
+//! [`crate::kernels`] instead (see DESIGN.md §8).
 
-/// Inner product `x · y`.
+use crate::kernels;
+
+/// Inner product `x · y` (unrolled, reduction-reordered — serving path).
 ///
 /// # Panics
 /// Panics when the slices differ in length.
 #[inline]
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
-    assert_eq!(x.len(), y.len());
-    let mut acc = 0.0f32;
-    for i in 0..x.len() {
-        acc += x[i] * y[i];
-    }
-    acc
+    kernels::dot(x, y)
 }
 
 /// `y += a * x`.
@@ -27,10 +24,7 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
 /// Panics when the slices differ in length.
 #[inline]
 pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), y.len());
-    for i in 0..x.len() {
-        y[i] += a * x[i];
-    }
+    kernels::axpy(a, x, y)
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -54,9 +48,7 @@ pub fn cosine(x: &[f32], y: &[f32]) -> f32 {
 /// Scales `x` in place by `a`.
 #[inline]
 pub fn scale(x: &mut [f32], a: f32) {
-    for v in x {
-        *v *= a;
-    }
+    kernels::scale(x, a)
 }
 
 /// Normalizes `x` to unit length in place; leaves all-zero vectors alone.
@@ -74,7 +66,7 @@ pub fn normalize(x: &mut [f32]) {
 /// Panics when the slices differ in length.
 #[inline]
 pub fn add_assign(dst: &mut [f32], src: &[f32]) {
-    axpy(1.0, src, dst);
+    kernels::add_assign(dst, src);
 }
 
 /// Element-wise mean of `vectors` (each of length `dim`) into a new vector.

@@ -49,10 +49,23 @@ pub struct Matrix {
 ///
 /// Copyable and cheap; obtained from [`Matrix::row_ptr`]. All accessors
 /// use `Relaxed` per-element atomic operations, so concurrent use from
-/// many threads is sound. [`RowPtr::add`] is a non-atomic
+/// many threads is sound. [`RowPtr::add_elem`] is a non-atomic
 /// read-modify-write *sequence* (load, add, store): concurrent adds to
 /// the same cell may lose one of the updates, which is exactly the
 /// approximation Hogwild SGD tolerates.
+///
+/// # Kernel contract (DESIGN.md §8)
+///
+/// The batched methods ([`RowPtr::dot_slice`], [`RowPtr::axpy_slice`],
+/// [`RowPtr::fused_grad_step`], [`RowPtr::accumulate_scaled`], …) are the
+/// *only* way hot loops should touch a row; per-element access through
+/// `get_elem`/`set_elem`/`add_elem` in `crates/sgns` and `crates/eges` is
+/// rejected by `xtask lint`. Reductions here preserve strict serial
+/// summation order so the single-threaded training path stays
+/// bit-reproducible — the batched speedup comes from [`dot_slice_x4`],
+/// which interleaves four *independent* serial chains, never from
+/// reordering one chain. Elementwise kernels are unrolled 4-wide, which
+/// cannot change results (each element's ops keep their order).
 #[derive(Clone, Copy)]
 pub struct RowPtr<'a> {
     cells: &'a [AtomicU32],
@@ -71,31 +84,35 @@ impl<'a> RowPtr<'a> {
         self.cells.is_empty()
     }
 
-    /// Reads element `d` (relaxed atomic load).
+    /// Reads element `d` (relaxed atomic load). Cold-path accessor: hot
+    /// loops must use the batched kernels (enforced by `xtask lint` in
+    /// the training crates).
     ///
     /// # Panics
     /// Panics when `d >= len()`.
     #[inline]
-    pub fn get(&self, d: usize) -> f32 {
+    pub fn get_elem(&self, d: usize) -> f32 {
         f32::from_bits(self.cells[d].load(Ordering::Relaxed))
     }
 
-    /// Writes element `d` (relaxed atomic store).
+    /// Writes element `d` (relaxed atomic store). Cold-path accessor;
+    /// see [`RowPtr::get_elem`].
     ///
     /// # Panics
     /// Panics when `d >= len()`.
     #[inline]
-    pub fn set(&self, d: usize, v: f32) {
+    pub fn set_elem(&self, d: usize, v: f32) {
         self.cells[d].store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Adds `delta` to element `d` as a load/add/store sequence.
+    /// Cold-path accessor; see [`RowPtr::get_elem`].
     ///
     /// Not an atomic fetch-add: a concurrent update between the load and
     /// the store is overwritten (a lost update, permitted by Hogwild).
     #[inline]
-    pub fn add(&self, d: usize, delta: f32) {
-        self.set(d, self.get(d) + delta);
+    pub fn add_elem(&self, d: usize, delta: f32) {
+        self.set_elem(d, self.get_elem(d) + delta);
     }
 
     /// Copies the row into `dst`.
@@ -146,7 +163,12 @@ impl<'a> RowPtr<'a> {
         acc
     }
 
-    /// Dot product of the row with a plain slice via relaxed loads.
+    /// Dot product of the row with a plain slice via relaxed loads —
+    /// THE training dot kernel. Accumulation is a strict left-to-right
+    /// serial chain; this order is contractual (the golden-checksum test
+    /// in `crates/sgns` pins it). To compute several dots fast, batch
+    /// independent rows through [`dot_slice_x4`] rather than reordering
+    /// this reduction.
     ///
     /// # Examples
     /// ```
@@ -168,10 +190,11 @@ impl<'a> RowPtr<'a> {
         acc
     }
 
-    /// `self += a · x` over a whole row — the batched form of [`RowPtr::add`]
-    /// used by the SGD inner loop. One length check instead of a bounds
-    /// check per element; each element update is still an independent
-    /// relaxed load/add/store (lost updates possible, tearing not).
+    /// `self += a · x` over a whole row — the batched row-row update.
+    /// One length check instead of a bounds check per element; each
+    /// element update is still an independent relaxed load/add/store
+    /// (lost updates possible, tearing not). Unrolled 4-wide: elementwise,
+    /// so results are bit-identical to the scalar loop.
     ///
     /// # Examples
     /// ```
@@ -188,14 +211,31 @@ impl<'a> RowPtr<'a> {
     #[inline]
     pub fn axpy_row(&self, a: f32, x: &RowPtr<'_>) {
         assert_eq!(self.len(), x.len(), "length mismatch");
-        for (cell, xc) in self.cells.iter().zip(x.cells) {
+        let mut cc = self.cells.chunks_exact(4);
+        let mut xc = x.cells.chunks_exact(4);
+        for (cells, xs) in (&mut cc).zip(&mut xc) {
+            let v0 = f32::from_bits(cells[0].load(Ordering::Relaxed))
+                + a * f32::from_bits(xs[0].load(Ordering::Relaxed));
+            let v1 = f32::from_bits(cells[1].load(Ordering::Relaxed))
+                + a * f32::from_bits(xs[1].load(Ordering::Relaxed));
+            let v2 = f32::from_bits(cells[2].load(Ordering::Relaxed))
+                + a * f32::from_bits(xs[2].load(Ordering::Relaxed));
+            let v3 = f32::from_bits(cells[3].load(Ordering::Relaxed))
+                + a * f32::from_bits(xs[3].load(Ordering::Relaxed));
+            cells[0].store(v0.to_bits(), Ordering::Relaxed);
+            cells[1].store(v1.to_bits(), Ordering::Relaxed);
+            cells[2].store(v2.to_bits(), Ordering::Relaxed);
+            cells[3].store(v3.to_bits(), Ordering::Relaxed);
+        }
+        for (cell, xcell) in cc.remainder().iter().zip(xc.remainder()) {
             let v = f32::from_bits(cell.load(Ordering::Relaxed))
-                + a * f32::from_bits(xc.load(Ordering::Relaxed));
+                + a * f32::from_bits(xcell.load(Ordering::Relaxed));
             cell.store(v.to_bits(), Ordering::Relaxed);
         }
     }
 
-    /// `self += a · xs` with a plain-slice right-hand side.
+    /// `self += a · xs` with a plain-slice right-hand side. Unrolled
+    /// 4-wide (elementwise ⇒ bit-identical to the scalar loop).
     ///
     /// # Examples
     /// ```
@@ -211,14 +251,27 @@ impl<'a> RowPtr<'a> {
     #[inline]
     pub fn axpy_slice(&self, a: f32, xs: &[f32]) {
         assert_eq!(self.len(), xs.len(), "length mismatch");
-        for (cell, &x) in self.cells.iter().zip(xs) {
+        let mut cc = self.cells.chunks_exact(4);
+        let mut xc = xs.chunks_exact(4);
+        for (cells, x) in (&mut cc).zip(&mut xc) {
+            let v0 = f32::from_bits(cells[0].load(Ordering::Relaxed)) + a * x[0];
+            let v1 = f32::from_bits(cells[1].load(Ordering::Relaxed)) + a * x[1];
+            let v2 = f32::from_bits(cells[2].load(Ordering::Relaxed)) + a * x[2];
+            let v3 = f32::from_bits(cells[3].load(Ordering::Relaxed)) + a * x[3];
+            cells[0].store(v0.to_bits(), Ordering::Relaxed);
+            cells[1].store(v1.to_bits(), Ordering::Relaxed);
+            cells[2].store(v2.to_bits(), Ordering::Relaxed);
+            cells[3].store(v3.to_bits(), Ordering::Relaxed);
+        }
+        for (cell, &x) in cc.remainder().iter().zip(xc.remainder()) {
             let v = f32::from_bits(cell.load(Ordering::Relaxed)) + a * x;
             cell.store(v.to_bits(), Ordering::Relaxed);
         }
     }
 
     /// `dst += a · self` — accumulates the row, scaled, into a caller-owned
-    /// buffer (the gradient-accumulation step of SGNS).
+    /// buffer (the gradient-accumulation step of SGNS). Unrolled 4-wide
+    /// (elementwise ⇒ bit-identical to the scalar loop).
     ///
     /// # Examples
     /// ```
@@ -235,10 +288,99 @@ impl<'a> RowPtr<'a> {
     #[inline]
     pub fn accumulate_scaled(&self, a: f32, dst: &mut [f32]) {
         assert_eq!(self.len(), dst.len(), "length mismatch");
-        for (slot, cell) in dst.iter_mut().zip(self.cells) {
+        let mut dc = dst.chunks_exact_mut(4);
+        let mut cc = self.cells.chunks_exact(4);
+        for (slots, cells) in (&mut dc).zip(&mut cc) {
+            slots[0] += a * f32::from_bits(cells[0].load(Ordering::Relaxed));
+            slots[1] += a * f32::from_bits(cells[1].load(Ordering::Relaxed));
+            slots[2] += a * f32::from_bits(cells[2].load(Ordering::Relaxed));
+            slots[3] += a * f32::from_bits(cells[3].load(Ordering::Relaxed));
+        }
+        for (slot, cell) in dc.into_remainder().iter_mut().zip(cc.remainder()) {
             *slot += a * f32::from_bits(cell.load(Ordering::Relaxed));
         }
     }
+
+    /// The fused SGD update of one sample step, Hogwild path: per element,
+    /// `grad[d] += g · self[d]` using the *pre-update* value, then
+    /// `self[d] += g · v[d]` — one pass over the row's cache lines instead
+    /// of the separate [`RowPtr::accumulate_scaled`] + [`RowPtr::axpy_slice`]
+    /// passes. Per-element op order matches the two-pass sequence exactly
+    /// (`v` is a plain slice, so the second pass cannot observe the first's
+    /// writes), hence bit-identical. Unrolled 4-wide.
+    ///
+    /// # Panics
+    /// Panics when `v.len()` or `grad.len()` differ from `len()`.
+    #[inline]
+    pub fn fused_grad_step(&self, g: f32, v: &[f32], grad: &mut [f32]) {
+        assert_eq!(self.len(), v.len(), "length mismatch");
+        assert_eq!(self.len(), grad.len(), "length mismatch");
+        let mut cc = self.cells.chunks_exact(4);
+        let mut vc = v.chunks_exact(4);
+        let mut gc = grad.chunks_exact_mut(4);
+        for ((cells, vs), gs) in (&mut cc).zip(&mut vc).zip(&mut gc) {
+            let o0 = f32::from_bits(cells[0].load(Ordering::Relaxed));
+            let o1 = f32::from_bits(cells[1].load(Ordering::Relaxed));
+            let o2 = f32::from_bits(cells[2].load(Ordering::Relaxed));
+            let o3 = f32::from_bits(cells[3].load(Ordering::Relaxed));
+            gs[0] += g * o0;
+            gs[1] += g * o1;
+            gs[2] += g * o2;
+            gs[3] += g * o3;
+            cells[0].store((o0 + g * vs[0]).to_bits(), Ordering::Relaxed);
+            cells[1].store((o1 + g * vs[1]).to_bits(), Ordering::Relaxed);
+            cells[2].store((o2 + g * vs[2]).to_bits(), Ordering::Relaxed);
+            cells[3].store((o3 + g * vs[3]).to_bits(), Ordering::Relaxed);
+        }
+        for ((cell, &x), slot) in cc
+            .remainder()
+            .iter()
+            .zip(vc.remainder())
+            .zip(gc.into_remainder())
+        {
+            let old = f32::from_bits(cell.load(Ordering::Relaxed));
+            *slot += g * old;
+            cell.store((old + g * x).to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Four order-preserving [`RowPtr::dot_slice`] products against a shared
+/// right-hand side, with the four serial accumulation chains interleaved
+/// for instruction-level parallelism — the batched dot phase of the SGD
+/// step. Each result is bit-identical to `rows[i].dot_slice(xs)`; only
+/// the scheduling changes, so this is safe on the bit-reproducible
+/// training path *when the four rows are known to be distinct* (a row fed
+/// to two lanes would observe no writes either way — the kernel only
+/// loads — but callers batch steps, and steps write; the distinctness
+/// requirement lives in the caller, see `sisg-sgns`).
+///
+/// # Panics
+/// Panics when any row's length differs from `xs.len()`.
+#[inline]
+pub fn dot_slice_x4(rows: [RowPtr<'_>; 4], xs: &[f32]) -> [f32; 4] {
+    for r in &rows {
+        assert_eq!(r.len(), xs.len(), "length mismatch");
+    }
+    let [r0, r1, r2, r3] = rows;
+    let mut a0 = 0.0f32;
+    let mut a1 = 0.0f32;
+    let mut a2 = 0.0f32;
+    let mut a3 = 0.0f32;
+    let it = r0
+        .cells
+        .iter()
+        .zip(r1.cells)
+        .zip(r2.cells)
+        .zip(r3.cells)
+        .zip(xs);
+    for ((((c0, c1), c2), c3), &x) in it {
+        a0 += f32::from_bits(c0.load(Ordering::Relaxed)) * x;
+        a1 += f32::from_bits(c1.load(Ordering::Relaxed)) * x;
+        a2 += f32::from_bits(c2.load(Ordering::Relaxed)) * x;
+        a3 += f32::from_bits(c3.load(Ordering::Relaxed)) * x;
+    }
+    [a0, a1, a2, a3]
 }
 
 impl std::fmt::Debug for RowPtr<'_> {
@@ -444,9 +586,9 @@ mod tests {
         let m = Matrix::from_data(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let r = m.row_ptr(1);
         assert_eq!(r.len(), 3);
-        assert_eq!(r.get(0), 4.0);
-        r.set(0, 9.0);
-        r.add(1, 0.5);
+        assert_eq!(r.get_elem(0), 4.0);
+        r.set_elem(0, 9.0);
+        r.add_elem(1, 0.5);
         assert_eq!(m.row(1), &[9.0, 5.5, 6.0]);
         let mut buf = [0.0f32; 3];
         r.load_into(&mut buf);
@@ -499,7 +641,7 @@ mod tests {
                         if i % 4 == t {
                             let row = m.row_ptr(i);
                             for d in 0..row.len() {
-                                row.set(d, i as f32);
+                                row.set_elem(d, i as f32);
                             }
                         }
                     }
@@ -531,5 +673,68 @@ mod tests {
         let mut dst = Matrix::zeros(2, 3);
         dst.copy_row_from(0, &src, 1);
         assert_eq!(dst.row(0), src.row(1));
+    }
+
+    #[test]
+    fn dot_slice_x4_matches_four_dot_slices() {
+        // Awkward dim (not a multiple of 4) to exercise full coverage.
+        let m = Matrix::uniform_init(4, 13, 3);
+        let xs: Vec<f32> = (0..13).map(|i| (i as f32 * 0.7).cos()).collect();
+        let got = dot_slice_x4(
+            [m.row_ptr(0), m.row_ptr(1), m.row_ptr(2), m.row_ptr(3)],
+            &xs,
+        );
+        for (r, &g) in got.iter().enumerate() {
+            assert_eq!(g.to_bits(), m.row_ptr(r).dot_slice(&xs).to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_grad_step_matches_two_pass_sequence() {
+        // The fused kernel must be bit-identical to accumulate_scaled
+        // followed by axpy_slice, for dims hitting both unrolled body and
+        // remainder.
+        for dim in [1usize, 3, 4, 7, 8, 13] {
+            let m_fused = Matrix::uniform_init(1, dim, 5);
+            let m_two = m_fused.clone();
+            let v: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.3).sin()).collect();
+            let g = 0.02f32;
+            let mut grad_fused = vec![0.1f32; dim];
+            let mut grad_two = grad_fused.clone();
+
+            m_fused.row_ptr(0).fused_grad_step(g, &v, &mut grad_fused);
+            m_two.row_ptr(0).accumulate_scaled(g, &mut grad_two);
+            m_two.row_ptr(0).axpy_slice(g, &v);
+
+            for d in 0..dim {
+                assert_eq!(grad_fused[d].to_bits(), grad_two[d].to_bits());
+                assert_eq!(
+                    m_fused.row(0)[d].to_bits(),
+                    m_two.row(0)[d].to_bits(),
+                    "dim {dim} element {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_axpy_handles_remainders() {
+        for dim in [1usize, 2, 3, 5, 6, 7, 9] {
+            let m = Matrix::zeros(2, dim);
+            let xs: Vec<f32> = (0..dim).map(|i| i as f32 + 1.0).collect();
+            m.row_ptr(0).axpy_slice(2.0, &xs);
+            for d in 0..dim {
+                assert_eq!(m.row(0)[d], 2.0 * (d as f32 + 1.0));
+            }
+            m.row_ptr(1).axpy_row(0.5, &m.row_ptr(0));
+            for d in 0..dim {
+                assert_eq!(m.row(1)[d], d as f32 + 1.0);
+            }
+            let mut acc = vec![1.0f32; dim];
+            m.row_ptr(1).accumulate_scaled(1.0, &mut acc);
+            for (d, &a) in acc.iter().enumerate() {
+                assert_eq!(a, 1.0 + d as f32 + 1.0);
+            }
+        }
     }
 }

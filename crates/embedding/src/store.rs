@@ -84,6 +84,14 @@ impl EmbeddingStore {
         &mut self.output
     }
 
+    /// Both matrices mutably at once — the entry point of the non-atomic
+    /// exact training path (`threads == 1`), which needs simultaneous
+    /// `&mut` access to input and output rows.
+    #[inline]
+    pub fn matrices_mut(&mut self) -> (&mut Matrix, &mut Matrix) {
+        (&mut self.input, &mut self.output)
+    }
+
     /// Splits into `(input, output)` matrices.
     pub fn into_matrices(self) -> (Matrix, Matrix) {
         (self.input, self.output)

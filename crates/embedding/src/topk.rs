@@ -5,7 +5,7 @@
 //! exact scan with a bounded min-heap is both faster to verify and exact,
 //! which matters when comparing model variants by HR@K.
 
-use crate::math;
+use crate::kernels;
 use crate::matrix::Matrix;
 use sisg_corpus::TokenId;
 use std::cmp::Ordering;
@@ -112,6 +112,11 @@ impl TopK {
 /// Scores every row of `matrix` in `candidates` against `query` by inner
 /// product (cosine callers should pre-normalize) and returns the best `k`.
 /// `exclude` is filtered out (typically the query item itself).
+///
+/// Candidates are scored four at a time through the interleaved ordered
+/// dot kernel (DESIGN.md §8): each candidate's score is the plain serial
+/// dot — position in the scan cannot change a score's bits — while the
+/// four independent chains keep the FP units busy.
 pub fn retrieve_top_k(
     query: &[f32],
     matrix: &Matrix,
@@ -120,12 +125,35 @@ pub fn retrieve_top_k(
     exclude: Option<TokenId>,
 ) -> Vec<Neighbor> {
     let mut top = TopK::new(k);
+    let mut batch = [TokenId(0); 4];
+    let mut n = 0;
     for token in candidates {
         if exclude == Some(token) {
             continue;
         }
-        let score = math::dot(query, matrix.row(token.index()));
-        top.push(token, score);
+        batch[n] = token;
+        n += 1;
+        if n == 4 {
+            let scores = kernels::dot_ordered_x4(
+                [
+                    matrix.row(batch[0].index()),
+                    matrix.row(batch[1].index()),
+                    matrix.row(batch[2].index()),
+                    matrix.row(batch[3].index()),
+                ],
+                query,
+            );
+            for (t, s) in batch.iter().zip(scores) {
+                top.push(*t, s);
+            }
+            n = 0;
+        }
+    }
+    for &token in &batch[..n] {
+        top.push(
+            token,
+            kernels::dot_ordered(matrix.row(token.index()), query),
+        );
     }
     top.into_sorted()
 }

@@ -35,7 +35,7 @@ fn concurrent_writes_never_tear() {
                         let row = m.row_ptr(r);
                         for i in 0..row.len() {
                             let d = (i * (t + 1) + round) % row.len();
-                            row.set(d, p);
+                            row.set_elem(d, p);
                         }
                     }
                 }
@@ -73,7 +73,7 @@ fn concurrent_adds_accumulate_without_corruption() {
                 let row = m.row_ptr(0);
                 for _ in 0..ADDS {
                     for d in 0..row.len() {
-                        row.add(d, 1.0);
+                        row.add_elem(d, 1.0);
                     }
                 }
             });

@@ -19,6 +19,10 @@ pub const SGNS_LOSS_EMA: &str = "sgns.loss_ema";
 pub const SGNS_LR: &str = "sgns.lr";
 /// Fraction of corpus tokens dropped by subsampling, `0.0..=1.0`.
 pub const SGNS_SUBSAMPLE_DROP_RATE: &str = "sgns.subsample_drop_rate";
+/// Positive pairs per second of the last completed training run.
+pub const SGNS_PAIRS_PER_SEC: &str = "sgns.pairs_per_sec";
+/// Surviving tokens per second of the last completed training run.
+pub const SGNS_TOKENS_PER_SEC: &str = "sgns.tokens_per_sec";
 /// Span: one SGNS training run (`sisg_sgns::train*`).
 pub const SGNS_TRAIN_SPAN: &str = "sgns.train";
 
@@ -89,6 +93,8 @@ pub const ALL: &[&str] = &[
     SGNS_LOSS_EMA,
     SGNS_LR,
     SGNS_SUBSAMPLE_DROP_RATE,
+    SGNS_PAIRS_PER_SEC,
+    SGNS_TOKENS_PER_SEC,
     "sgns.train.us",
     EGES_PAIRS_TOTAL,
     EGES_TOKENS_TOTAL,

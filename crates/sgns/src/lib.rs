@@ -31,6 +31,7 @@ pub mod trainer;
 pub use config::SgnsConfig;
 pub use noise::NoiseTable;
 pub use sampler::{PairSampler, SubsampleTable, WindowMode};
+pub use sgd::{train_pair, train_pair_mut, PairScratch};
 pub use trainer::{
     count_freqs, train, train_into, train_parallel, train_with_freqs, Sequences, TrainStats,
 };

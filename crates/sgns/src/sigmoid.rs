@@ -11,10 +11,13 @@ pub const MAX_EXP: f32 = 6.0;
 /// Number of table bins (word2vec uses 1000).
 pub const TABLE_SIZE: usize = 1024;
 
-/// The σ lookup table.
+/// The σ lookup table, with a companion `−ln σ` table for cheap loss
+/// monitoring inside the hot loop.
 #[derive(Debug, Clone)]
 pub struct SigmoidTable {
     table: Vec<f32>,
+    neg_log: Vec<f64>,
+    sat_high: f64,
 }
 
 impl Default for SigmoidTable {
@@ -24,15 +27,18 @@ impl Default for SigmoidTable {
 }
 
 impl SigmoidTable {
-    /// Builds the table.
+    /// Builds the tables.
     pub fn new() -> Self {
-        let table = (0..TABLE_SIZE)
-            .map(|i| {
-                let x = (i as f32 / TABLE_SIZE as f32 * 2.0 - 1.0) * MAX_EXP;
-                1.0 / (1.0 + (-x).exp())
-            })
+        let xs: Vec<f32> = (0..TABLE_SIZE)
+            .map(|i| (i as f32 / TABLE_SIZE as f32 * 2.0 - 1.0) * MAX_EXP)
             .collect();
-        Self { table }
+        let table = xs.iter().map(|&x| 1.0 / (1.0 + (-x).exp())).collect();
+        let neg_log = xs.iter().map(|&x| -log_sigmoid(x as f64)).collect();
+        Self {
+            table,
+            neg_log,
+            sat_high: -log_sigmoid(MAX_EXP as f64),
+        }
     }
 
     /// Approximate `σ(x)`, saturating to 0/1 beyond ±[`MAX_EXP`].
@@ -45,6 +51,26 @@ impl SigmoidTable {
         } else {
             let idx = ((x + MAX_EXP) / (2.0 * MAX_EXP) * TABLE_SIZE as f32) as usize;
             self.table[idx.min(TABLE_SIZE - 1)]
+        }
+    }
+
+    /// Approximate `−ln σ(x)` — the per-sample negative-sampling loss term,
+    /// as a table lookup instead of an `exp` + `ln` per sample.
+    ///
+    /// Saturation: above [`MAX_EXP`] the loss is the (tiny) constant
+    /// `−ln σ(6) ≈ 0.0025`; below `−MAX_EXP` it is `≈ −x` (the exact value
+    /// is `−x + ln(1 + eˣ)`, whose correction term is below 0.0025 there).
+    /// Loss is monitoring-only, so table precision suffices; gradients
+    /// never flow through this value.
+    #[inline]
+    pub fn neg_log_sigmoid(&self, x: f32) -> f64 {
+        if x >= MAX_EXP {
+            self.sat_high
+        } else if x <= -MAX_EXP {
+            (-x) as f64
+        } else {
+            let idx = ((x + MAX_EXP) / (2.0 * MAX_EXP) * TABLE_SIZE as f32) as usize;
+            self.neg_log[idx.min(TABLE_SIZE - 1)]
         }
     }
 }
@@ -93,6 +119,17 @@ mod tests {
         let x = 1.3f64;
         let s = 1.0 / (1.0 + (-x).exp());
         assert!((log_sigmoid(x) - s.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neg_log_sigmoid_tracks_exact_loss() {
+        let t = SigmoidTable::new();
+        for &x in &[-8.0f32, -5.5, -2.0, -0.1, 0.0, 0.3, 1.7, 5.9, 9.0] {
+            let exact = -log_sigmoid(x as f64);
+            let got = t.neg_log_sigmoid(x);
+            assert!((got - exact).abs() < 0.02, "−lnσ({x}): {got} vs {exact}");
+            assert!(got >= 0.0, "loss terms are non-negative");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::config::SgnsConfig;
 use crate::noise::NoiseTable;
 use crate::sampler::{PairSampler, SubsampleTable};
-use crate::sgd::train_pair;
+use crate::sgd::{train_pair, train_pair_mut, PairScratch};
 use crate::sigmoid::SigmoidTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,6 +75,16 @@ impl TrainStats {
     pub fn tokens_per_second(&self) -> f64 {
         if self.seconds > 0.0 {
             self.tokens as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Training throughput in positive pairs per second — the headline
+    /// number of the perf trajectory (`results/BENCH_perf.json`).
+    pub fn pairs_per_second(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.pairs as f64 / self.seconds
         } else {
             0.0
         }
@@ -260,32 +270,55 @@ struct EpochContext<'a> {
     schedule_tokens: u64,
 }
 
-/// Processes the sequences `range` once, updating `store` in place.
-/// `progress` counts tokens globally across threads and epochs; all
-/// bookkeeping lands in the plain-local `stats` (the caller flushes it to
-/// obs after the chunk, keeping the pair loop instrumentation-free).
-fn run_chunk<S: Sequences + ?Sized>(
+/// Per-worker reusable buffers of the chunk loop: allocated once per
+/// thread, reused across every sequence and epoch — the hot loop itself
+/// never allocates.
+struct ChunkBuffers {
+    filtered: Vec<TokenId>,
+    negatives: Vec<TokenId>,
+    /// `for_each_pair` needs the rng; pairs are drawn into this buffer
+    /// first to keep a single mutable borrow of rng at a time.
+    pair_buf: Vec<(TokenId, TokenId)>,
+    scratch: PairScratch,
+}
+
+impl ChunkBuffers {
+    fn new(dim: usize, negatives: usize) -> Self {
+        Self {
+            filtered: Vec::with_capacity(64),
+            negatives: Vec::with_capacity(negatives),
+            pair_buf: Vec::with_capacity(256),
+            scratch: PairScratch::new(dim),
+        }
+    }
+}
+
+/// Processes the sequences `range` once, applying `pair_fn` to every
+/// sampled pair (the Hogwild [`train_pair`] or the exact
+/// [`train_pair_mut`], pre-bound to its matrices). `progress` counts
+/// tokens globally across threads and epochs; all bookkeeping lands in
+/// the plain-local `stats` (the caller flushes it to obs after the chunk,
+/// keeping the pair loop instrumentation-free).
+#[allow(clippy::too_many_arguments)]
+fn run_chunk<S, F>(
     seqs: &S,
     range: std::ops::Range<usize>,
-    store: &EmbeddingStore,
     ctx: &EpochContext<'_>,
     progress: &AtomicU64,
     rng: &mut StdRng,
     stats: &mut ChunkStats,
-) {
-    let dim = store.dim();
-    let mut grad = vec![0.0f32; dim];
-    let mut filtered: Vec<TokenId> = Vec::with_capacity(64);
-    let mut negatives: Vec<TokenId> = Vec::with_capacity(ctx.config.negatives);
-    let input = store.input_matrix();
-    let output = store.output_matrix();
-
+    buf: &mut ChunkBuffers,
+    mut pair_fn: F,
+) where
+    S: Sequences + ?Sized,
+    F: FnMut(TokenId, TokenId, &[TokenId], f32, &mut PairScratch) -> f64,
+{
     for i in range {
         let seq = seqs.sequence(i);
-        ctx.subsample.filter_into(seq, rng, &mut filtered);
+        ctx.subsample.filter_into(seq, rng, &mut buf.filtered);
         let done = progress.fetch_add(seq.len() as u64, Ordering::Relaxed);
         stats.raw_tokens += seq.len() as u64;
-        stats.tokens += filtered.len() as u64;
+        stats.tokens += buf.filtered.len() as u64;
 
         // Linear LR decay by global token progress.
         let frac = (done as f64 / ctx.schedule_tokens.max(1) as f64).min(1.0);
@@ -293,28 +326,13 @@ fn run_chunk<S: Sequences + ?Sized>(
             .max(ctx.config.min_learning_rate as f64) as f32;
         stats.last_lr = lr;
 
-        let filtered_ref = &filtered;
-        let negatives_ref = &mut negatives;
-        let grad_ref = &mut grad;
-        // `for_each_pair` needs the rng; draw pairs first into a scratch
-        // buffer to keep a single mutable borrow of rng at a time.
-        let mut pair_buf: Vec<(TokenId, TokenId)> = Vec::with_capacity(filtered_ref.len() * 2);
-        ctx.sampler.pairs_into(filtered_ref, rng, &mut pair_buf);
-        for (target, context) in pair_buf {
-            negatives_ref.clear();
-            for _ in 0..ctx.config.negatives {
-                negatives_ref.push(ctx.noise.sample(rng));
-            }
-            let loss = train_pair(
-                input,
-                output,
-                target,
-                context,
-                negatives_ref,
-                lr,
-                ctx.sigmoid,
-                grad_ref,
-            );
+        ctx.sampler
+            .pairs_into(&buf.filtered, rng, &mut buf.pair_buf);
+        for idx in 0..buf.pair_buf.len() {
+            let (target, context) = buf.pair_buf[idx];
+            ctx.noise
+                .sample_into(&mut buf.negatives, ctx.config.negatives, rng);
+            let loss = pair_fn(target, context, &buf.negatives, lr, &mut buf.scratch);
             stats.pairs += 1;
             stats.loss_sum += loss;
             stats.loss_count += 1;
@@ -326,7 +344,7 @@ fn train_single<S: Sequences + ?Sized>(
     seqs: &S,
     freqs: &[u64],
     config: &SgnsConfig,
-    store: EmbeddingStore,
+    mut store: EmbeddingStore,
 ) -> (EmbeddingStore, TrainStats) {
     if freqs.iter().all(|&f| f == 0) {
         // Empty corpus: nothing to train, return the initialized store.
@@ -351,17 +369,27 @@ fn train_single<S: Sequences + ?Sized>(
     let progress = AtomicU64::new(0);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7124);
     let mut total = ChunkStats::default();
+    let mut buf = ChunkBuffers::new(config.dim, config.negatives);
     let span = sisg_obs::span(names::SGNS_TRAIN_SPAN);
+    // Single-threaded ⇒ exclusive matrices ⇒ the exact non-atomic path
+    // (bit-identical to the Hogwild path, see `crate::sgd`, but the
+    // plain-slice kernels vectorize).
+    let (input, output) = store.matrices_mut();
     for _epoch in 0..config.epochs {
         let mut epoch_stats = ChunkStats::default();
         run_chunk(
             seqs,
             0..seqs.n_sequences(),
-            &store,
             &ctx,
             &progress,
             &mut rng,
             &mut epoch_stats,
+            &mut buf,
+            |target, context, negatives, lr, scratch| {
+                train_pair_mut(
+                    input, output, target, context, negatives, lr, &sigmoid, scratch,
+                )
+            },
         );
         epoch_stats.flush_to_obs();
         total.merge(&epoch_stats);
@@ -373,7 +401,18 @@ fn train_single<S: Sequences + ?Sized>(
         avg_loss: total.avg_loss(),
         seconds: span.finish().as_secs_f64(),
     };
+    publish_throughput(&stats);
     (store, stats)
+}
+
+/// Publishes end-of-run throughput gauges.
+fn publish_throughput(stats: &TrainStats) {
+    registry()
+        .gauge(names::SGNS_PAIRS_PER_SEC)
+        .set(stats.pairs_per_second());
+    registry()
+        .gauge(names::SGNS_TOKENS_PER_SEC)
+        .set(stats.tokens_per_second());
 }
 
 /// Hogwild parallel training: threads share the matrices without locks and
@@ -430,16 +469,31 @@ fn train_parallel_into<S: Sequences + ?Sized>(
             handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut thread_total = ChunkStats::default();
+                let mut buf = ChunkBuffers::new(ctx.config.dim, ctx.config.negatives);
+                let input = store.input_matrix();
+                let output = store.output_matrix();
                 for _epoch in 0..ctx.config.epochs {
                     let mut epoch_stats = ChunkStats::default();
                     run_chunk(
                         seqs,
                         range.clone(),
-                        store,
                         ctx,
                         progress,
                         &mut rng,
                         &mut epoch_stats,
+                        &mut buf,
+                        |target, context, negatives, lr, scratch| {
+                            train_pair(
+                                input,
+                                output,
+                                target,
+                                context,
+                                negatives,
+                                lr,
+                                ctx.sigmoid,
+                                scratch,
+                            )
+                        },
                     );
                     epoch_stats.flush_to_obs();
                     thread_total.merge(&epoch_stats);
@@ -459,6 +513,7 @@ fn train_parallel_into<S: Sequences + ?Sized>(
         avg_loss: total.avg_loss(),
         seconds: span.finish().as_secs_f64(),
     };
+    publish_throughput(&stats);
     (store, stats)
 }
 

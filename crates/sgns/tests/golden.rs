@@ -1,0 +1,87 @@
+//! Bit-identity regression guard for the single-threaded training path.
+//!
+//! The kernel layer (DESIGN.md §8) promises that every refactor of the SGD
+//! inner loop keeps the `threads == 1` output *byte-identical*: the batched
+//! dot phase preserves each dot's serial summation order, the fused update
+//! preserves per-element op order, and RNG draw order is untouched. These
+//! checksums were recorded from the pre-kernel-layer implementation
+//! (commit 99fbcfb); any low-order-bit drift in the trained embeddings
+//! fails the FNV comparison below.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sisg_corpus::TokenId;
+use sisg_sgns::{train, SgnsConfig};
+
+/// FNV-1a over the little-endian bit patterns of every f32 in `data`.
+fn fnv1a_bits(data: &[f32]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for v in data {
+        for b in v.to_bits().to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Two-topic synthetic corpus, the same shape the trainer tests use.
+fn golden_corpus(seed: u64) -> Vec<Vec<TokenId>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..150)
+        .map(|_| {
+            let topic = if rng.gen_bool(0.5) { 0u32 } else { 10u32 };
+            (0..10)
+                .map(|_| TokenId(topic + rng.gen_range(0u32..10)))
+                .collect()
+        })
+        .collect()
+}
+
+fn checksum(cfg: &SgnsConfig) -> u64 {
+    let seqs = golden_corpus(77);
+    let (store, stats) = train(&seqs, 20, cfg);
+    assert!(stats.pairs > 0, "golden corpus must produce pairs");
+    let mut all: Vec<f32> = store.input_matrix().as_slice().to_vec();
+    all.extend_from_slice(store.output_matrix().as_slice());
+    fnv1a_bits(&all)
+}
+
+#[test]
+fn single_thread_output_is_bit_identical_to_reference() {
+    let cfg = SgnsConfig {
+        dim: 16,
+        window: 3,
+        negatives: 5,
+        epochs: 2,
+        subsample: 0.0,
+        seed: 42,
+        threads: 1,
+        ..Default::default()
+    };
+    let got = checksum(&cfg);
+    assert_eq!(
+        got, 0xf92e_3bf0_95de_34cc,
+        "single-thread SGNS output drifted from the pre-kernel reference (got {got:#x})"
+    );
+}
+
+#[test]
+fn single_thread_output_with_subsampling_is_bit_identical_to_reference() {
+    // Subsampling on: also pins the rng draw order of the filter path.
+    let cfg = SgnsConfig {
+        dim: 8,
+        window: 2,
+        negatives: 3,
+        epochs: 1,
+        subsample: 1e-3,
+        seed: 7,
+        threads: 1,
+        ..Default::default()
+    };
+    let got = checksum(&cfg);
+    assert_eq!(
+        got, 0xcf0e_a002_22e2_1ea1,
+        "subsampled single-thread SGNS output drifted from the pre-kernel reference (got {got:#x})"
+    );
+}

@@ -22,11 +22,20 @@
 //!    `Instant::now()` is banned in non-test code outside `crates/obs`
 //!    and `compat/` — use `sisg_obs::Stopwatch`/`span` so elapsed time
 //!    stays visible to metrics snapshots (docs/OBSERVABILITY.md).
+//! 6. **Training loops go through the kernel layer**: the per-element
+//!    `RowPtr` accessors (`get_elem`/`set_elem`/`add_elem`) are banned in
+//!    non-test code of `crates/sgns` and `crates/eges` — hot loops must
+//!    use the row-granular kernels of DESIGN.md §8 (`dot_slice`,
+//!    `axpy_slice`, `fused_grad_step`, …), which preserve the documented
+//!    summation order *and* the unrolled throughput. An element loop
+//!    would silently reintroduce the slow path.
 //!
 //! `cargo run -p xtask -- validate-metrics <file>...` checks that emitted
 //! metrics files (`results/metrics/*.json`, `results/BENCH_obs.json`)
-//! parse and have the documented snapshot shape; CI runs it against a
-//! fresh experiment run.
+//! parse and have the documented snapshot shape, and that perf trajectory
+//! files (`results/BENCH_perf.json`, schema `sisg.perf.v1`) carry
+//! well-formed corpus/kernels/runs sections; CI runs it against a fresh
+//! experiment run and a `perf_train --smoke` output.
 //!
 //! The rules are enforced by line-level scanning with comment/string
 //! stripping and `#[cfg(test)]`-region tracking; see the unit tests for
@@ -125,6 +134,10 @@ impl fmt::Display for Violation {
 /// Crates whose non-test library code must be `unwrap()`/`expect()`-free.
 const PANIC_FREE_CRATES: &[&str] = &["crates/core", "crates/ann"];
 
+/// Crates whose non-test code must not use per-element `RowPtr` accessors
+/// (rule 6) — their hot loops go through the DESIGN.md §8 kernels.
+const KERNEL_PATH_CRATES: &[&str] = &["crates/sgns", "crates/eges"];
+
 /// Crates allowed to call `Instant::now()` directly: the observability
 /// layer itself (it implements `Stopwatch`) and the offline dependency
 /// stubs (they mirror upstream APIs verbatim).
@@ -146,6 +159,7 @@ fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
             .replace('\\', "/");
         let panic_free = PANIC_FREE_CRATES.contains(&rel_crate.as_str());
         let obs_timing = !instant_exempt(&rel_crate);
+        let kernel_path = KERNEL_PATH_CRATES.contains(&rel_crate.as_str());
 
         let mut saw_root = false;
         for file in rust_files(&crate_dir)? {
@@ -162,7 +176,14 @@ fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
                 let s = rel.to_string_lossy().replace('\\', "/");
                 s.contains("/tests/") || s.contains("/benches/")
             };
-            violations.extend(scan_file(&rel, &content, all_test, panic_free, obs_timing));
+            violations.extend(scan_file(
+                &rel,
+                &content,
+                all_test,
+                panic_free,
+                obs_timing,
+                kernel_path,
+            ));
         }
         if !saw_root {
             violations.push(Violation {
@@ -242,13 +263,14 @@ fn check_missing_docs_attr(rel: &Path, content: &str) -> Option<Violation> {
     }
 }
 
-/// Rules 1, 2, 4 and 5 over one file's source text.
+/// Rules 1, 2, 4, 5 and 6 over one file's source text.
 fn scan_file(
     rel: &Path,
     content: &str,
     all_test: bool,
     panic_free: bool,
     obs_timing: bool,
+    kernel_path: bool,
 ) -> Vec<Violation> {
     let mut violations = Vec::new();
     let lines: Vec<&str> = content.lines().collect();
@@ -308,6 +330,22 @@ fn scan_file(
                     message: "`Instant::now()` banned outside crates/obs; use sisg_obs::Stopwatch or span (docs/OBSERVABILITY.md)".into(),
                 });
             }
+
+            // Rule 6: no per-element RowPtr loops in training crates.
+            if kernel_path {
+                for banned in ["get_elem(", "set_elem(", "add_elem("] {
+                    if code.contains(banned) {
+                        violations.push(Violation {
+                            path: rel.to_path_buf(),
+                            line: line_no,
+                            rule: "kernel-path",
+                            message: format!(
+                                "per-element `{banned}..)` banned in training crates; use the row-granular kernels (DESIGN.md §8)"
+                            ),
+                        });
+                    }
+                }
+            }
         }
     }
     violations
@@ -323,6 +361,13 @@ fn validate_metrics_file(path: &Path) -> Result<(usize, usize), String> {
     let Value::Object(fields) = &doc else {
         return Err(format!("expected a JSON object, got {}", doc.kind()));
     };
+    if let Some((_, schema)) = fields.iter().find(|(k, _)| k == "schema") {
+        return match schema {
+            Value::Str(s) if s == "sisg.perf.v1" => Ok((1, validate_perf_doc(&doc)?)),
+            Value::Str(s) => Err(format!("unknown schema `{s}`")),
+            other => Err(format!("`schema` must be a string, got {}", other.kind())),
+        };
+    }
     if fields.iter().any(|(k, _)| k == "counters") {
         let n = validate_snapshot(&doc)?;
         return Ok((1, n));
@@ -361,8 +406,91 @@ fn validate_snapshot(snapshot: &serde::Value) -> Result<usize, String> {
     Ok(metrics)
 }
 
+/// Checks a `sisg.perf.v1` perf trajectory document
+/// (`results/BENCH_perf.json`, written by the `perf_train` bench):
+/// `corpus` totals, nanosecond kernel timings, per-run throughput rows,
+/// and a `reference` section that is either `null` (no baseline captured
+/// yet) or a nested object of pre-change numbers. Returns the number of
+/// validated measurements (kernel timings + runs).
+fn validate_perf_doc(doc: &serde::Value) -> Result<usize, String> {
+    use serde::Value;
+    let name = doc.get_field("name").map_err(|e| e.to_string())?;
+    if !matches!(name, Value::Str(_)) {
+        return Err(format!("`name` must be a string, got {}", name.kind()));
+    }
+
+    let Value::Object(corpus) = doc.get_field("corpus").map_err(|e| e.to_string())? else {
+        return Err("`corpus` must be an object".into());
+    };
+    for key in ["tokens", "sequences", "seq_len"] {
+        let Some((_, v)) = corpus.iter().find(|(k, _)| k == key) else {
+            return Err(format!("`corpus.{key}` missing"));
+        };
+        if !is_u64(v) {
+            return Err(format!("`corpus.{key}` must be a u64, got {}", v.kind()));
+        }
+    }
+    if !corpus
+        .iter()
+        .any(|(k, v)| k == "smoke" && matches!(v, Value::Bool(_)))
+    {
+        return Err("`corpus.smoke` must be a bool".into());
+    }
+
+    let reference = doc.get_field("reference").map_err(|e| e.to_string())?;
+    if !matches!(reference, Value::Null | Value::Object(_)) {
+        return Err(format!(
+            "`reference` must be null or an object, got {}",
+            reference.kind()
+        ));
+    }
+
+    let Value::Object(kernels) = doc.get_field("kernels").map_err(|e| e.to_string())? else {
+        return Err("`kernels` must be an object".into());
+    };
+    for (kernel, v) in kernels {
+        if !is_number(v) {
+            return Err(format!("`kernels.{kernel}` must be a number"));
+        }
+    }
+
+    let Value::Array(runs) = doc.get_field("runs").map_err(|e| e.to_string())? else {
+        return Err("`runs` must be an array".into());
+    };
+    if runs.is_empty() {
+        return Err("`runs` must not be empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        for key in ["threads", "dim", "pairs", "tokens"] {
+            let v = run
+                .get_field(key)
+                .map_err(|_| format!("`runs[{i}].{key}` missing"))?;
+            if !is_u64(v) {
+                return Err(format!("`runs[{i}].{key}` must be a u64, got {}", v.kind()));
+            }
+        }
+        for key in ["seconds", "pairs_per_sec", "tokens_per_sec"] {
+            let v = run
+                .get_field(key)
+                .map_err(|_| format!("`runs[{i}].{key}` missing"))?;
+            if !is_number(v) {
+                return Err(format!(
+                    "`runs[{i}].{key}` must be a number, got {}",
+                    v.kind()
+                ));
+            }
+        }
+    }
+    Ok(kernels.len() + runs.len())
+}
+
 fn is_u64(v: &serde::Value) -> bool {
     matches!(v, serde::Value::U64(_))
+}
+
+fn is_number(v: &serde::Value) -> bool {
+    use serde::Value;
+    matches!(v, Value::U64(_) | Value::I64(_) | Value::F64(_))
 }
 
 fn is_number_or_null(v: &serde::Value) -> bool {
@@ -526,7 +654,11 @@ mod tests {
     use super::*;
 
     fn scan(content: &str, panic_free: bool) -> Vec<Violation> {
-        scan_file(Path::new("x.rs"), content, false, panic_free, true)
+        scan_file(Path::new("x.rs"), content, false, panic_free, true, false)
+    }
+
+    fn scan_kernel(content: &str) -> Vec<Violation> {
+        scan_file(Path::new("x.rs"), content, false, false, true, true)
     }
 
     #[test]
@@ -629,8 +761,42 @@ mod tests {
     #[test]
     fn integration_test_files_are_exempt_from_rng_rule() {
         let src = "fn f() { thread_rng(); }\n";
-        let v = scan_file(Path::new("crates/x/tests/t.rs"), src, true, false, true);
+        let v = scan_file(
+            Path::new("crates/x/tests/t.rs"),
+            src,
+            true,
+            false,
+            true,
+            false,
+        );
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn per_element_accessors_in_kernel_path_crates_are_flagged() {
+        for bad in [
+            "fn f(r: RowPtr) { let x = r.get_elem(0); }\n",
+            "fn f(r: RowPtr) { r.set_elem(0, 1.0); }\n",
+            "fn f(r: RowPtr) { for d in 0..r.len() { r.add_elem(d, 0.1); } }\n",
+        ] {
+            let v = scan_kernel(bad);
+            assert_eq!(v.len(), 1, "missed: {bad}");
+            assert_eq!(v[0].rule, "kernel-path");
+        }
+    }
+
+    #[test]
+    fn per_element_accessors_pass_outside_kernel_path_or_in_tests() {
+        // Non-training crates (e.g. crates/embedding, where the accessors
+        // live) are exempt.
+        let src = "fn f(r: RowPtr) { r.add_elem(0, 0.1); }\n";
+        assert!(scan(src, false).is_empty());
+        // Test modules inside training crates are exempt too.
+        let test_src = "#[cfg(test)]\nmod tests {\n fn f(r: RowPtr) { r.add_elem(0, 0.1); }\n}\n";
+        assert!(scan_kernel(test_src).is_empty());
+        // Row-granular kernels never fire the rule.
+        let good = "fn f(r: RowPtr, x: &[f32]) { r.axpy_slice(0.1, x); }\n";
+        assert!(scan_kernel(good).is_empty());
     }
 
     #[test]
@@ -644,7 +810,7 @@ mod tests {
     #[test]
     fn instant_now_in_exempt_crate_or_test_passes() {
         let src = "fn f() { let t = Instant::now(); }\n";
-        assert!(scan_file(Path::new("o.rs"), src, false, false, false).is_empty());
+        assert!(scan_file(Path::new("o.rs"), src, false, false, false, false).is_empty());
         let test_src = "#[cfg(test)]\nmod tests {\n fn f() { Instant::now(); }\n}\n";
         assert!(scan(test_src, false).is_empty());
         assert!(instant_exempt("crates/obs"));
@@ -681,6 +847,62 @@ mod tests {
             let doc: serde::Value = serde_json::from_str(bad).expect("parse");
             assert!(validate_snapshot(&doc).is_err(), "accepted: {bad}");
         }
+    }
+
+    const PERF_DOC: &str = r#"{
+      "schema": "sisg.perf.v1",
+      "name": "perf_train",
+      "corpus": {"tokens": 2000, "sequences": 3000, "seq_len": 40, "smoke": false},
+      "reference": null,
+      "kernels": {"dot_ordered_d128_ns": 41.5},
+      "runs": [{"threads": 1, "dim": 32, "pairs": 100, "tokens": 50,
+                "seconds": 0.5, "pairs_per_sec": 200.0, "tokens_per_sec": 100.0}]
+    }"#;
+
+    #[test]
+    fn validate_perf_doc_accepts_the_documented_shape() {
+        let doc: serde::Value = serde_json::from_str(PERF_DOC).expect("parse");
+        // One kernel timing + one run row.
+        assert_eq!(validate_perf_doc(&doc).expect("valid"), 2);
+    }
+
+    #[test]
+    fn validate_perf_doc_accepts_an_object_reference() {
+        let with_ref = PERF_DOC.replace(
+            "\"reference\": null",
+            "\"reference\": {\"runs\": [], \"kernels\": {}}",
+        );
+        let doc: serde::Value = serde_json::from_str(&with_ref).expect("parse");
+        assert!(validate_perf_doc(&doc).is_ok());
+    }
+
+    #[test]
+    fn validate_perf_doc_rejects_malformed_sections() {
+        for (from, to) in [
+            ("\"tokens\": 2000", "\"tokens\": -3"),
+            ("\"smoke\": false", "\"smoke\": 1"),
+            ("\"reference\": null", "\"reference\": 7"),
+            (
+                "\"dot_ordered_d128_ns\": 41.5",
+                "\"dot_ordered_d128_ns\": \"fast\"",
+            ),
+            ("\"pairs_per_sec\": 200.0", "\"pairs_per_sec\": null"),
+            ("\"threads\": 1, ", ""),
+        ] {
+            let bad = PERF_DOC.replace(from, to);
+            let doc: serde::Value = serde_json::from_str(&bad).expect("parse");
+            assert!(validate_perf_doc(&doc).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn validate_perf_doc_rejects_empty_runs() {
+        let bad = PERF_DOC.replace(
+            "\"runs\": [{\"threads\": 1, \"dim\": 32, \"pairs\": 100, \"tokens\": 50,\n                \"seconds\": 0.5, \"pairs_per_sec\": 200.0, \"tokens_per_sec\": 100.0}]",
+            "\"runs\": []",
+        );
+        let doc: serde::Value = serde_json::from_str(&bad).expect("parse");
+        assert!(validate_perf_doc(&doc).is_err());
     }
 
     #[test]

@@ -30,6 +30,11 @@ step "tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+step "benches compile"
+# Criterion benches are not run in CI (too slow, too noisy) but must keep
+# compiling — they pin the public kernel/trainer APIs.
+cargo build --release --benches -p sisg-bench
+
 step "metrics smoke: emit a snapshot and validate its shape"
 # A fast instrumented experiment writes its obs snapshot into a scratch
 # results tree; validate-metrics fails on unparsable or misshapen JSON.
@@ -39,5 +44,15 @@ SISG_RESULTS=target/ci-results SISG_ITEMS=400 SISG_EPOCHS=1 \
   cargo run --release --quiet -p sisg-bench --bin ablation_ann >/dev/null
 cargo run -p xtask --quiet -- validate-metrics \
   target/ci-results/metrics/ablation_ann.json
+
+step "perf smoke: seconds-scale perf_train run + schema validation"
+# --smoke trains one small configuration end to end and writes a
+# BENCH_perf.json with the same sisg.perf.v1 schema as the full run, so
+# the perf pipeline (trainer, kernel micro-timings, JSON emission) is
+# exercised on every change without minutes of benching.
+SISG_RESULTS=target/ci-results \
+  cargo run --release --quiet -p sisg-bench --bin perf_train -- --smoke >/dev/null
+cargo run -p xtask --quiet -- validate-metrics \
+  target/ci-results/BENCH_perf.json
 
 printf '\ncheck.sh: all gates passed\n'
