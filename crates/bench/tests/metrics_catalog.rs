@@ -16,7 +16,7 @@ use sisg_ann::{recall_at_k, AnnIndex, HnswConfig, HnswIndex};
 use sisg_core::{MatchingService, ServingConfig, SisgModel, Variant};
 use sisg_corpus::{CorpusConfig, EnrichOptions, EnrichedCorpus, GeneratedCorpus, ItemId};
 use sisg_distributed::runtime::{train_distributed_on, PartitionStrategy};
-use sisg_distributed::{train_distributed_channels, DistConfig};
+use sisg_distributed::{train_distributed_channels, CrashSpec, DistConfig, FaultPlan};
 use sisg_eges::{EgesConfig, EgesModel, WalkConfig};
 use sisg_embedding::Matrix;
 use sisg_obs::{names, registry};
@@ -94,6 +94,27 @@ fn exercise_every_layer() -> GeneratedCorpus {
     train_distributed_on(&corpus, EnrichOptions::FULL, &dist);
     let enriched = EnrichedCorpus::build(&corpus, EnrichOptions::FULL);
     train_distributed_channels(&enriched, &corpus.sessions, &corpus.catalog, &dist);
+
+    // The fault layer: a simulated cluster under message loss plus one
+    // crash, so the retry, dedup, fault-injection, and recovery counters
+    // all record from a genuine fault path.
+    let mut plan = FaultPlan::message_faults(7, 0.15, 0.05, 0.05);
+    plan.crashes.push(CrashSpec {
+        worker: 1,
+        after_pairs: 16,
+        down_ticks: 64,
+    });
+    let faulted = sisg_simtest::SimConfig::new(
+        DistConfig {
+            hot_set_size: 0,
+            sync_interval: 1_000,
+            ..dist
+        },
+        plan,
+    );
+    let out = sisg_simtest::simulate(&enriched, &corpus.sessions, &corpus.catalog, &faulted);
+    assert!(out.completed, "faulted simulation did not drain");
+    assert!(out.report.retries > 0 && out.report.recoveries == 1);
 
     // HNSW search and the recall harness.
     let vectors = Matrix::uniform_init(200, 8, 3);

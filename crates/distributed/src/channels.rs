@@ -6,176 +6,171 @@
 //! module is the complementary fidelity check: every worker owns a
 //! **disjoint shard** of the input and output matrices (no shared vector
 //! state at all), and a remote pair really does serialize the target's
-//! input vector into a [`TnsRequest`], cross a crossbeam channel to the
-//! context's owner, get its TNS step executed there (output update +
-//! negatives from the owner's local noise distribution), and return the
-//! input gradient in a [`TnsResponse`] — exactly the lines 7–20 of
+//! input vector into a [`TnsRequest`], cross a bounded crossbeam channel
+//! to the context's owner, get its TNS step executed there (output update
+//! plus negatives from the owner's local noise distribution), and return
+//! the input gradient in a [`TnsResponse`] — exactly the lines 7–20 of
 //! Algorithm 1.
 //!
-//! Deadlock freedom: a worker that is blocked waiting for its gradient
-//! reply keeps servicing *incoming* requests in the same loop, and
-//! termination uses a service-while-waiting barrier (an atomic counter the
-//! workers poll while continuing to answer requests) so no TNS call can be
-//! stranded. The hot-set machinery is deliberately out of scope here —
-//! this engine isolates the TNS protocol; ATNS behaviour is covered by the
+//! The protocol itself — pair scanning, sequence-numbered idempotent
+//! requests, retry/give-up, checkpointing — lives in the driver-agnostic
+//! [`crate::protocol::WorkerMachine`]; this module is the *threaded
+//! driver*: one thread per worker, one bounded inbox per worker, and a
+//! seeded [`FaultPlan`] optionally applied at every send (drop/duplicate;
+//! crash/stall schedules need the virtual-clock simulator in
+//! `crates/simtest`).
+//!
+//! Deadlock freedom: channels are bounded, so sends go through a
+//! service-while-full outbox pump — when a peer's inbox is full the
+//! sender drains and serves its *own* inbox before retrying, which keeps
+//! every queue draining and every request answerable. A worker blocked
+//! waiting for its gradient reply keeps servicing incoming requests, a
+//! response that never arrives is retransmitted a bounded number of times
+//! and then abandoned (graceful degradation), and termination uses a
+//! service-while-waiting barrier (an atomic counter the workers poll
+//! while continuing to answer requests) so no TNS call can be stranded.
+//! The hot-set machinery is deliberately out of scope here — this engine
+//! isolates the TNS protocol; ATNS behaviour is covered by the
 //! shared-memory runtime.
 
-use crate::partition::{assign_all, HashPartitioner, PartitionMap};
-use crate::runtime::{DistConfig, PartitionStrategy};
-use crate::HbgpPartitioner;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sisg_corpus::{Corpus, EnrichedCorpus, ItemCatalog, TokenId};
-use sisg_embedding::math::dot;
+use crate::fault::{FaultDecision, FaultPlan};
+use crate::partition::PartitionMap;
+use crate::protocol::{
+    Delivered, MachineCounters, MachineEnv, Message, RetryVerdict, Shard, Step, WorkerMachine,
+};
+use crate::runtime::{build_partition, DistConfig};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use sisg_corpus::{Corpus, EnrichedCorpus, ItemCatalog};
 use sisg_embedding::{EmbeddingStore, Matrix};
 use sisg_obs::names as obs_names;
 use sisg_sgns::sigmoid::SigmoidTable;
 use sisg_sgns::{NoiseTable, PairSampler, SubsampleTable};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
-/// A remote TNS call: "here is my input vector for `target`; run the step
-/// against `context` on your shard and send the gradient back".
-#[derive(Debug)]
-pub struct TnsRequest {
-    /// Requesting worker (where the response goes).
-    pub from: usize,
-    /// The target token (for accounting; the vector travels alongside).
-    pub target: TokenId,
-    /// The context token, owned by the receiving worker.
-    pub context: TokenId,
-    /// The target's input vector `v_i`.
-    pub input: Vec<f32>,
-    /// Learning rate to apply on the remote side.
-    pub lr: f32,
-}
-
-/// The gradient shipped back to the requester.
-#[derive(Debug)]
-pub struct TnsResponse {
-    /// The target token the gradient belongs to.
-    pub target: TokenId,
-    /// `∂L/∂v_i`, to be applied by the owner of the input vector.
-    pub grad: Vec<f32>,
-}
-
-enum Message {
-    Request(TnsRequest),
-    Response(TnsResponse),
-}
+pub use crate::protocol::{TnsRequest, TnsResponse};
 
 /// Counters of one message-passing run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChannelReport {
     /// Positive pairs processed in total.
     pub pairs: u64,
     /// Pairs that crossed a channel (request + response messages each).
     pub remote_pairs: u64,
-    /// Total messages passed.
+    /// Total messages passed (including retransmissions and dedup
+    /// replays; zero-fault runs see exactly `2 × remote_pairs`).
     pub messages: u64,
     /// Bytes of vector payload actually moved.
     pub payload_bytes: u64,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Pairs trained by each worker (same accounting as
+    /// [`crate::DistReport::pairs_per_worker`]).
+    pub pairs_per_worker: Vec<u64>,
+    /// Remote pairs initiated by each worker.
+    pub remote_pairs_per_worker: Vec<u64>,
+    /// Retransmissions after response timeouts.
+    pub retries: u64,
+    /// Duplicate requests absorbed by the idempotency cache.
+    pub requests_deduped: u64,
+    /// Responses discarded as duplicate or stale.
+    pub stale_responses: u64,
+    /// Remote pairs abandoned after exhausting retries.
+    pub gave_up: u64,
+    /// Messages the fault injector dropped, duplicated or delayed.
+    pub faults_injected: u64,
+    /// Worker restores from checkpoint (always 0 under this driver; the
+    /// simulator fills it in).
+    pub recoveries: u64,
 }
 
-/// One worker's disjoint shard of the model: dense rows for the tokens it
-/// owns, indexed through the global partition map.
-struct Shard {
-    /// Row index within the shard for each global token (u32::MAX = not
-    /// owned).
-    local_index: Vec<u32>,
-    input: Matrix,
-    output: Matrix,
+impl ChannelReport {
+    pub(crate) fn absorb(&mut self, c: &MachineCounters) {
+        self.pairs += c.pairs;
+        self.remote_pairs += c.remote_pairs;
+        self.messages += c.messages;
+        self.payload_bytes += c.payload_bytes;
+        self.retries += c.retries;
+        self.requests_deduped += c.requests_deduped;
+        self.stale_responses += c.stale_responses;
+        self.gave_up += c.gave_up;
+        self.pairs_per_worker.push(c.pairs);
+        self.remote_pairs_per_worker.push(c.remote_pairs);
+    }
+
+    /// Mirrors the run's fault/retry counters into the obs registry.
+    pub(crate) fn publish_to_obs(&self) {
+        let reg = sisg_obs::registry();
+        reg.counter(obs_names::DIST_CHANNEL_MESSAGES_TOTAL)
+            .add(self.messages);
+        reg.counter(obs_names::DIST_CHANNEL_PAYLOAD_BYTES_TOTAL)
+            .add(self.payload_bytes);
+        reg.counter(obs_names::DIST_FAULTS_INJECTED_TOTAL)
+            .add(self.faults_injected);
+        reg.counter(obs_names::DIST_RETRIES_TOTAL).add(self.retries);
+        reg.counter(obs_names::DIST_REQUESTS_DEDUPED_TOTAL)
+            .add(self.requests_deduped);
+    }
 }
 
-impl Shard {
-    fn new(partition: &PartitionMap, me: usize, dim: usize, seed: u64) -> Self {
-        let mut local_index = vec![u32::MAX; partition.len()];
-        let mut count = 0u32;
-        for (t, slot) in local_index.iter_mut().enumerate() {
-            if partition.owner(TokenId(t as u32)) == me {
-                *slot = count;
-                count += 1;
-            }
-        }
+/// Driver knobs of one threaded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelOptions {
+    /// Bounded capacity of each worker's inbox. Small capacities force
+    /// the backpressure path; the default keeps queues comfortably deep.
+    pub capacity: usize,
+    /// Seeded fault schedule applied at every send. Must be
+    /// [`FaultPlan::threaded_compatible`] (crash/stall schedules need the
+    /// virtual-clock simulator).
+    pub faults: FaultPlan,
+}
+
+impl Default for ChannelOptions {
+    fn default() -> Self {
         Self {
-            local_index,
-            // Per-worker seed offset: shards only need determinism, not
-            // row-for-row equality with a single-process initialization.
-            input: Matrix::uniform_init(count as usize, dim, seed ^ (me as u64) << 17),
-            output: Matrix::zeros(count as usize, dim),
+            capacity: 64,
+            faults: FaultPlan::none(),
         }
-    }
-
-    #[inline]
-    fn row(&self, token: TokenId) -> usize {
-        let r = self.local_index[token.index()];
-        debug_assert_ne!(r, u32::MAX, "token not owned by this shard");
-        r as usize
     }
 }
 
-/// The local part of a TNS step executed on the context owner's shard:
-/// output updates for the context and negatives, returning the input
-/// gradient.
-fn tns_remote_step(
-    shard: &mut Shard,
-    input: &[f32],
-    context: TokenId,
-    negatives: &[TokenId],
-    lr: f32,
-    sigmoid: &SigmoidTable,
-) -> Vec<f32> {
-    let mut grad = vec![0.0f32; input.len()];
-    let mut step = |token: TokenId, label: f32| {
-        let vp = shard.output.row_mut(shard.row(token));
-        let f = dot(input, vp);
-        let g = (label - sigmoid.sigmoid(f)) * lr;
-        for d in 0..grad.len() {
-            grad[d] += g * vp[d];
-        }
-        for d in 0..vp.len() {
-            vp[d] += g * input[d];
-        }
-    };
-    step(context, 1.0);
-    for &neg in negatives {
-        if neg != context {
-            step(neg, 0.0);
-        }
-    }
-    grad
-}
-
-/// Trains with real message passing. Returns the assembled store and the
-/// message accounting. `config.hot_set_size` is ignored (see module docs).
+/// Trains with real message passing under the default (fault-free)
+/// options. Returns the assembled store and the message accounting.
+/// `config.hot_set_size` is ignored (see module docs).
 pub fn train_distributed_channels(
     enriched: &EnrichedCorpus,
     sessions: &Corpus,
     catalog: &ItemCatalog,
     config: &DistConfig,
 ) -> (EmbeddingStore, ChannelReport) {
+    train_distributed_channels_with(
+        enriched,
+        sessions,
+        catalog,
+        config,
+        &ChannelOptions::default(),
+    )
+}
+
+/// Trains with real message passing under explicit driver options
+/// (bounded-channel capacity and an optional message-fault schedule).
+pub fn train_distributed_channels_with(
+    enriched: &EnrichedCorpus,
+    sessions: &Corpus,
+    catalog: &ItemCatalog,
+    config: &DistConfig,
+    options: &ChannelOptions,
+) -> (EmbeddingStore, ChannelReport) {
     assert!(config.workers > 0, "need at least one worker");
+    assert!(options.capacity > 0, "need a nonzero channel capacity");
+    assert!(
+        options.faults.threaded_compatible(),
+        "crash/stall schedules require the simtest virtual-clock scheduler"
+    );
     let w = config.workers;
     let space = enriched.space();
     let vocab = enriched.vocab();
-    let partition = match config.strategy {
-        PartitionStrategy::Hbgp { beta } => assign_all(
-            &HbgpPartitioner {
-                beta,
-                ..Default::default()
-            },
-            sessions,
-            catalog,
-            space,
-            w,
-            config.seed,
-        ),
-        PartitionStrategy::Hash => {
-            assign_all(&HashPartitioner, sessions, catalog, space, w, config.seed)
-        }
-    };
+    let partition = build_partition(config, sessions, catalog, space);
     let members = partition.members();
     let noise_tables: Vec<NoiseTable> = (0..w)
         .map(|j| {
@@ -191,9 +186,9 @@ pub fn train_distributed_channels(
         dynamic: false,
     };
 
-    // One inbox per worker.
+    // One bounded inbox per worker.
     let (senders, receivers): (Vec<Sender<Message>>, Vec<Receiver<Message>>) =
-        (0..w).map(|_| unbounded()).unzip();
+        (0..w).map(|_| bounded(options.capacity)).unzip();
     let scanning_done = AtomicUsize::new(0);
     let progress = AtomicU64::new(0);
     let schedule_pairs: u64 = {
@@ -205,12 +200,13 @@ pub fn train_distributed_channels(
     };
 
     // Channel-depth tracking: senders increment, receivers decrement, and
-    // the peak is the run's backpressure high-water mark.
-    let in_flight = AtomicU64::new(0);
+    // the peak is the run's backpressure high-water mark. Signed because a
+    // receiver can observe a message before its sender's increment lands.
+    let in_flight = AtomicI64::new(0);
     let depth_peak = AtomicU64::new(0);
 
     let span = sisg_obs::span(obs_names::DIST_CHANNELS_TRAIN_SPAN);
-    let mut shards: Vec<Option<(Shard, ChannelReport)>> = Vec::new();
+    let mut results: Vec<Option<(Shard, MachineCounters, u64)>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(w);
         for (me, receiver) in receivers.iter().enumerate() {
@@ -225,9 +221,9 @@ pub fn train_distributed_channels(
             let in_flight = &in_flight;
             let depth_peak = &depth_peak;
             handles.push(scope.spawn(move || {
-                worker(WorkerEnv {
+                let machine = WorkerMachine::new(MachineEnv {
                     me,
-                    w,
+                    workers: w,
                     config,
                     enriched,
                     partition,
@@ -235,18 +231,27 @@ pub fn train_distributed_channels(
                     subsample,
                     sampler,
                     sigmoid,
-                    rx,
-                    senders,
-                    scanning_done,
                     progress,
                     schedule_pairs,
+                });
+                let driver = Driver {
+                    machine,
+                    partition,
+                    outbox: VecDeque::new(),
+                    senders,
+                    rx,
+                    plan: &options.faults,
+                    me,
+                    send_index: 0,
+                    faults_injected: 0,
                     in_flight,
                     depth_peak,
-                })
+                };
+                driver.run(scanning_done, w)
             }));
         }
         for h in handles {
-            shards.push(Some(h.join().expect("worker thread panicked")));
+            results.push(Some(h.join().expect("worker thread panicked")));
         }
     });
     let seconds = span.finish().as_secs_f64();
@@ -259,193 +264,178 @@ pub fn train_distributed_channels(
         seconds,
         ..Default::default()
     };
-    for (me, slot) in shards.into_iter().enumerate() {
-        let (shard, counters) = slot.expect("shard present");
-        report.pairs += counters.pairs;
-        report.remote_pairs += counters.remote_pairs;
-        report.messages += counters.messages;
-        report.payload_bytes += counters.payload_bytes;
-        for t in 0..space.len() {
-            if partition.owner(TokenId(t as u32)) == me {
-                let r = shard.local_index[t] as usize;
-                input.row_mut(t).copy_from_slice(shard.input.row(r));
-                output.row_mut(t).copy_from_slice(shard.output.row(r));
-            }
-        }
+    for (me, slot) in results.into_iter().enumerate() {
+        let (shard, counters, faults) = slot.expect("worker result present");
+        report.absorb(&counters);
+        report.faults_injected += faults;
+        shard.export_into(&partition, me, &mut input, &mut output);
     }
 
-    let reg = sisg_obs::registry();
-    reg.counter(obs_names::DIST_CHANNEL_MESSAGES_TOTAL)
-        .add(report.messages);
-    reg.counter(obs_names::DIST_CHANNEL_PAYLOAD_BYTES_TOTAL)
-        .add(report.payload_bytes);
-    reg.gauge(obs_names::DIST_CHANNEL_DEPTH_PEAK)
+    report.publish_to_obs();
+    sisg_obs::registry()
+        .gauge(obs_names::DIST_CHANNEL_DEPTH_PEAK)
         .record_max(depth_peak.load(Ordering::Relaxed) as f64);
 
     (EmbeddingStore::from_matrices(input, output), report)
 }
 
-/// Bumps the in-flight message count before a send and maintains the peak.
-fn track_send(in_flight: &AtomicU64, peak: &AtomicU64) {
+/// Bumps the in-flight message count on a successful send and maintains
+/// the peak.
+fn track_send(in_flight: &AtomicI64, peak: &AtomicU64) {
     let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-    peak.fetch_max(depth, Ordering::Relaxed);
+    peak.fetch_max(depth.max(0) as u64, Ordering::Relaxed);
 }
 
-struct WorkerEnv<'a> {
-    me: usize,
-    w: usize,
-    config: &'a DistConfig,
-    enriched: &'a EnrichedCorpus,
+/// The threaded per-worker driver: pumps the machine, the bounded
+/// channels, and the fault injector.
+struct Driver<'a> {
+    machine: WorkerMachine<'a>,
     partition: &'a PartitionMap,
-    noise_tables: &'a [NoiseTable],
-    subsample: &'a SubsampleTable,
-    sampler: PairSampler,
-    sigmoid: &'a SigmoidTable,
-    rx: Receiver<Message>,
+    outbox: VecDeque<(usize, Message)>,
     senders: Vec<Sender<Message>>,
-    scanning_done: &'a AtomicUsize,
-    progress: &'a AtomicU64,
-    schedule_pairs: u64,
-    in_flight: &'a AtomicU64,
+    rx: Receiver<Message>,
+    plan: &'a FaultPlan,
+    me: usize,
+    send_index: u64,
+    faults_injected: u64,
+    in_flight: &'a AtomicI64,
     depth_peak: &'a AtomicU64,
 }
 
-fn worker(env: WorkerEnv<'_>) -> (Shard, ChannelReport) {
-    let dim = env.config.dim;
-    let mut shard = Shard::new(env.partition, env.me, dim, env.config.seed);
-    let mut counters = ChannelReport::default();
-    let mut rng = StdRng::seed_from_u64(env.config.seed ^ (env.me as u64).wrapping_mul(0xC11A));
-    let mut filtered: Vec<TokenId> = Vec::with_capacity(64);
-    let mut pair_buf: Vec<(TokenId, TokenId)> = Vec::with_capacity(256);
-    let mut negatives: Vec<TokenId> = Vec::with_capacity(env.config.negatives);
-
-    // Handles one incoming message; returns a received gradient if the
-    // message was a response.
-    let handle = |msg: Message,
-                  shard: &mut Shard,
-                  counters: &mut ChannelReport,
-                  rng: &mut StdRng,
-                  negatives: &mut Vec<TokenId>|
-     -> Option<TnsResponse> {
-        match msg {
-            Message::Request(req) => {
-                negatives.clear();
-                for _ in 0..env.config.negatives {
-                    negatives.push(env.noise_tables[env.me].sample(rng));
+impl Driver<'_> {
+    /// Applies the fault plan to one outgoing message and enqueues the
+    /// surviving copies. Delay decisions degrade to plain delivery here;
+    /// only the simulator models latency.
+    fn route(&mut self, to: usize, msg: Message) {
+        let decision = self.plan.decide(self.me, self.send_index);
+        self.send_index += 1;
+        match decision {
+            FaultDecision::Deliver | FaultDecision::Delay(_) => {
+                if matches!(decision, FaultDecision::Delay(_)) {
+                    self.faults_injected += 1;
                 }
-                let grad = tns_remote_step(
-                    shard,
-                    &req.input,
-                    req.context,
-                    negatives,
-                    req.lr,
-                    env.sigmoid,
-                );
-                counters.messages += 1;
-                counters.payload_bytes += (grad.len() * 4) as u64;
-                track_send(env.in_flight, env.depth_peak);
-                env.senders[req.from]
-                    .send(Message::Response(TnsResponse {
-                        target: req.target,
-                        grad,
-                    }))
-                    .expect("requester inbox closed");
-                None
+                self.outbox.push_back((to, msg));
             }
-            Message::Response(resp) => Some(resp),
+            FaultDecision::Drop => self.faults_injected += 1,
+            FaultDecision::Duplicate => {
+                self.faults_injected += 1;
+                self.outbox.push_back((to, msg.clone()));
+                self.outbox.push_back((to, msg));
+            }
         }
-    };
+    }
 
-    for _epoch in 0..env.config.epochs {
-        for seq_idx in 0..env.enriched.len() {
-            let seq = env.enriched.sequence(seq_idx);
-            env.subsample.filter_into(seq, &mut rng, &mut filtered);
-            env.sampler.pairs_into(&filtered, &mut rng, &mut pair_buf);
-            for &(target, context) in &pair_buf {
-                if env.partition.owner(target) != env.me {
-                    continue;
+    /// Hands one received message to the machine and routes any reply.
+    fn dispatch(&mut self, msg: Message) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match self.machine.deliver(msg) {
+            Delivered::Reply { to, response } => {
+                self.route(to, Message::Response(response));
+            }
+            Delivered::Applied | Delivered::Ignored => {}
+        }
+    }
+
+    /// Drains everything currently in the inbox. Returns true if any
+    /// message was handled.
+    fn service_inbox(&mut self) -> bool {
+        let mut any = false;
+        while let Ok(msg) = self.rx.try_recv() {
+            self.dispatch(msg);
+            any = true;
+        }
+        any
+    }
+
+    /// Flushes the outbox, servicing the own inbox whenever a peer's
+    /// queue is full — the backpressure-safe send loop. Every worker
+    /// keeps draining its inbox while it waits for space, so the cycle of
+    /// full queues always breaks and the loop terminates.
+    fn pump(&mut self) {
+        while let Some((to, msg)) = self.outbox.pop_front() {
+            match self.senders[to].try_send(msg) {
+                Ok(()) => track_send(self.in_flight, self.depth_peak),
+                Err(TrySendError::Full(msg)) => {
+                    self.outbox.push_front((to, msg));
+                    if !self.service_inbox() {
+                        std::thread::yield_now();
+                    }
                 }
-                let done = env.progress.fetch_add(1, Ordering::Relaxed);
-                let frac = (done as f64 / env.schedule_pairs as f64).min(1.0);
-                let lr = (env.config.learning_rate as f64 * (1.0 - frac))
-                    .max(env.config.min_learning_rate as f64) as f32;
-                counters.pairs += 1;
+                // A peer already shut down (post-barrier); drop quietly.
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+    }
 
-                let owner = env.partition.owner(context);
-                if owner == env.me {
-                    // Fully local TNS step.
-                    negatives.clear();
-                    for _ in 0..env.config.negatives {
-                        negatives.push(env.noise_tables[env.me].sample(&mut rng));
-                    }
-                    let input: Vec<f32> = shard.input.row(shard.row(target)).to_vec();
-                    let grad =
-                        tns_remote_step(&mut shard, &input, context, &negatives, lr, env.sigmoid);
-                    let v = shard.input.row_mut(shard.row(target));
-                    for d in 0..v.len() {
-                        v[d] += grad[d];
-                    }
-                } else {
-                    // Ship the input vector; service others while waiting.
-                    counters.remote_pairs += 1;
-                    counters.messages += 1;
-                    let input: Vec<f32> = shard.input.row(shard.row(target)).to_vec();
-                    counters.payload_bytes += (input.len() * 4) as u64;
-                    track_send(env.in_flight, env.depth_peak);
-                    env.senders[owner]
-                        .send(Message::Request(TnsRequest {
-                            from: env.me,
-                            target,
-                            context,
-                            input,
-                            lr,
-                        }))
-                        .expect("owner inbox closed");
-                    loop {
-                        let msg = env.rx.recv().expect("channel closed while waiting");
-                        env.in_flight.fetch_sub(1, Ordering::Relaxed);
-                        if let Some(resp) =
-                            handle(msg, &mut shard, &mut counters, &mut rng, &mut negatives)
-                        {
-                            debug_assert_eq!(resp.target, target);
-                            let v = shard.input.row_mut(shard.row(target));
-                            for (slot, &g) in v.iter_mut().zip(&resp.grad) {
-                                *slot += g;
+    /// Single-attempt flush for shutdown: peers may have exited and
+    /// stopped draining, so a full queue just drops the message.
+    fn flush_best_effort(&mut self) {
+        while let Some((to, msg)) = self.outbox.pop_front() {
+            if self.senders[to].try_send(msg).is_ok() {
+                track_send(self.in_flight, self.depth_peak);
+            }
+        }
+    }
+
+    fn run(mut self, scanning_done: &AtomicUsize, w: usize) -> (Shard, MachineCounters, u64) {
+        let retry = self.plan.retry;
+        loop {
+            // Service first, pump second: replies generated while draining
+            // the inbox must hit the wire before this worker blocks in
+            // `recv_timeout`, or a peer waits out its full timeout for a
+            // response that is sitting in our outbox.
+            self.service_inbox();
+            self.pump();
+            if self.machine.is_waiting() {
+                match self.rx.recv_timeout(retry.timeout) {
+                    Ok(msg) => self.dispatch(msg),
+                    Err(RecvTimeoutError::Timeout) => {
+                        match self.machine.retry(retry.max_attempts) {
+                            RetryVerdict::Resend(req) => {
+                                let owner = self.partition.owner(req.context);
+                                self.route(owner, Message::Request(req));
                             }
-                            break;
+                            RetryVerdict::GaveUp | RetryVerdict::Idle => {}
                         }
                     }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            } else {
+                match self.machine.step() {
+                    Step::Sent(req) => {
+                        let owner = self.partition.owner(req.context);
+                        self.route(owner, Message::Request(req));
+                    }
+                    Step::Progress | Step::EpochEnd(_) => {}
+                    Step::Finished => break,
                 }
             }
         }
-    }
 
-    // Service-while-waiting termination: answer requests until every
-    // worker has finished scanning, then drain the inbox.
-    env.scanning_done.fetch_add(1, Ordering::SeqCst);
-    while env.scanning_done.load(Ordering::SeqCst) < env.w {
-        match env.rx.try_recv() {
-            Ok(msg) => {
-                env.in_flight.fetch_sub(1, Ordering::Relaxed);
-                let r = handle(msg, &mut shard, &mut counters, &mut rng, &mut negatives);
-                debug_assert!(r.is_none(), "unexpected response after scan");
+        // Service-while-waiting termination: answer requests until every
+        // worker has finished scanning, then drain the inbox.
+        scanning_done.fetch_add(1, Ordering::SeqCst);
+        while scanning_done.load(Ordering::SeqCst) < w {
+            let served = self.service_inbox();
+            self.pump();
+            if !served {
+                std::thread::yield_now();
             }
-            Err(_) => std::thread::yield_now(),
         }
-    }
-    while let Ok(msg) = env.rx.try_recv() {
-        env.in_flight.fetch_sub(1, Ordering::Relaxed);
-        let r = handle(msg, &mut shard, &mut counters, &mut rng, &mut negatives);
-        debug_assert!(r.is_none(), "unexpected response during drain");
-    }
+        self.service_inbox();
+        self.flush_best_effort();
 
-    (shard, counters)
+        let faults = self.faults_injected;
+        let (shard, counters) = self.machine.into_parts();
+        (shard, counters, faults)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sisg_corpus::{CorpusConfig, EnrichOptions, GeneratedCorpus, ItemId};
+    use crate::runtime::PartitionStrategy;
+    use sisg_corpus::{CorpusConfig, EnrichOptions, GeneratedCorpus, ItemId, TokenId};
     use sisg_embedding::math::cosine;
 
     fn corpus() -> GeneratedCorpus {
@@ -463,6 +453,19 @@ mod tests {
             sync_interval: 1_000,
             ..Default::default()
         }
+    }
+
+    /// Options with a timeout far beyond scheduler noise: exact-ledger
+    /// assertions (`messages == 2 × remote_pairs`) need a run where no
+    /// retransmission fires just because the test host oversubscribed its
+    /// cores for half a second.
+    fn patient(capacity: usize) -> ChannelOptions {
+        let mut opts = ChannelOptions {
+            capacity,
+            ..Default::default()
+        };
+        opts.faults.retry.timeout = std::time::Duration::from_secs(30);
+        opts
     }
 
     #[test]
@@ -485,12 +488,21 @@ mod tests {
             strategy: PartitionStrategy::Hash, // maximal cross-worker traffic
             ..config(4)
         };
-        let (_, report) = train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &cfg);
+        let (_, report) = train_distributed_channels_with(
+            &enriched,
+            &gen.sessions,
+            &gen.catalog,
+            &cfg,
+            &patient(64),
+        );
         assert!(report.remote_pairs > 1_000, "hash partition must go remote");
         // Every remote pair = one request + one response message.
         assert_eq!(report.messages, report.remote_pairs * 2);
         // Payload: input vector out + gradient back, dim × 4 bytes each.
         assert_eq!(report.payload_bytes, report.remote_pairs * 2 * 16 * 4);
+        assert_eq!(report.retries, 0, "fault-free run must not retransmit");
+        assert_eq!(report.requests_deduped, 0);
+        assert_eq!(report.gave_up, 0);
     }
 
     #[test]
@@ -539,6 +551,72 @@ mod tests {
             "HBGP should at least halve real traffic: {} vs {}",
             hbgp.payload_bytes,
             hash.payload_bytes
+        );
+    }
+
+    #[test]
+    fn backpressure_capacity_one_still_terminates() {
+        // Hash partitioning with capacity-1 inboxes forces the
+        // service-while-full path constantly; the run must terminate with
+        // the exact same pair accounting as a comfortable capacity (the
+        // scan streams are deterministic and independent of queue depth).
+        let gen = corpus();
+        let enriched = EnrichedCorpus::build(&gen, EnrichOptions::NONE);
+        let cfg = DistConfig {
+            strategy: PartitionStrategy::Hash,
+            ..config(4)
+        };
+        let (_, squeezed) = train_distributed_channels_with(
+            &enriched,
+            &gen.sessions,
+            &gen.catalog,
+            &cfg,
+            &patient(1),
+        );
+        let (_, roomy) = train_distributed_channels_with(
+            &enriched,
+            &gen.sessions,
+            &gen.catalog,
+            &cfg,
+            &patient(64),
+        );
+        assert!(squeezed.remote_pairs > 1_000);
+        assert_eq!(squeezed.pairs_per_worker, roomy.pairs_per_worker);
+        assert_eq!(squeezed.remote_pairs, roomy.remote_pairs);
+        assert_eq!(squeezed.messages, squeezed.remote_pairs * 2);
+    }
+
+    #[test]
+    fn message_faults_degrade_gracefully() {
+        let gen = corpus();
+        let enriched = EnrichedCorpus::build(&gen, EnrichOptions::NONE);
+        let cfg = DistConfig {
+            strategy: PartitionStrategy::Hash,
+            ..config(4)
+        };
+        let mut faults = FaultPlan::message_faults(0xBAD5EED, 0.2, 0.1, 0.0);
+        faults.retry.timeout = std::time::Duration::from_millis(5);
+        let opts = ChannelOptions {
+            capacity: 16,
+            faults,
+        };
+        let (_, faulty) =
+            train_distributed_channels_with(&enriched, &gen.sessions, &gen.catalog, &cfg, &opts);
+        let (_, clean) = train_distributed_channels(&enriched, &gen.sessions, &gen.catalog, &cfg);
+        // The scan streams are fault-independent: the same pairs are
+        // attempted no matter what the network does.
+        assert_eq!(faulty.pairs_per_worker, clean.pairs_per_worker);
+        assert_eq!(faulty.remote_pairs, clean.remote_pairs);
+        assert!(faulty.faults_injected > 0, "plan must actually inject");
+        assert!(faulty.retries > 0, "drops must cause retransmissions");
+        assert!(faulty.requests_deduped > 0, "dups must hit the cache");
+        // Retries recover almost everything; a handful of gave-ups are
+        // acceptable, deadlock or mass abandonment is not.
+        assert!(
+            faulty.gave_up * 100 < faulty.remote_pairs,
+            "gave up {} of {} remote pairs",
+            faulty.gave_up,
+            faulty.remote_pairs
         );
     }
 }

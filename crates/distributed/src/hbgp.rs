@@ -89,6 +89,35 @@ impl CategoryGraph {
     }
 }
 
+/// Diagnostics of one merge-heuristic run: how far β had to be relaxed
+/// (step 3(e)) and what the final groups look like. The property tests use
+/// this to check the balance invariant from the outside; operators can log
+/// it to see whether production β = 1.2 actually held on their corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HbgpTrace {
+    /// β the run started with.
+    pub initial_beta: f64,
+    /// β after all step-3(e) relaxations (`initial_beta` if none fired).
+    pub effective_beta: f64,
+    /// Number of step-3(e) relaxations.
+    pub relaxations: u32,
+    /// Total merges performed.
+    pub merges: u64,
+    /// Merges of disconnected groups done without a qualifying edge (these
+    /// bypass the balance cap, so they are reported separately).
+    pub forced_merges: u64,
+    /// Frequency mass of every final group, unordered.
+    pub group_masses: Vec<u64>,
+}
+
+impl HbgpTrace {
+    /// The balance cap `β·|V|/w` implied by the *effective* β — every
+    /// group produced by a non-forced merge fits under it.
+    pub fn effective_cap(&self, total_mass: u64, workers: usize) -> u64 {
+        (self.effective_beta * total_mass as f64 / workers as f64).max(1.0) as u64
+    }
+}
+
 /// Runs the merge heuristic: returns the partition index of every leaf
 /// category.
 pub fn partition_categories(
@@ -97,6 +126,16 @@ pub fn partition_categories(
     beta: f64,
     beta_relaxation: f64,
 ) -> Vec<u16> {
+    partition_categories_traced(graph, workers, beta, beta_relaxation).0
+}
+
+/// [`partition_categories`] plus an [`HbgpTrace`] describing the run.
+pub fn partition_categories_traced(
+    graph: &CategoryGraph,
+    workers: usize,
+    beta: f64,
+    beta_relaxation: f64,
+) -> (Vec<u16>, HbgpTrace) {
     assert!(workers > 0, "need at least one worker");
     assert!(beta >= 1.0, "beta must be at least 1");
     assert!(beta_relaxation > 1.0, "relaxation must grow beta");
@@ -122,8 +161,12 @@ pub fn partition_categories(
     // Inter-group edges, rebuilt lazily as groups merge.
     let mut edges: HashMap<(u32, u32), u64> = graph.weights.clone();
     let mut n_groups = n;
+    let initial_beta = beta;
     let mut beta = beta;
     let cap_base = graph.total_mass() as f64 / workers as f64;
+    let mut relaxations: u32 = 0;
+    let mut merges: u64 = 0;
+    let mut forced_merges: u64 = 0;
 
     while n_groups > workers {
         // Find the heaviest edge that satisfies the balance constraint.
@@ -152,10 +195,12 @@ pub fn partition_categories(
                     if roots.len() <= workers {
                         break;
                     }
+                    forced_merges += 1;
                     (roots[0], roots[1])
                 } else {
                     // Step 3(e): no mergeable edge — relax β and retry.
                     beta *= beta_relaxation;
+                    relaxations += 1;
                     continue;
                 }
             }
@@ -167,6 +212,7 @@ pub fn partition_categories(
         parent[rb as usize] = ra;
         group_mass[ra as usize] += group_mass[rb as usize];
         n_groups -= 1;
+        merges += 1;
 
         // Recalculate transition frequencies (step 3(c)): fold b's edges
         // into a's.
@@ -196,6 +242,10 @@ pub fn partition_categories(
         v
     };
     unique_roots.sort_by_key(|&r| std::cmp::Reverse(group_mass[r as usize]));
+    let group_masses: Vec<u64> = unique_roots
+        .iter()
+        .map(|&r| group_mass[r as usize])
+        .collect();
     let mut part_load = vec![0u64; workers];
     let mut root_part: HashMap<u32, u16> = HashMap::new();
     for r in unique_roots {
@@ -208,7 +258,16 @@ pub fn partition_categories(
         part_load[target] += group_mass[r as usize];
         root_part.insert(r, target as u16);
     }
-    roots.iter().map(|r| root_part[r]).collect()
+    let assignment = roots.iter().map(|r| root_part[r]).collect();
+    let trace = HbgpTrace {
+        initial_beta,
+        effective_beta: beta,
+        relaxations,
+        merges,
+        forced_merges,
+        group_masses,
+    };
+    (assignment, trace)
 }
 
 impl Partitioner for HbgpPartitioner {
@@ -410,6 +469,38 @@ mod tests {
             1,
         );
         assert!(items.iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn trace_reflects_run_and_preserves_assignment() {
+        let gen = corpus();
+        let g = CategoryGraph::build(&gen.sessions, &gen.catalog);
+        let (traced, trace) = partition_categories_traced(&g, 4, 1.2, 1.25);
+        let plain = partition_categories(&g, 4, 1.2, 1.25);
+        assert_eq!(traced, plain, "tracing must not change the assignment");
+        assert_eq!(trace.initial_beta, 1.2);
+        assert_eq!(
+            trace.effective_beta,
+            1.2 * 1.25f64.powi(trace.relaxations as i32)
+        );
+        assert_eq!(
+            trace.merges,
+            (g.n_categories() - trace.group_masses.len()) as u64
+        );
+        assert!(trace.group_masses.len() <= g.n_categories());
+        assert_eq!(trace.group_masses.iter().sum::<u64>(), g.total_mass());
+        // Balance invariant: without forced merges, every multi-category
+        // group fits under the effective cap.
+        if trace.forced_merges == 0 {
+            let cap = trace.effective_cap(g.total_mass(), 4);
+            let max_cat = g.mass.iter().copied().max().unwrap_or(0);
+            for &m in &trace.group_masses {
+                assert!(
+                    m <= cap.max(max_cat),
+                    "group mass {m} exceeds cap {cap} (max category {max_cat})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,21 +21,40 @@
 //!   workers — each shipment is counted;
 //! - [`report`] — communication, balance and throughput accounting used by
 //!   the Figure 7 and ablation experiments.
+//!
+//! Fault tolerance (DESIGN.md §9) spans three modules: [`fault`] holds the
+//! deterministic fault injector and retry policy, [`protocol`] the
+//! driver-agnostic TNS worker state machine (sequence-numbered idempotent
+//! requests, bounded retries, checkpoint/restore), and [`recovery`] the
+//! stage-boundary checkpoint artifacts. The [`channels`] engine is the
+//! threaded driver of that protocol; the `sisg-simtest` crate drives the
+//! same machines under a deterministic virtual-clock scheduler.
 
 #![warn(missing_docs)]
 
 pub mod channels;
+pub mod fault;
 pub mod hbgp;
 pub mod hotset;
 pub mod partition;
 pub mod pipeline;
+pub mod protocol;
+pub mod recovery;
 pub mod report;
 pub mod runtime;
 
-pub use channels::{train_distributed_channels, ChannelReport};
-pub use hbgp::HbgpPartitioner;
+pub use channels::{
+    train_distributed_channels, train_distributed_channels_with, ChannelOptions, ChannelReport,
+};
+pub use fault::{CrashSpec, FaultDecision, FaultPlan, RetryPolicy, StallSpec};
+pub use hbgp::{partition_categories_traced, HbgpPartitioner, HbgpTrace};
 pub use hotset::{HotSet, SyncMode};
 pub use partition::{HashPartitioner, PartitionMap, Partitioner};
-pub use pipeline::{PipelinePreflight, TrainingPipeline};
+pub use pipeline::{PipelinePreflight, ResumeError, TrainingPipeline};
+pub use protocol::{
+    Delivered, MachineCounters, MachineEnv, Message, RetryVerdict, Step, TnsRequest, TnsResponse,
+    WireError, WorkerMachine,
+};
+pub use recovery::{PipelineCheckpoint, ShardCheckpoint};
 pub use report::{ClusterCostModel, DistReport};
-pub use runtime::{train_distributed, DistConfig};
+pub use runtime::{build_partition, train_distributed, train_distributed_prepared, DistConfig};

@@ -59,6 +59,13 @@ impl PartitionMap {
         self.owner.is_empty()
     }
 
+    /// The raw ownership vector (one entry per token), e.g. for
+    /// checkpointing the stage-3 artifact.
+    #[inline]
+    pub fn owners(&self) -> &[u16] {
+        &self.owner
+    }
+
     /// Tokens owned by each partition.
     pub fn members(&self) -> Vec<Vec<TokenId>> {
         let mut m: Vec<Vec<TokenId>> = vec![Vec::new(); self.n_partitions];

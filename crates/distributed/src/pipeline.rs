@@ -12,11 +12,18 @@
 //! then runs Algorithm 1 on them. The staged form exists so deployments
 //! can checkpoint between stages and operators can inspect the partition
 //! and hot set before committing a cluster to a 13-hour run.
+//!
+//! [`TrainingPipeline::checkpoint`] captures the stage-boundary artifacts
+//! as a [`PipelineCheckpoint`]; [`TrainingPipeline::resume`] rebuilds a
+//! pipeline from one after a coordinator crash, revalidating that the
+//! regenerated corpus still matches the fingerprint the partition was
+//! computed for (DESIGN.md §9).
 
 use crate::hotset::HotSet;
-use crate::partition::{assign_all, HashPartitioner, PartitionMap};
-use crate::runtime::{train_distributed, DistConfig, PartitionStrategy};
-use crate::{DistReport, HbgpPartitioner};
+use crate::partition::PartitionMap;
+use crate::recovery::{enriched_fingerprint, record_recovery, PipelineCheckpoint};
+use crate::runtime::{build_partition, train_distributed_prepared, DistConfig};
+use crate::DistReport;
 use sisg_corpus::{EnrichOptions, EnrichedCorpus, GeneratedCorpus};
 use sisg_embedding::EmbeddingStore;
 
@@ -42,27 +49,8 @@ impl<'a> TrainingPipeline<'a> {
         // Stage 1 + 2: enrichment carries the counted dictionary.
         let enriched = EnrichedCorpus::build(corpus, options);
         // Stage 3: partition the dictionary.
-        let partition = match config.strategy {
-            PartitionStrategy::Hbgp { beta } => assign_all(
-                &HbgpPartitioner {
-                    beta,
-                    ..Default::default()
-                },
-                &corpus.sessions,
-                &corpus.catalog,
-                enriched.space(),
-                config.workers,
-                config.seed,
-            ),
-            PartitionStrategy::Hash => assign_all(
-                &HashPartitioner,
-                &corpus.sessions,
-                &corpus.catalog,
-                enriched.space(),
-                config.workers,
-                config.seed,
-            ),
-        };
+        let partition =
+            build_partition(&config, &corpus.sessions, &corpus.catalog, enriched.space());
         // Stage 4: the shared set Q.
         let hot_set = HotSet::top_k(enriched.vocab(), config.hot_set_size);
         Self {
@@ -72,6 +60,59 @@ impl<'a> TrainingPipeline<'a> {
             partition,
             hot_set,
         }
+    }
+
+    /// Captures the stage-boundary artifacts for persistence between the
+    /// preparation stages and training.
+    pub fn checkpoint(&self) -> PipelineCheckpoint {
+        PipelineCheckpoint {
+            workers: self.config.workers as u32,
+            enriched_fingerprint: enriched_fingerprint(&self.enriched),
+            owners: self.partition.owners().to_vec(),
+            hot_tokens: self.hot_set.tokens().to_vec(),
+        }
+    }
+
+    /// Rebuilds a pipeline from a stage-boundary checkpoint after a
+    /// coordinator crash: stages 1–2 are recomputed (they are deterministic
+    /// in the corpus), then revalidated against the checkpoint fingerprint;
+    /// stages 3–4 are restored verbatim, skipping HBGP.
+    pub fn resume(
+        corpus: &'a GeneratedCorpus,
+        options: EnrichOptions,
+        config: DistConfig,
+        ck: &PipelineCheckpoint,
+    ) -> Result<Self, ResumeError> {
+        if ck.workers as usize != config.workers {
+            return Err(ResumeError::WorkerMismatch {
+                checkpoint: ck.workers as usize,
+                config: config.workers,
+            });
+        }
+        let enriched = EnrichedCorpus::build(corpus, options);
+        let fp = enriched_fingerprint(&enriched);
+        if fp != ck.enriched_fingerprint {
+            return Err(ResumeError::CorpusMismatch {
+                checkpoint: ck.enriched_fingerprint,
+                rebuilt: fp,
+            });
+        }
+        if ck.owners.len() != enriched.space().len() {
+            return Err(ResumeError::PartitionMismatch {
+                checkpoint: ck.owners.len(),
+                space: enriched.space().len(),
+            });
+        }
+        let partition = PartitionMap::new(ck.owners.clone(), config.workers);
+        let hot_set = HotSet::from_tokens(enriched.space().len(), ck.hot_tokens.clone());
+        record_recovery();
+        Ok(Self {
+            corpus,
+            config,
+            enriched,
+            partition,
+            hot_set,
+        })
     }
 
     /// Pre-flight summary an operator would check before training: expected
@@ -100,18 +141,70 @@ impl<'a> TrainingPipeline<'a> {
         }
     }
 
-    /// Runs Algorithm 1 over the prepared artifacts.
+    /// Runs Algorithm 1 over the prepared artifacts. The run uses the
+    /// pipeline's own partition and hot set, so a resumed pipeline trains
+    /// on exactly the checkpointed stage-3/4 plan.
     pub fn train(&self) -> (EmbeddingStore, DistReport) {
-        // The runtime re-derives partition and hot set from the same config
-        // and seed, so the prepared artifacts and the run agree exactly.
-        train_distributed(
+        train_distributed_prepared(
             &self.enriched,
             &self.corpus.sessions,
-            &self.corpus.catalog,
             &self.config,
+            &self.partition,
+            &self.hot_set,
         )
     }
 }
+
+/// Why a [`TrainingPipeline::resume`] was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The checkpoint was made for a different worker count.
+    WorkerMismatch {
+        /// Worker count recorded in the checkpoint.
+        checkpoint: usize,
+        /// Worker count in the resuming config.
+        config: usize,
+    },
+    /// The rebuilt enriched corpus no longer matches the fingerprint the
+    /// partition was computed for.
+    CorpusMismatch {
+        /// Fingerprint recorded in the checkpoint.
+        checkpoint: u64,
+        /// Fingerprint of the rebuilt corpus.
+        rebuilt: u64,
+    },
+    /// The checkpointed ownership vector covers a different token space.
+    PartitionMismatch {
+        /// Token count covered by the checkpoint.
+        checkpoint: usize,
+        /// Token count of the rebuilt space.
+        space: usize,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::WorkerMismatch { checkpoint, config } => write!(
+                f,
+                "checkpoint made for {checkpoint} workers, config has {config}"
+            ),
+            ResumeError::CorpusMismatch {
+                checkpoint,
+                rebuilt,
+            } => write!(
+                f,
+                "enriched corpus fingerprint {rebuilt:#x} differs from checkpointed {checkpoint:#x}"
+            ),
+            ResumeError::PartitionMismatch { checkpoint, space } => write!(
+                f,
+                "checkpoint covers {checkpoint} tokens, rebuilt space has {space}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
 
 /// The operator-facing summary of a prepared pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,6 +229,7 @@ pub struct PipelinePreflight {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::PartitionStrategy;
     use sisg_corpus::CorpusConfig;
 
     fn config() -> DistConfig {
@@ -182,6 +276,82 @@ mod tests {
         let pf = pipeline.preflight();
         assert!((report.cut_fraction - pf.cut_fraction).abs() < 1e-12);
         assert_eq!(report.workers, pf.workers);
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trips_and_trains_identically() {
+        let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+        let pipeline = TrainingPipeline::prepare(&corpus, EnrichOptions::NONE, config());
+        let ck = pipeline.checkpoint();
+
+        // Persist and reload through the byte format.
+        let bytes = ck.to_bytes();
+        let reloaded = PipelineCheckpoint::from_bytes(&bytes).expect("decode");
+        assert_eq!(reloaded, ck);
+
+        let resumed = TrainingPipeline::resume(&corpus, EnrichOptions::NONE, config(), &reloaded)
+            .expect("resume");
+        // The resumed pipeline reconstructs the exact stage-3/4 plan...
+        assert_eq!(resumed.partition.owners(), pipeline.partition.owners());
+        assert_eq!(resumed.hot_set.tokens(), pipeline.hot_set.tokens());
+        assert_eq!(resumed.preflight(), pipeline.preflight());
+        // ...and trains over the same pair schedule: per-worker pair
+        // accounting is deterministic even though Hogwild float races keep
+        // multi-worker runs from being bit-identical.
+        let (_, report_a) = pipeline.train();
+        let (_, report_b) = resumed.train();
+        assert_eq!(report_a.pairs_per_worker, report_b.pairs_per_worker);
+        assert_eq!(report_a.remote_pairs, report_b.remote_pairs);
+    }
+
+    #[test]
+    fn single_worker_resume_trains_bit_identically() {
+        let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+        let cfg = DistConfig {
+            workers: 1,
+            ..config()
+        };
+        let pipeline = TrainingPipeline::prepare(&corpus, EnrichOptions::NONE, cfg.clone());
+        let ck = pipeline.checkpoint();
+        let resumed =
+            TrainingPipeline::resume(&corpus, EnrichOptions::NONE, cfg, &ck).expect("resume");
+        let (store_a, _) = pipeline.train();
+        let (store_b, _) = resumed.train();
+        for t in 0..store_a.n_tokens() {
+            let t = sisg_corpus::TokenId(t as u32);
+            assert_eq!(store_a.input(t), store_b.input(t), "row {t:?} diverged");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_artifacts() {
+        let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+        let pipeline = TrainingPipeline::prepare(&corpus, EnrichOptions::NONE, config());
+        let ck = pipeline.checkpoint();
+
+        // Wrong worker count.
+        let wrong_workers = DistConfig {
+            workers: 8,
+            ..config()
+        };
+        assert!(matches!(
+            TrainingPipeline::resume(&corpus, EnrichOptions::NONE, wrong_workers, &ck),
+            Err(ResumeError::WorkerMismatch { .. })
+        ));
+
+        // Different enrichment → different corpus fingerprint.
+        assert!(matches!(
+            TrainingPipeline::resume(&corpus, EnrichOptions::FULL, config(), &ck),
+            Err(ResumeError::CorpusMismatch { .. })
+        ));
+
+        // Tampered fingerprint is caught even when sizes agree.
+        let mut tampered = ck.clone();
+        tampered.enriched_fingerprint ^= 1;
+        assert!(matches!(
+            TrainingPipeline::resume(&corpus, EnrichOptions::NONE, config(), &tampered),
+            Err(ResumeError::CorpusMismatch { .. })
+        ));
     }
 
     #[test]

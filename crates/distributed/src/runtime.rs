@@ -24,9 +24,11 @@
 use crate::hbgp::HbgpPartitioner;
 use crate::hotset::{HotSet, ReplicaSet, SyncMode};
 use crate::partition::{assign_all, HashPartitioner, PartitionMap};
+use crate::protocol::{noise_seed, scan_seed};
 use crate::report::DistReport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sisg_corpus::vocab::TokenSpace;
 use sisg_corpus::{Corpus, EnrichedCorpus, ItemCatalog, TokenId};
 use sisg_embedding::matrix::RowPtr;
 use sisg_embedding::EmbeddingStore;
@@ -110,21 +112,17 @@ impl Default for DistConfig {
     }
 }
 
-/// Trains the enriched corpus with the distributed engine and returns the
-/// embedding store plus the run's accounting.
-pub fn train_distributed(
-    enriched: &EnrichedCorpus,
+/// Pipeline stage 3 as a standalone artifact builder: partitions the
+/// dictionary under the configured strategy. Shared by both engines and
+/// the preparation pipeline, so one `(config, corpus)` always yields the
+/// same map.
+pub fn build_partition(
+    config: &DistConfig,
     sessions: &Corpus,
     catalog: &ItemCatalog,
-    config: &DistConfig,
-) -> (EmbeddingStore, DistReport) {
-    assert!(config.workers > 0, "need at least one worker");
-    let w = config.workers;
-    let space = enriched.space();
-    let vocab = enriched.vocab();
-
-    // Pipeline stage 3: partition the dictionary.
-    let partition = match config.strategy {
+    space: &TokenSpace,
+) -> PartitionMap {
+    match config.strategy {
         PartitionStrategy::Hbgp { beta } => assign_all(
             &HbgpPartitioner {
                 beta,
@@ -133,16 +131,48 @@ pub fn train_distributed(
             sessions,
             catalog,
             space,
-            w,
+            config.workers,
             config.seed,
         ),
-        PartitionStrategy::Hash => {
-            assign_all(&HashPartitioner, sessions, catalog, space, w, config.seed)
-        }
-    };
+        PartitionStrategy::Hash => assign_all(
+            &HashPartitioner,
+            sessions,
+            catalog,
+            space,
+            config.workers,
+            config.seed,
+        ),
+    }
+}
 
-    // Pipeline stage 4: the shared set Q.
-    let hot = HotSet::top_k(vocab, config.hot_set_size);
+/// Trains the enriched corpus with the distributed engine and returns the
+/// embedding store plus the run's accounting.
+pub fn train_distributed(
+    enriched: &EnrichedCorpus,
+    sessions: &Corpus,
+    catalog: &ItemCatalog,
+    config: &DistConfig,
+) -> (EmbeddingStore, DistReport) {
+    // Pipeline stages 3–4 inline: partition + the shared set Q.
+    let partition = build_partition(config, sessions, catalog, enriched.space());
+    let hot = HotSet::top_k(enriched.vocab(), config.hot_set_size);
+    train_distributed_prepared(enriched, sessions, config, &partition, &hot)
+}
+
+/// Trains from pre-built stage artifacts (the path the preparation
+/// pipeline and its crash-recovery resume use: a checkpointed partition
+/// and hot set are reused instead of being re-derived).
+pub fn train_distributed_prepared(
+    enriched: &EnrichedCorpus,
+    sessions: &Corpus,
+    config: &DistConfig,
+    partition: &PartitionMap,
+    hot: &HotSet,
+) -> (EmbeddingStore, DistReport) {
+    assert!(config.workers > 0, "need at least one worker");
+    let w = config.workers;
+    let space = enriched.space();
+    let vocab = enriched.vocab();
 
     // Per-worker local noise distributions over P_j ∪ Q.
     let members = partition.members();
@@ -174,7 +204,7 @@ pub fn train_distributed(
     subsample.scale_tokens(&hot_non_items, config.hot_subsample_factor);
 
     let store = EmbeddingStore::new(space.len(), config.dim, config.seed);
-    let replicas = ReplicaSet::init(&store, &hot, w);
+    let replicas = ReplicaSet::init(&store, hot, w);
     let sigmoid = SigmoidTable::new();
     let sampler = PairSampler {
         window: config.window,
@@ -198,8 +228,6 @@ pub fn train_distributed(
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(w);
         for me in 0..w {
-            let partition = &partition;
-            let hot = &hot;
             let replicas = &replicas;
             let store = &store;
             let noise_tables = &noise_tables;
@@ -348,7 +376,12 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
     let w = config.workers;
     let dim = config.dim;
     let mut counters = WorkerCounters::default();
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (me as u64).wrapping_mul(0xD1F3_5A7B));
+    // Scan (subsample + pair sampling) and noise (negative draws) use
+    // separate seeded streams: the scan stream is epoch-scoped and shared
+    // with the message-passing engine (identical per-worker pair
+    // accounting), while negative draws never perturb which pairs are
+    // scanned.
+    let mut noise_rng = StdRng::seed_from_u64(noise_seed(config.seed, me, 0));
     let mut filtered: Vec<TokenId> = Vec::with_capacity(64);
     let mut pair_buf: Vec<(TokenId, TokenId)> = Vec::with_capacity(256);
     let mut negatives: Vec<TokenId> = Vec::with_capacity(config.negatives);
@@ -362,14 +395,15 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
     };
 
     let rounds_per_epoch = n_seq.div_ceil(config.sync_interval.max(1)).max(1);
-    for _epoch in 0..config.epochs {
+    for epoch in 0..config.epochs {
+        let mut scan_rng = StdRng::seed_from_u64(scan_seed(config.seed, me, epoch));
         for round in 0..rounds_per_epoch {
             let lo = round * config.sync_interval;
             let hi = ((round + 1) * config.sync_interval).min(n_seq);
             for seq_idx in lo..hi {
                 let seq = enriched.sequence(seq_idx);
-                subsample.filter_into(seq, &mut rng, &mut filtered);
-                sampler.pairs_into(&filtered, &mut rng, &mut pair_buf);
+                subsample.filter_into(seq, &mut scan_rng, &mut filtered);
+                sampler.pairs_into(&filtered, &mut scan_rng, &mut pair_buf);
                 for &(target, context) in &pair_buf {
                     // Algorithm 1 line 6: keep the pair iff this worker is
                     // responsible for it. Hot targets are sharded by
@@ -418,7 +452,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
                     noise_tables[tns_worker].sample_into(
                         &mut negatives,
                         config.negatives,
-                        &mut rng,
+                        &mut noise_rng,
                     );
                     negatives.retain(|&n| n != context && n != target);
 

@@ -1,0 +1,101 @@
+//! Property tests for HBGP (Section III-B): the β balance constraint is
+//! only ever loosened through step 3(e) relaxation, and the heuristic is
+//! deterministic — no seed, same graph in, same partition out.
+//!
+//! The graphs are synthesized from random sessions over the generated
+//! catalog, so every case exercises the real coarsening path
+//! ([`CategoryGraph::build`]) rather than a hand-made adjacency map.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sisg_corpus::{Corpus, CorpusConfig, GeneratedCorpus, ItemId, UserId};
+use sisg_distributed::hbgp::{partition_categories_traced, CategoryGraph};
+
+/// Builds a corpus whose sessions are the given item-index lists, folded
+/// into the catalog's item range.
+fn corpus_from(sessions: &[Vec<u32>], n_items: u32) -> Corpus {
+    let mut c = Corpus::new();
+    for (u, s) in sessions.iter().enumerate() {
+        let items: Vec<ItemId> = s.iter().map(|&i| ItemId(i % n_items)).collect();
+        c.push(UserId(u as u32), &items);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn hbgp_respects_beta_and_is_deterministic(
+        sessions in vec(vec(0u32..1_000_000, 2..12), 1..24),
+        workers in 1usize..8,
+        beta_centi in 100u32..200,
+    ) {
+        let gen = GeneratedCorpus::generate(CorpusConfig::tiny());
+        let corpus = corpus_from(&sessions, gen.config.n_items);
+        let graph = CategoryGraph::build(&corpus, &gen.catalog);
+        prop_assume!(graph.total_mass() > 0);
+        let beta = beta_centi as f64 / 100.0;
+
+        let (assign_a, trace_a) = partition_categories_traced(&graph, workers, beta, 1.25);
+        let (assign_b, trace_b) = partition_categories_traced(&graph, workers, beta, 1.25);
+
+        // Determinism: the heuristic has no RNG, and its tie-breaks are
+        // total orders — two runs must agree exactly.
+        prop_assert_eq!(&assign_a, &assign_b);
+        prop_assert_eq!(&trace_a, &trace_b);
+
+        // Every category lands on a real worker.
+        prop_assert_eq!(assign_a.len(), graph.n_categories());
+        prop_assert!(assign_a.iter().all(|&p| (p as usize) < workers));
+
+        // Trace bookkeeping: masses are conserved, merge count matches the
+        // group count, and β only ever moves by step-3(e) relaxations.
+        prop_assert_eq!(
+            trace_a.group_masses.iter().sum::<u64>(),
+            graph.total_mass()
+        );
+        prop_assert_eq!(
+            trace_a.merges,
+            (graph.n_categories() - trace_a.group_masses.len()) as u64
+        );
+        let expected_beta = beta * 1.25f64.powi(trace_a.relaxations as i32);
+        prop_assert!(
+            (trace_a.effective_beta - expected_beta).abs() <= expected_beta * 1e-9,
+            "effective beta {} is not beta x relaxation^k = {}",
+            trace_a.effective_beta,
+            expected_beta
+        );
+        if trace_a.relaxations == 0 {
+            prop_assert!(trace_a.effective_beta == beta);
+        }
+
+        // The balance constraint: every group built by cap-checked merges
+        // fits under the *effective* cap; a group may exceed it only by
+        // being a single indivisible category that was already too heavy.
+        if trace_a.forced_merges == 0 {
+            let cap = trace_a.effective_cap(graph.total_mass(), workers);
+            let max_cat = category_masses(&corpus, &gen).into_iter().max().unwrap_or(0);
+            for &m in &trace_a.group_masses {
+                prop_assert!(
+                    m <= cap.max(max_cat),
+                    "group mass {} exceeds effective cap {} (heaviest category {})",
+                    m,
+                    cap,
+                    max_cat
+                );
+            }
+        }
+    }
+}
+
+/// Per-leaf-category frequency mass, recomputed independently of
+/// [`CategoryGraph`]'s internals.
+fn category_masses(corpus: &Corpus, gen: &GeneratedCorpus) -> Vec<u64> {
+    let mut mass = vec![0u64; gen.catalog.n_leaf_categories() as usize];
+    for s in corpus.iter() {
+        for &it in s.items {
+            mass[gen.catalog.leaf_category(it).index()] += 1;
+        }
+    }
+    mass
+}

@@ -63,6 +63,14 @@ pub const DIST_CHANNEL_PAYLOAD_BYTES_TOTAL: &str = "dist.channel.payload_bytes_t
 pub const DIST_CHANNEL_DEPTH_PEAK: &str = "dist.channel.depth_peak";
 /// Span: one message-passing distributed training run.
 pub const DIST_CHANNELS_TRAIN_SPAN: &str = "dist.channels.train";
+/// Messages dropped/duplicated/delayed by the deterministic fault injector.
+pub const DIST_FAULTS_INJECTED_TOTAL: &str = "dist.faults_injected";
+/// Remote TNS requests retransmitted after a response timeout.
+pub const DIST_RETRIES_TOTAL: &str = "dist.retries";
+/// Duplicate requests absorbed by the idempotency cache.
+pub const DIST_REQUESTS_DEDUPED_TOTAL: &str = "dist.requests_deduped";
+/// Worker restores from checkpoint (crash recovery + pipeline resumes).
+pub const DIST_RECOVERIES_TOTAL: &str = "dist.recoveries";
 
 /// Candidate-list lookups served (warm + cold item paths).
 pub const SERVING_REQUESTS_TOTAL: &str = "serving.requests_total";
@@ -114,6 +122,10 @@ pub const ALL: &[&str] = &[
     DIST_CHANNEL_PAYLOAD_BYTES_TOTAL,
     DIST_CHANNEL_DEPTH_PEAK,
     "dist.channels.train.us",
+    DIST_FAULTS_INJECTED_TOTAL,
+    DIST_RETRIES_TOTAL,
+    DIST_REQUESTS_DEDUPED_TOTAL,
+    DIST_RECOVERIES_TOTAL,
     SERVING_REQUESTS_TOTAL,
     SERVING_WARM_HITS_TOTAL,
     SERVING_COLD_ITEM_TOTAL,

@@ -14,10 +14,13 @@
 //! 3. **Every crate root opts into `missing_docs`**: each `src/lib.rs` /
 //!    `src/main.rs` must declare `#![warn(missing_docs)]` (promoted to an
 //!    error by `-D warnings` in scripts/check.sh).
-//! 4. **The serving path is panic-free**: `.unwrap()` / `.expect(` are
-//!    banned in non-test library code of `crates/core` and `crates/ann`
-//!    (the retrieval/serving crates) — recoverable errors must be
-//!    propagated, not turned into aborts while answering queries.
+//! 4. **The serving and fault-tolerance paths are panic-free**:
+//!    `.unwrap()` / `.expect(` are banned in non-test library code of
+//!    `crates/core` and `crates/ann` (the retrieval/serving crates) and in
+//!    the retry/recovery files (`crates/distributed/src/{protocol,fault,
+//!    recovery}.rs`, `crates/simtest/src/lib.rs`) — recoverable errors
+//!    must be propagated, not turned into aborts while answering queries
+//!    or while surviving the very faults the code exists to absorb.
 //! 5. **All timing flows through the observability layer**:
 //!    `Instant::now()` is banned in non-test code outside `crates/obs`
 //!    and `compat/` — use `sisg_obs::Stopwatch`/`span` so elapsed time
@@ -134,6 +137,16 @@ impl fmt::Display for Violation {
 /// Crates whose non-test library code must be `unwrap()`/`expect()`-free.
 const PANIC_FREE_CRATES: &[&str] = &["crates/core", "crates/ann"];
 
+/// Individual files under the same panic-free rule: the retry, recovery,
+/// and fault-simulation paths. A panic while absorbing a fault turns a
+/// recoverable event into a crash, so these propagate errors instead.
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/distributed/src/protocol.rs",
+    "crates/distributed/src/fault.rs",
+    "crates/distributed/src/recovery.rs",
+    "crates/simtest/src/lib.rs",
+];
+
 /// Crates whose non-test code must not use per-element `RowPtr` accessors
 /// (rule 6) — their hot loops go through the DESIGN.md §8 kernels.
 const KERNEL_PATH_CRATES: &[&str] = &["crates/sgns", "crates/eges"];
@@ -172,15 +185,13 @@ fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
                 violations.extend(check_missing_docs_attr(&rel, &content));
             }
             // Integration tests and benches are test code end to end.
-            let all_test = {
-                let s = rel.to_string_lossy().replace('\\', "/");
-                s.contains("/tests/") || s.contains("/benches/")
-            };
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            let all_test = rel_str.contains("/tests/") || rel_str.contains("/benches/");
             violations.extend(scan_file(
                 &rel,
                 &content,
                 all_test,
-                panic_free,
+                panic_free || PANIC_FREE_FILES.contains(&rel_str.as_str()),
                 obs_timing,
                 kernel_path,
             ));
@@ -317,7 +328,7 @@ fn scan_file(
                     path: rel.to_path_buf(),
                     line: line_no,
                     rule: "no-unwrap",
-                    message: "`.unwrap()`/`.expect()` banned in serving-path library code; propagate the error".into(),
+                    message: "`.unwrap()`/`.expect()` banned in panic-free library code (serving and fault-tolerance paths); propagate the error".into(),
                 });
             }
 
@@ -903,6 +914,19 @@ mod tests {
         );
         let doc: serde::Value = serde_json::from_str(&bad).expect("parse");
         assert!(validate_perf_doc(&doc).is_err());
+    }
+
+    #[test]
+    fn panic_free_file_list_points_at_real_files() {
+        // A renamed or moved fault-path file would silently drop out of
+        // rule 4; keep the list anchored to the tree.
+        let root = workspace_root();
+        for f in PANIC_FREE_FILES {
+            assert!(
+                root.join(f).is_file(),
+                "PANIC_FREE_FILES entry `{f}` does not exist"
+            );
+        }
     }
 
     #[test]

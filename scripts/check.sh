@@ -45,6 +45,12 @@ SISG_RESULTS=target/ci-results SISG_ITEMS=400 SISG_EPOCHS=1 \
 cargo run -p xtask --quiet -- validate-metrics \
   target/ci-results/metrics/ablation_ann.json
 
+step "simtest smoke: pinned fault seeds replay to their recorded traces"
+# Three seeded fault schedules (drop+duplicate+delay) must reproduce their
+# pinned event-trace hashes exactly — the deterministic-simulation contract
+# of DESIGN.md §9. Seconds-scale: the virtual cluster needs no threads.
+cargo test --release -q -p sisg-simtest --test determinism
+
 step "perf smoke: seconds-scale perf_train run + schema validation"
 # --smoke trains one small configuration end to end and writes a
 # BENCH_perf.json with the same sisg.perf.v1 schema as the full run, so
