@@ -31,7 +31,7 @@ fn bench_variants(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(8));
     for variant in [Variant::Sgns, Variant::SisgF, Variant::SisgFUD] {
         group.bench_function(BenchmarkId::from_parameter(variant.name()), |b| {
-            b.iter(|| SisgModel::train(&corpus, variant, &cfg))
+            b.iter(|| SisgModel::train(&corpus, variant, &cfg).expect("train"))
         });
     }
     group.finish();
@@ -48,7 +48,7 @@ fn bench_hyperparams(c: &mut Criterion) {
             ..small_config()
         };
         group.bench_function(BenchmarkId::new("negatives", negatives), |b| {
-            b.iter(|| SisgModel::train(&corpus, Variant::Sgns, &cfg))
+            b.iter(|| SisgModel::train(&corpus, Variant::Sgns, &cfg).expect("train"))
         });
     }
     for window in [2usize, 5] {
@@ -57,7 +57,7 @@ fn bench_hyperparams(c: &mut Criterion) {
             ..small_config()
         };
         group.bench_function(BenchmarkId::new("window", window), |b| {
-            b.iter(|| SisgModel::train(&corpus, Variant::Sgns, &cfg))
+            b.iter(|| SisgModel::train(&corpus, Variant::Sgns, &cfg).expect("train"))
         });
     }
     group.finish();

@@ -22,7 +22,7 @@ fn main() {
     let corpus = offline_corpus();
     let sgns = offline_sgns_config();
     eprintln!("training SISG-F-U...");
-    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns);
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns).expect("train");
 
     // Index the cosine retrieval space: normalized item input vectors.
     let n_items = corpus.config.n_items as usize;

@@ -57,7 +57,8 @@ fn main() {
             ..Default::default()
         };
         let (store, report) = train_distributed(&enriched, &split.train, &corpus.catalog, &cfg);
-        let model = SisgModel::from_store(Variant::Sgns, space.clone(), store);
+        let model =
+            SisgModel::from_store(Variant::Sgns, space.clone(), store).expect("store covers space");
         let hr = evaluate_hit_rates(label, &model, &split.eval, &[10, 20]);
         table.push_row(vec![
             label.into(),

@@ -21,7 +21,7 @@ fn main() {
     let corpus = sisg_corpus::GeneratedCorpus::generate(config);
     let sgns = offline_sgns_config();
     eprintln!("training SISG-F-U-D...");
-    let (sisg, _) = SisgModel::train(&corpus, Variant::SisgFUD, &sgns);
+    let (sisg, _) = SisgModel::train(&corpus, Variant::SisgFUD, &sgns).expect("train");
     eprintln!("training well-tuned CF...");
     let cf = CfModel::train(
         &corpus.sessions,

@@ -17,7 +17,7 @@ fn main() {
     let corpus = offline_corpus();
     let sgns = offline_sgns_config();
     eprintln!("training SISG-F-U...");
-    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns);
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns).expect("train");
 
     // The groups Figure 4 displays: gender × age × purchase power.
     type Group = (String, Option<u8>, Option<u8>, Option<u8>);
@@ -37,7 +37,7 @@ fn main() {
     let mut lists: Vec<(String, Vec<u32>)> = Vec::new();
     for (name, gender, age, pp) in &groups {
         match cold_user_recommendations(&model, &corpus.users, *gender, *age, *pp, TOP_K) {
-            Some(recs) => {
+            Ok(recs) => {
                 lists.push((name.clone(), recs.iter().map(|n| n.token.0).collect()));
                 for (rank, n) in recs.iter().enumerate() {
                     table.push_row(vec![
@@ -47,8 +47,8 @@ fn main() {
                     ]);
                 }
             }
-            None => {
-                eprintln!("no realized user type matches group '{name}' — skipped");
+            Err(e) => {
+                eprintln!("group '{name}' skipped: {e}");
             }
         }
     }

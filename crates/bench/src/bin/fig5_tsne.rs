@@ -15,7 +15,7 @@ fn main() {
     let corpus = offline_corpus();
     let sgns = offline_sgns_config();
     eprintln!("training SISG-F-U...");
-    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns);
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns).expect("train");
 
     // Collect user-type embeddings with their demographics, keeping only
     // types that actually occur in sessions (zero-frequency ones were never

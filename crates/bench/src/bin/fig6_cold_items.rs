@@ -44,7 +44,7 @@ fn main() {
         dropped
     );
     let train_bundle = with_sessions(&corpus, train_sessions);
-    let (model, _) = SisgModel::train(&train_bundle, Variant::SisgFU, &sgns);
+    let (model, _) = SisgModel::train(&train_bundle, Variant::SisgFU, &sgns).expect("train");
 
     // (a)+(b): warm probes — trained vector vs Eq. (6) SI-sum vector.
     let mut overlap_sum = 0usize;
@@ -63,6 +63,7 @@ fn main() {
             .collect();
         let si = *corpus.catalog.si_values(probe);
         let cold: Vec<ItemId> = cold_item_recommendations(&model, &si, K)
+            .expect("catalog SI")
             .into_iter()
             .map(|n| ItemId(n.token.0))
             .filter(|&i| i != probe)
@@ -105,7 +106,7 @@ fn main() {
     let mut cold_probes = 0usize;
     for &item in &cold_items {
         let si = *corpus.catalog.si_values(item);
-        let recs = cold_item_recommendations(&model, &si, K);
+        let recs = cold_item_recommendations(&model, &si, K).expect("catalog SI");
         let cat = corpus.catalog.leaf_category(item);
         cold_coherence += recs
             .iter()
@@ -126,7 +127,8 @@ fn main() {
     let example = cold_items[0];
     println!("\nexample cold item: {}", describe_item(&corpus, example));
     let si = *corpus.catalog.si_values(example);
-    for (rank, n) in cold_item_recommendations(&model, &si, 5).iter().enumerate() {
+    let example_recs = cold_item_recommendations(&model, &si, 5).expect("catalog SI");
+    for (rank, n) in example_recs.iter().enumerate() {
         println!(
             "  {}. {}",
             rank + 1,

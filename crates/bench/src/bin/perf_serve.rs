@@ -1,0 +1,329 @@
+//! Load generator for the sharded serve engine (`crates/serve`).
+//!
+//! Replays one request stream twice — first through a sequential
+//! [`MatchingService`] loop (how PR-3 consumers called the serving layer),
+//! then through [`ServeEngine`] — and writes qps plus worker-side
+//! p50/p90/p99 (from the `serve.request.us` obs histogram) to
+//! `results/BENCH_serve.json`. The stream is skewed toward a small pool of
+//! repeating *cold* keys: production cold traffic concentrates on newly
+//! launched items going viral, and that repetition is exactly what the
+//! engine's admission-gated cache converts from a full Eq. (6) scan into a
+//! hash lookup. On a single-core host the speedup is therefore the cache
+//! (plus per-shard pipelining), not parallelism.
+//!
+//! Scale knobs: `SISG_SERVE_ITEMS`, `SISG_SERVE_DIM`, `SISG_SERVE_REQS`,
+//! `SISG_SERVE_SHARDS`, `SISG_SEED`, `SISG_RESULTS`. `--smoke` runs a
+//! seconds-scale subset with the same output schema for CI validation
+//! (`xtask validate-metrics`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use sisg_bench::{emit_metrics, env_u64, env_usize, results_dir};
+use sisg_core::{MatchingService, ServingConfig, SisgModel, Variant};
+use sisg_corpus::{CorpusConfig, GeneratedCorpus, ItemId};
+use sisg_obs::Stopwatch;
+use sisg_serve::{ServeEngine, ServeEngineConfig, ServeRequest};
+use sisg_sgns::SgnsConfig;
+
+const K: usize = 10;
+
+fn click_counts(corpus: &GeneratedCorpus) -> Vec<u64> {
+    let mut clicks = vec![0u64; corpus.config.n_items as usize];
+    for s in corpus.sessions.iter() {
+        for it in s.items {
+            clicks[it.index()] += 1;
+        }
+    }
+    clicks
+}
+
+/// The skewed request stream: mostly repeating cold keys (the cacheable
+/// regime), a warm slice, and a pinch of cold-user traffic.
+fn build_stream(
+    corpus: &GeneratedCorpus,
+    service: &MatchingService,
+    n_requests: usize,
+    seed: u64,
+) -> Vec<ServeRequest> {
+    let all: Vec<ItemId> = (0..corpus.config.n_items).map(ItemId).collect();
+    let cold_pool: Vec<ItemId> = all
+        .iter()
+        .copied()
+        .filter(|&i| service.is_cold(i))
+        .take(48)
+        .collect();
+    let warm_pool: Vec<ItemId> = all
+        .iter()
+        .copied()
+        .filter(|&i| !service.is_cold(i))
+        .take(256)
+        .collect();
+    // Only demographic combos the trained registry can actually answer.
+    let user_pool: Vec<(Option<u8>, Option<u8>, Option<u8>)> = [
+        (None, None, None),
+        (Some(0), None, None),
+        (Some(1), None, None),
+        (None, Some(1), None),
+        (None, None, Some(1)),
+    ]
+    .into_iter()
+    .filter(|&(g, a, p)| service.cold_user_candidates(g, a, p, K).is_ok())
+    .collect();
+    eprintln!(
+        "pools: {} cold items, {} warm items, {} cold-user keys",
+        cold_pool.len(),
+        warm_pool.len(),
+        user_pool.len()
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E17);
+    let candidates = |item: ItemId| ServeRequest::Candidates {
+        item,
+        si_values: *corpus.catalog.si_values(item),
+        k: K,
+    };
+    (0..n_requests)
+        .map(|_| {
+            let roll: f64 = rng.gen();
+            if roll < 0.75 && !cold_pool.is_empty() {
+                candidates(cold_pool[rng.gen_range(0..cold_pool.len())])
+            } else if roll < 0.95 && !warm_pool.is_empty() {
+                candidates(warm_pool[rng.gen_range(0..warm_pool.len())])
+            } else if !user_pool.is_empty() {
+                let (gender, age, purchase) = user_pool[rng.gen_range(0..user_pool.len())];
+                ServeRequest::ColdUser {
+                    gender,
+                    age,
+                    purchase,
+                    k: K,
+                }
+            } else {
+                candidates(all[rng.gen_range(0..all.len())])
+            }
+        })
+        .collect()
+}
+
+/// The pre-engine serving path: one thread, one `MatchingService`, no
+/// cache — every repeated cold key pays the full Eq. (6) scan again.
+fn run_sequential(service: &MatchingService, stream: &[ServeRequest]) -> f64 {
+    let watch = Stopwatch::start();
+    for req in stream {
+        match *req {
+            ServeRequest::Candidates { item, si_values, k } => {
+                let out = service
+                    .candidates(item, &si_values, k)
+                    .expect("stream items are in the catalog");
+                std::hint::black_box(out);
+            }
+            ServeRequest::ColdUser {
+                gender,
+                age,
+                purchase,
+                k,
+            } => {
+                let out = service
+                    .cold_user_candidates(gender, age, purchase, k)
+                    .expect("stream demographics match");
+                std::hint::black_box(out);
+            }
+        }
+    }
+    watch.elapsed_seconds()
+}
+
+/// Drives the engine in queue-sized batches: each chunk fits a single
+/// shard's bounded queue even in the worst routing skew, so nothing sheds
+/// and the measurement is pure serve throughput.
+fn run_engine(engine: &ServeEngine, stream: &[ServeRequest], chunk: usize) -> f64 {
+    let watch = Stopwatch::start();
+    for batch in stream.chunks(chunk) {
+        for result in engine.serve_batch(batch.iter().copied()) {
+            let out = result.expect("chunks fit the bounded queues");
+            std::hint::black_box(out);
+        }
+    }
+    watch.elapsed_seconds()
+}
+
+fn snapshot_to_value(snap: &sisg_obs::Snapshot) -> (Value, Value, Value) {
+    let counters = Value::Object(
+        snap.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::U64(*v)))
+            .collect(),
+    );
+    let gauges = Value::Object(
+        snap.gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::F64(*v)))
+            .collect(),
+    );
+    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::F64);
+    let histograms = Value::Object(
+        snap.histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Value::Object(vec![
+                        ("count".into(), Value::U64(h.count)),
+                        ("sum".into(), Value::U64(h.sum)),
+                        ("max".into(), Value::U64(h.max)),
+                        ("p50".into(), opt(h.p50)),
+                        ("p90".into(), opt(h.p90)),
+                        ("p99".into(), opt(h.p99)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    (counters, gauges, histograms)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_items, dim, n_requests) = if smoke {
+        (400u32, 16usize, 3_000usize)
+    } else {
+        (
+            env_usize("SISG_SERVE_ITEMS", 2_400) as u32,
+            env_usize("SISG_SERVE_DIM", 64),
+            env_usize("SISG_SERVE_REQS", 24_000),
+        )
+    };
+    let n_shards = env_usize("SISG_SERVE_SHARDS", 8);
+    let queue_capacity = 256;
+    let seed = env_u64("SISG_SEED", 42);
+
+    eprintln!("training artifact: {n_items} items, dim {dim}");
+    let corpus = GeneratedCorpus::generate(CorpusConfig::scaled(n_items, seed));
+    let (model, _) = SisgModel::train(
+        &corpus,
+        Variant::SisgFU,
+        &SgnsConfig {
+            dim,
+            window: 2,
+            negatives: 2,
+            epochs: 1,
+            threads: 1,
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("valid training config");
+    let service = MatchingService::build(
+        model,
+        corpus.users.clone(),
+        &click_counts(&corpus),
+        ServingConfig {
+            k: 32,
+            min_clicks_for_warm: 3,
+        },
+    )
+    .expect("valid serving config");
+    eprintln!(
+        "artifact: {} items, {:.1}% cold",
+        service.n_items(),
+        service.cold_fraction() * 100.0
+    );
+
+    let stream = build_stream(&corpus, &service, n_requests, seed);
+
+    let seq_seconds = run_sequential(&service, &stream);
+    let seq_qps = stream.len() as f64 / seq_seconds;
+    println!(
+        "sequential MatchingService loop: {} reqs in {seq_seconds:.3}s = {seq_qps:.0} qps",
+        stream.len()
+    );
+
+    let config = ServeEngineConfig::builder()
+        .n_shards(n_shards)
+        .queue_capacity(queue_capacity)
+        .cache_capacity(4096)
+        .cache_admit_after(1)
+        .build()
+        .expect("valid engine config");
+    let engine = ServeEngine::start(service, config).expect("engine starts");
+    let engine_seconds = run_engine(&engine, &stream, queue_capacity);
+    let engine_qps = stream.len() as f64 / engine_seconds;
+    let speedup = engine_qps / seq_qps;
+    let stats = engine.stats();
+    println!(
+        "serve engine ({n_shards} shards): {} reqs in {engine_seconds:.3}s = {engine_qps:.0} qps \
+         ({speedup:.1}x sequential, {} cache hits / {} misses)",
+        stream.len(),
+        stats.cache_hits,
+        stats.cache_misses
+    );
+
+    let snap = sisg_obs::registry().snapshot("perf_serve");
+    let (counters, gauges, histograms) = snapshot_to_value(&snap);
+    let request_us = snap
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "serve.request.us")
+        .map(|(_, h)| h.clone());
+    if let Some(h) = &request_us {
+        println!(
+            "worker latency (us): p50 {:?} p90 {:?} p99 {:?} max {}",
+            h.p50, h.p90, h.p99, h.max
+        );
+    }
+    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::F64);
+    let doc = Value::Object(vec![
+        ("name".into(), Value::Str("perf_serve".into())),
+        (
+            "workload".into(),
+            Value::Object(vec![
+                ("items".into(), Value::U64(u64::from(n_items))),
+                ("dim".into(), Value::U64(dim as u64)),
+                ("requests".into(), Value::U64(stream.len() as u64)),
+                ("k".into(), Value::U64(K as u64)),
+                ("smoke".into(), Value::Bool(smoke)),
+            ]),
+        ),
+        (
+            "sequential".into(),
+            Value::Object(vec![
+                ("seconds".into(), Value::F64(seq_seconds)),
+                ("qps".into(), Value::F64(seq_qps)),
+            ]),
+        ),
+        (
+            "engine".into(),
+            Value::Object(vec![
+                ("shards".into(), Value::U64(n_shards as u64)),
+                ("queue_capacity".into(), Value::U64(queue_capacity as u64)),
+                ("seconds".into(), Value::F64(engine_seconds)),
+                ("qps".into(), Value::F64(engine_qps)),
+                ("speedup_vs_sequential".into(), Value::F64(speedup)),
+                ("cache_hits".into(), Value::U64(stats.cache_hits)),
+                ("cache_misses".into(), Value::U64(stats.cache_misses)),
+                ("overloaded".into(), Value::U64(stats.overloaded)),
+                (
+                    "request_us_p50".into(),
+                    opt(request_us.as_ref().and_then(|h| h.p50)),
+                ),
+                (
+                    "request_us_p90".into(),
+                    opt(request_us.as_ref().and_then(|h| h.p90)),
+                ),
+                (
+                    "request_us_p99".into(),
+                    opt(request_us.as_ref().and_then(|h| h.p99)),
+                ),
+            ]),
+        ),
+        ("counters".into(), counters),
+        ("gauges".into(), gauges),
+        ("histograms".into(), histograms),
+    ]);
+    let path = results_dir().join("BENCH_serve.json");
+    let text = serde_json::to_string_pretty(&doc).expect("serve doc serializes");
+    std::fs::write(&path, text + "\n").expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+    let metrics = emit_metrics("perf_serve");
+    println!("metrics: {}", metrics.display());
+}

@@ -53,7 +53,8 @@ fn main() {
             corpus.config.n_items,
             variant,
             &sgns,
-        );
+        )
+        .expect("train");
         eprintln!(
             "{variant}: {} pairs in {:.1}s (avg loss {:.3})",
             report.stats.pairs,

@@ -20,6 +20,7 @@ use sisg_distributed::{train_distributed_channels, CrashSpec, DistConfig, FaultP
 use sisg_eges::{EgesConfig, EgesModel, WalkConfig};
 use sisg_embedding::Matrix;
 use sisg_obs::{names, registry};
+use sisg_serve::{ServeEngine, ServeEngineConfig, ServeError, ServeRequest};
 use sisg_sgns::SgnsConfig;
 use std::path::Path;
 
@@ -35,7 +36,7 @@ fn exercise_every_layer() -> GeneratedCorpus {
 
     // SGNS (inside SisgModel) + the serving layer, one all-warm and one
     // all-cold service so every request path records.
-    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns);
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns).expect("train");
     let clicks = vec![10u64; corpus.config.n_items as usize];
     let warm_svc = MatchingService::build(
         model,
@@ -45,11 +46,14 @@ fn exercise_every_layer() -> GeneratedCorpus {
             k: 10,
             min_clicks_for_warm: 1,
         },
-    );
+    )
+    .expect("build");
     let si = *corpus.catalog.si_values(ItemId(0));
-    warm_svc.candidates(ItemId(0), &si, 5);
-    warm_svc.cold_user_candidates(Some(0), None, None, 5);
-    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns);
+    warm_svc.candidates(ItemId(0), &si, 5).expect("warm serve");
+    warm_svc
+        .cold_user_candidates(Some(0), None, None, 5)
+        .expect("cold-user serve");
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns).expect("train");
     let cold_svc = MatchingService::build(
         model,
         corpus.users.clone(),
@@ -58,8 +62,73 @@ fn exercise_every_layer() -> GeneratedCorpus {
             k: 10,
             min_clicks_for_warm: 1_000,
         },
-    );
-    cold_svc.candidates(ItemId(0), &si, 5);
+    )
+    .expect("build");
+    cold_svc.candidates(ItemId(0), &si, 5).expect("cold serve");
+
+    // The sharded serve engine: a warm hit, a cold miss then cache hit, a
+    // cold-user pair, a deterministic queue-full shed behind a held
+    // shard, and a snapshot hot-swap — every serve.* name records.
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns).expect("train");
+    let mut mixed_clicks = vec![10u64; corpus.config.n_items as usize];
+    mixed_clicks[1] = 0; // one cold item to drive the Eq. 6 cache path
+    let serving = ServingConfig {
+        k: 10,
+        min_clicks_for_warm: 1,
+    };
+    let svc =
+        MatchingService::build(model, corpus.users.clone(), &mixed_clicks, serving).expect("build");
+    let engine = ServeEngine::start(
+        svc,
+        ServeEngineConfig::builder()
+            .n_shards(1)
+            .queue_capacity(1)
+            .cache_capacity(16)
+            .cache_admit_after(1)
+            .build()
+            .expect("valid engine config"),
+    )
+    .expect("engine starts");
+    let warm_req = ServeRequest::Candidates {
+        item: ItemId(0),
+        si_values: si,
+        k: 5,
+    };
+    let cold_req = ServeRequest::Candidates {
+        item: ItemId(1),
+        si_values: *corpus.catalog.si_values(ItemId(1)),
+        k: 5,
+    };
+    engine.serve(warm_req).expect("warm engine serve");
+    engine.serve(cold_req).expect("cold engine serve");
+    let hit = engine.serve(cold_req).expect("cached engine serve");
+    assert!(hit.cache_hit, "repeated cold key must hit the cache");
+    let user_req = ServeRequest::ColdUser {
+        gender: Some(0),
+        age: None,
+        purchase: None,
+        k: 5,
+    };
+    engine.serve(user_req).expect("cold-user engine serve");
+    let hold = engine.hold_shard(0).expect("hold accepted");
+    let mut pending = Vec::new();
+    let mut shed = false;
+    for _ in 0..3 {
+        match engine.submit(warm_req) {
+            Ok(p) => pending.push(p),
+            Err(ServeError::Overloaded { .. }) => shed = true,
+            Err(other) => panic!("expected Overloaded, got {other}"),
+        }
+    }
+    assert!(shed, "a held shard with a 1-deep queue must shed");
+    drop(hold);
+    for p in pending {
+        p.wait().expect("queued request completes after release");
+    }
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns).expect("train");
+    let next =
+        MatchingService::build(model, corpus.users.clone(), &mixed_clicks, serving).expect("build");
+    assert_eq!(engine.swap(next), 1);
 
     // EGES.
     EgesModel::train(

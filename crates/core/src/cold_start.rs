@@ -7,7 +7,14 @@
 //! *Cold users* (Figure 4): a user with no history but known demographics
 //! gets the average of all user-type vectors matching those demographics;
 //! items near that average are recommended.
+//!
+//! Every entry point validates its token references against the model's
+//! [`TokenSpace`](sisg_corpus::vocab::TokenSpace) and returns a typed
+//! [`CoreError`] for out-of-range SI values or unmatched demographics, so
+//! the serving layer can turn a malformed request into a client error
+//! instead of a panic.
 
+use crate::error::CoreError;
 use crate::model::SisgModel;
 use sisg_corpus::schema::ItemFeature;
 use sisg_corpus::{UserRegistry, UserTypeId};
@@ -15,13 +22,27 @@ use sisg_embedding::math::{add_assign, scale};
 use sisg_embedding::Neighbor;
 
 /// Eq. (6): the inferred embedding of an item from its SI values alone.
-pub fn cold_item_vector(model: &SisgModel, si_values: &[u32; ItemFeature::COUNT]) -> Vec<f32> {
+/// Fails with [`CoreError::SiValueOutOfRange`] when a value exceeds the
+/// trained feature cardinality.
+pub fn cold_item_vector(
+    model: &SisgModel,
+    si_values: &[u32; ItemFeature::COUNT],
+) -> Result<Vec<f32>, CoreError> {
     let mut v = vec![0.0f32; model.store().dim()];
     for feature in ItemFeature::ALL {
-        let token = model.space().side_info(feature, si_values[feature.slot()]);
+        let value = si_values[feature.slot()];
+        let token =
+            model
+                .space()
+                .try_side_info(feature, value)
+                .ok_or(CoreError::SiValueOutOfRange {
+                    feature,
+                    value,
+                    cardinality: model.space().si_cardinality(feature),
+                })?;
         add_assign(&mut v, model.token_input(token));
     }
-    v
+    Ok(v)
 }
 
 /// Top-`k` recommendations for a cold item, via Eq. (6).
@@ -29,39 +50,46 @@ pub fn cold_item_recommendations(
     model: &SisgModel,
     si_values: &[u32; ItemFeature::COUNT],
     k: usize,
-) -> Vec<Neighbor> {
-    let v = cold_item_vector(model, si_values);
-    model.similar_items_to_vector(&v, k)
+) -> Result<Vec<Neighbor>, CoreError> {
+    let v = cold_item_vector(model, si_values)?;
+    Ok(model.similar_items_to_vector(&v, k))
 }
 
-/// The averaged user-type vector for a demographic group; `None` when no
-/// realized user type matches.
+/// The averaged user-type vector for a demographic group. Fails with
+/// [`CoreError::NoMatchingUserType`] when no realized user type matches.
 pub fn cold_user_vector(
     model: &SisgModel,
     users: &UserRegistry,
     gender: Option<u8>,
     age: Option<u8>,
     purchase: Option<u8>,
-) -> Option<Vec<f32>> {
+) -> Result<Vec<f32>, CoreError> {
     let types = users.types_matching(gender, age, purchase);
-    if types.is_empty() {
-        return None;
-    }
-    Some(average_user_types(model, &types))
+    average_user_types(model, &types)
 }
 
-/// The average of specific user-type input vectors.
-pub fn average_user_types(model: &SisgModel, types: &[UserTypeId]) -> Vec<f32> {
+/// The average of specific user-type input vectors. Fails on an empty type
+/// set ([`CoreError::NoMatchingUserType`]) and on a type id outside the
+/// trained registry ([`CoreError::UnknownUserType`]).
+pub fn average_user_types(model: &SisgModel, types: &[UserTypeId]) -> Result<Vec<f32>, CoreError> {
+    if types.is_empty() {
+        return Err(CoreError::NoMatchingUserType);
+    }
     let mut v = vec![0.0f32; model.store().dim()];
     for &ut in types {
-        add_assign(&mut v, model.token_input(model.space().user_type(ut)));
+        let token = model
+            .space()
+            .try_user_type(ut)
+            .ok_or(CoreError::UnknownUserType(ut))?;
+        add_assign(&mut v, model.token_input(token));
     }
     scale(&mut v, 1.0 / types.len() as f32);
-    v
+    Ok(v)
 }
 
-/// Top-`k` recommendations for a cold user described only by demographics;
-/// `None` when no realized user type matches the query.
+/// Top-`k` recommendations for a cold user described only by demographics.
+/// Fails with [`CoreError::NoMatchingUserType`] when no realized user type
+/// matches the query.
 pub fn cold_user_recommendations(
     model: &SisgModel,
     users: &UserRegistry,
@@ -69,9 +97,9 @@ pub fn cold_user_recommendations(
     age: Option<u8>,
     purchase: Option<u8>,
     k: usize,
-) -> Option<Vec<Neighbor>> {
-    cold_user_vector(model, users, gender, age, purchase)
-        .map(|v| model.similar_items_to_vector(&v, k))
+) -> Result<Vec<Neighbor>, CoreError> {
+    let v = cold_user_vector(model, users, gender, age, purchase)?;
+    Ok(model.similar_items_to_vector(&v, k))
 }
 
 #[cfg(test)]
@@ -90,7 +118,7 @@ mod tests {
             epochs: 2,
             ..Default::default()
         };
-        let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &cfg);
+        let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &cfg).expect("train");
         (corpus, model)
     }
 
@@ -100,7 +128,7 @@ mod tests {
         // Use an existing item's SI as a stand-in for a new item.
         let probe = ItemId(10);
         let si = *corpus.catalog.si_values(probe);
-        let recs = cold_item_recommendations(&model, &si, 20);
+        let recs = cold_item_recommendations(&model, &si, 20).expect("valid SI");
         assert_eq!(recs.len(), 20);
         // A solid share of recommendations should share the probe's leaf
         // category (SI dominates the inferred vector).
@@ -118,11 +146,30 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_si_value_is_a_typed_error() {
+        let (corpus, model) = trained();
+        let mut si = *corpus.catalog.si_values(ItemId(0));
+        si[ItemFeature::Brand.slot()] = u32::MAX;
+        let err = cold_item_vector(&model, &si).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::SiValueOutOfRange {
+                feature: ItemFeature::Brand,
+                value: u32::MAX,
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn cold_user_vector_requires_matching_types() {
         let (corpus, model) = trained();
-        assert!(cold_user_vector(&model, &corpus.users, Some(0), None, None).is_some());
+        assert!(cold_user_vector(&model, &corpus.users, Some(0), None, None).is_ok());
         // Gender index 9 does not exist.
-        assert!(cold_user_vector(&model, &corpus.users, Some(9), None, None).is_none());
+        assert_eq!(
+            cold_user_vector(&model, &corpus.users, Some(9), None, None).unwrap_err(),
+            CoreError::NoMatchingUserType
+        );
     }
 
     #[test]
@@ -145,7 +192,17 @@ mod tests {
     fn averaging_single_type_is_identity() {
         let (corpus, model) = trained();
         let ut = corpus.users.user_type(sisg_corpus::UserId(0));
-        let avg = average_user_types(&model, &[ut]);
+        let avg = average_user_types(&model, &[ut]).expect("known type");
         assert_eq!(avg, model.token_input(model.space().user_type(ut)).to_vec());
+    }
+
+    #[test]
+    fn unknown_user_type_is_a_typed_error() {
+        let (_, model) = trained();
+        let bogus = UserTypeId(u32::MAX);
+        assert_eq!(
+            average_user_types(&model, &[bogus]).unwrap_err(),
+            CoreError::UnknownUserType(bogus)
+        );
     }
 }

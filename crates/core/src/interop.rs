@@ -9,6 +9,7 @@
 //! only carries one matrix (most tools discard output vectors; SISG's
 //! directional similarity needs them).
 
+use crate::error::CoreError;
 use crate::model::SisgModel;
 use crate::variants::Variant;
 use sisg_corpus::vocab::TokenSpace;
@@ -52,6 +53,9 @@ pub enum ImportError {
         /// Output-matrix dimensionality.
         output: usize,
     },
+    /// The imported matrices could not back a model (e.g. they do not
+    /// cover the token space).
+    Model(CoreError),
 }
 
 impl std::fmt::Display for ImportError {
@@ -62,6 +66,7 @@ impl std::fmt::Display for ImportError {
             ImportError::DimMismatch { input, output } => {
                 write!(f, "dim mismatch: input {input}, output {output}")
             }
+            ImportError::Model(e) => write!(f, "model construction failed: {e}"),
         }
     }
 }
@@ -71,6 +76,12 @@ impl std::error::Error for ImportError {}
 impl From<W2vParseError> for ImportError {
     fn from(e: W2vParseError) -> Self {
         ImportError::Parse(e)
+    }
+}
+
+impl From<CoreError> for ImportError {
+    fn from(e: CoreError) -> Self {
+        ImportError::Model(e)
     }
 }
 
@@ -115,7 +126,7 @@ pub fn import_model<R1: BufRead, R2: BufRead>(
         None => Matrix::zeros(space.len(), in_dim),
     };
     let store = EmbeddingStore::from_matrices(input, output);
-    Ok(SisgModel::from_store(variant, space, store))
+    Ok(SisgModel::from_store(variant, space, store)?)
 }
 
 #[cfg(test)]
@@ -133,7 +144,9 @@ mod tests {
             epochs: 1,
             ..Default::default()
         };
-        SisgModel::train(&corpus, Variant::SisgFUD, &cfg).0
+        SisgModel::train(&corpus, Variant::SisgFUD, &cfg)
+            .expect("train")
+            .0
     }
 
     #[test]

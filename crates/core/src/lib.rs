@@ -24,13 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod cold_start;
+pub mod error;
 pub mod interop;
 pub mod model;
 pub mod recommender;
 pub mod serving;
 pub mod variants;
 
+pub use error::CoreError;
 pub use model::{SisgModel, SisgTrainReport};
 pub use recommender::{Recommendation, Recommender};
-pub use serving::{MatchingService, ServingConfig};
+pub use serving::{MatchingService, ServingConfig, ServingConfigBuilder, ServingStats};
 pub use variants::{SimilarityMode, Variant};

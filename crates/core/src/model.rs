@@ -1,5 +1,6 @@
 //! Training and retrieval for one SISG variant.
 
+use crate::error::CoreError;
 use crate::variants::{SimilarityMode, Variant};
 use sisg_corpus::vocab::TokenSpace;
 use sisg_corpus::{
@@ -46,13 +47,36 @@ impl std::fmt::Debug for SisgModel {
     }
 }
 
+/// Rejects SGNS hyper-parameters that would make training degenerate.
+fn validate_sgns(sgns: &SgnsConfig) -> Result<(), CoreError> {
+    if sgns.dim == 0 {
+        return Err(CoreError::InvalidConfig {
+            field: "dim",
+            reason: "must be at least 1",
+        });
+    }
+    if sgns.window == 0 {
+        return Err(CoreError::InvalidConfig {
+            field: "window",
+            reason: "must be at least 1",
+        });
+    }
+    if sgns.epochs == 0 {
+        return Err(CoreError::InvalidConfig {
+            field: "epochs",
+            reason: "must be at least 1",
+        });
+    }
+    Ok(())
+}
+
 impl SisgModel {
     /// Trains `variant` on the full generated corpus.
     pub fn train(
         corpus: &GeneratedCorpus,
         variant: Variant,
         sgns: &SgnsConfig,
-    ) -> (Self, SisgTrainReport) {
+    ) -> Result<(Self, SisgTrainReport), CoreError> {
         Self::train_on_sessions(
             &corpus.sessions,
             &corpus.catalog,
@@ -64,7 +88,8 @@ impl SisgModel {
     }
 
     /// Trains `variant` on an explicit session set (e.g. the training part
-    /// of a next-item split).
+    /// of a next-item split). Fails on degenerate hyper-parameters instead
+    /// of asserting mid-training.
     pub fn train_on_sessions(
         sessions: &Corpus,
         catalog: &ItemCatalog,
@@ -72,7 +97,8 @@ impl SisgModel {
         n_items: u32,
         variant: Variant,
         sgns: &SgnsConfig,
-    ) -> (Self, SisgTrainReport) {
+    ) -> Result<(Self, SisgTrainReport), CoreError> {
+        validate_sgns(sgns)?;
         let enriched = EnrichedCorpus::build_from_sessions(
             sessions,
             catalog,
@@ -101,12 +127,29 @@ impl SisgModel {
             stats,
         };
         let space = enriched.space().clone();
-        let model = Self::from_store(variant, space, store);
-        (model, report)
+        let model = Self::from_store(variant, space, store)?;
+        Ok((model, report))
     }
 
-    /// Wraps a trained (or deserialized) store.
-    pub fn from_store(variant: Variant, space: TokenSpace, store: EmbeddingStore) -> Self {
+    /// Wraps a trained (or deserialized) store. Fails when the store does
+    /// not cover the token space (or carries zero dimensions).
+    pub fn from_store(
+        variant: Variant,
+        space: TokenSpace,
+        store: EmbeddingStore,
+    ) -> Result<Self, CoreError> {
+        if store.n_tokens() < space.len() {
+            return Err(CoreError::StoreSpaceMismatch {
+                space_tokens: space.len(),
+                store_tokens: store.n_tokens(),
+            });
+        }
+        if store.dim() == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "dim",
+                reason: "store carries zero dimensions",
+            });
+        }
         let n_items = space.n_items() as usize;
         let dim = store.dim();
         let mut item_norm = Matrix::zeros(n_items, dim);
@@ -120,13 +163,13 @@ impl SisgModel {
                 .row_mut(i)
                 .copy_from_slice(store.output(TokenId(i as u32)));
         }
-        Self {
+        Ok(Self {
             variant,
             space,
             store,
             item_norm,
             item_out,
-        }
+        })
     }
 
     /// The trained variant.
@@ -263,7 +306,7 @@ mod tests {
     fn all_variants_train() {
         let c = corpus();
         for v in Variant::TABLE_III {
-            let (model, report) = SisgModel::train(&c, v, &small_sgns());
+            let (model, report) = SisgModel::train(&c, v, &small_sgns()).expect("train");
             assert!(report.stats.pairs > 0, "{v} trained no pairs");
             assert_eq!(model.variant(), v);
             let hits = model.similar_items(ItemId(0), 5);
@@ -275,7 +318,7 @@ mod tests {
     #[test]
     fn symmetric_variant_similarity_is_symmetric() {
         let c = corpus();
-        let (model, _) = SisgModel::train(&c, Variant::Sgns, &small_sgns());
+        let (model, _) = SisgModel::train(&c, Variant::Sgns, &small_sgns()).expect("train");
         let ab = model.similarity(ItemId(1), ItemId(2));
         let ba = model.similarity(ItemId(2), ItemId(1));
         assert!((ab - ba).abs() < 1e-5);
@@ -284,7 +327,7 @@ mod tests {
     #[test]
     fn directional_variant_similarity_is_asymmetric() {
         let c = corpus();
-        let (model, _) = SisgModel::train(&c, Variant::SisgFUD, &small_sgns());
+        let (model, _) = SisgModel::train(&c, Variant::SisgFUD, &small_sgns()).expect("train");
         // Across many pairs, forward and backward scores must differ.
         let mut diffs = 0;
         for a in 0..20u32 {
@@ -302,15 +345,15 @@ mod tests {
     #[test]
     fn enriched_variants_see_more_tokens() {
         let c = corpus();
-        let (_, plain) = SisgModel::train(&c, Variant::Sgns, &small_sgns());
-        let (_, full) = SisgModel::train(&c, Variant::SisgFU, &small_sgns());
+        let (_, plain) = SisgModel::train(&c, Variant::Sgns, &small_sgns()).expect("train");
+        let (_, full) = SisgModel::train(&c, Variant::SisgFU, &small_sgns()).expect("train");
         assert!(full.tokens > plain.tokens * 8, "SI must multiply tokens");
     }
 
     #[test]
     fn same_category_items_cluster() {
         let c = corpus();
-        let (model, _) = SisgModel::train(&c, Variant::SisgF, &small_sgns());
+        let (model, _) = SisgModel::train(&c, Variant::SisgF, &small_sgns()).expect("train");
         let mut within = 0.0f64;
         let mut cross = 0.0f64;
         let (mut wn, mut cn) = (0u32, 0u32);
@@ -332,7 +375,7 @@ mod tests {
     #[test]
     fn vector_retrieval_matches_item_retrieval_for_item_vector() {
         let c = corpus();
-        let (model, _) = SisgModel::train(&c, Variant::Sgns, &small_sgns());
+        let (model, _) = SisgModel::train(&c, Variant::Sgns, &small_sgns()).expect("train");
         let q = model.token_input(TokenId(3)).to_vec();
         let by_vec = model.similar_items_to_vector(&q, 6);
         // The item itself must rank first when not excluded.

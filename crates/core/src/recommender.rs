@@ -6,6 +6,7 @@
 //! cold-item candidates (Eq. 6), and cold-user candidates (Figure 4).
 
 use crate::cold_start;
+use crate::error::CoreError;
 use crate::model::{SisgModel, SisgTrainReport};
 use crate::variants::Variant;
 use sisg_corpus::schema::ItemFeature;
@@ -30,15 +31,20 @@ pub struct Recommender {
 }
 
 impl Recommender {
-    /// Trains `variant` on `corpus` and wraps the result.
-    pub fn train(corpus: &GeneratedCorpus, variant: Variant, sgns: &SgnsConfig) -> Self {
-        let (model, report) = SisgModel::train(corpus, variant, sgns);
-        Self {
+    /// Trains `variant` on `corpus` and wraps the result. Fails on
+    /// degenerate hyper-parameters.
+    pub fn train(
+        corpus: &GeneratedCorpus,
+        variant: Variant,
+        sgns: &SgnsConfig,
+    ) -> Result<Self, CoreError> {
+        let (model, report) = SisgModel::train(corpus, variant, sgns)?;
+        Ok(Self {
             model,
             catalog: corpus.catalog.clone(),
             users: corpus.users.clone(),
             report,
-        }
+        })
     }
 
     /// The underlying model.
@@ -63,39 +69,48 @@ impl Recommender {
             .collect()
     }
 
-    /// Candidates for a brand-new item known only by its SI values.
+    /// Candidates for a brand-new item known only by its SI values. Fails
+    /// on an SI value outside the trained feature cardinality.
     pub fn recommend_for_cold_item(
         &self,
         si_values: &[u32; ItemFeature::COUNT],
         k: usize,
-    ) -> Vec<Recommendation> {
-        cold_start::cold_item_recommendations(&self.model, si_values, k)
-            .into_iter()
-            .map(|n| Recommendation {
-                item: ItemId(n.token.0),
-                score: n.score,
-            })
-            .collect()
+    ) -> Result<Vec<Recommendation>, CoreError> {
+        Ok(
+            cold_start::cold_item_recommendations(&self.model, si_values, k)?
+                .into_iter()
+                .map(|n| Recommendation {
+                    item: ItemId(n.token.0),
+                    score: n.score,
+                })
+                .collect(),
+        )
     }
 
     /// Candidates for a user with no history, from demographics alone.
-    /// Returns `None` when no realized user type matches.
+    /// Fails with [`CoreError::NoMatchingUserType`] when no realized user
+    /// type matches.
     pub fn recommend_for_cold_user(
         &self,
         gender: Option<u8>,
         age: Option<u8>,
         purchase: Option<u8>,
         k: usize,
-    ) -> Option<Vec<Recommendation>> {
-        cold_start::cold_user_recommendations(&self.model, &self.users, gender, age, purchase, k)
-            .map(|hits| {
-                hits.into_iter()
-                    .map(|n| Recommendation {
-                        item: ItemId(n.token.0),
-                        score: n.score,
-                    })
-                    .collect()
-            })
+    ) -> Result<Vec<Recommendation>, CoreError> {
+        Ok(cold_start::cold_user_recommendations(
+            &self.model,
+            &self.users,
+            gender,
+            age,
+            purchase,
+            k,
+        )?
+        .into_iter()
+        .map(|n| Recommendation {
+            item: ItemId(n.token.0),
+            score: n.score,
+        })
+        .collect())
     }
 
     /// The item catalog the recommender serves.
@@ -123,7 +138,7 @@ mod tests {
             epochs: 1,
             ..Default::default()
         };
-        Recommender::train(&corpus, Variant::SisgFUD, &cfg)
+        Recommender::train(&corpus, Variant::SisgFUD, &cfg).expect("train")
     }
 
     #[test]
@@ -142,7 +157,7 @@ mod tests {
         let r = recommender();
         let recs = r
             .recommend_for_cold_user(Some(0), Some(1), None, 5)
-            .unwrap();
+            .expect("matching user type");
         assert_eq!(recs.len(), 5);
     }
 
@@ -150,7 +165,7 @@ mod tests {
     fn cold_item_path_works_end_to_end() {
         let r = recommender();
         let si = *r.catalog().si_values(ItemId(2));
-        let recs = r.recommend_for_cold_item(&si, 5);
+        let recs = r.recommend_for_cold_item(&si, 5).expect("valid SI");
         assert_eq!(recs.len(), 5);
     }
 }

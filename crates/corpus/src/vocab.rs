@@ -107,6 +107,33 @@ impl TokenSpace {
         TokenId(self.si_offsets[slot] + value)
     }
 
+    /// Non-panicking [`Self::item`]: `None` when `item` is out of range.
+    #[inline]
+    pub fn try_item(&self, item: ItemId) -> Option<TokenId> {
+        (item.0 < self.n_items).then_some(TokenId(item.0))
+    }
+
+    /// Non-panicking [`Self::side_info`]: `None` when `value` exceeds the
+    /// feature's cardinality. The serving path uses this so a malformed
+    /// request becomes a typed error instead of an out-of-bounds panic.
+    #[inline]
+    pub fn try_side_info(&self, feature: ItemFeature, value: u32) -> Option<TokenId> {
+        let slot = feature.slot();
+        (value < self.si_cards[slot]).then(|| TokenId(self.si_offsets[slot] + value))
+    }
+
+    /// Non-panicking [`Self::user_type`]: `None` when `ut` is out of range.
+    #[inline]
+    pub fn try_user_type(&self, ut: UserTypeId) -> Option<TokenId> {
+        (ut.0 < self.n_user_types).then(|| TokenId(self.user_type_offset + ut.0))
+    }
+
+    /// Number of realized values of one SI feature in this layout.
+    #[inline]
+    pub fn si_cardinality(&self, feature: ItemFeature) -> u32 {
+        self.si_cards[feature.slot()]
+    }
+
     /// Token id of a user type.
     #[inline]
     pub fn user_type(&self, ut: UserTypeId) -> TokenId {

@@ -83,6 +83,25 @@ pub const SERVING_COLD_USER_TOTAL: &str = "serving.cold_user_requests_total";
 /// Histogram: end-to-end `candidates()` latency in microseconds.
 pub const SERVING_RECOMMEND_US: &str = "serving.recommend.us";
 
+/// Requests accepted by the sharded serve engine (all kinds).
+pub const SERVE_REQUESTS_TOTAL: &str = "serve.requests_total";
+/// Engine requests answered from a shard's precomputed warm list.
+pub const SERVE_WARM_HITS_TOTAL: &str = "serve.warm_hits_total";
+/// Engine requests that took the Eq. (6) cold-item path.
+pub const SERVE_COLD_ITEM_TOTAL: &str = "serve.cold_item_requests_total";
+/// Engine cold-user (demographic fallback) requests.
+pub const SERVE_COLD_USER_TOTAL: &str = "serve.cold_user_requests_total";
+/// Cold-path answers served from the admission-gated cache.
+pub const SERVE_CACHE_HITS_TOTAL: &str = "serve.cache_hits_total";
+/// Cold-path answers that had to be computed (cache miss or not admitted).
+pub const SERVE_CACHE_MISSES_TOTAL: &str = "serve.cache_misses_total";
+/// Requests shed by a full shard queue (typed `ServeError::Overloaded`).
+pub const SERVE_OVERLOADED_TOTAL: &str = "serve.overloaded_total";
+/// Snapshot hot-swaps installed by the engine.
+pub const SERVE_SWAPS_TOTAL: &str = "serve.swaps_total";
+/// Histogram: in-worker request service time in microseconds.
+pub const SERVE_REQUEST_US: &str = "serve.request.us";
+
 /// Histogram: ANN index `search()` latency in microseconds.
 pub const ANN_SEARCH_US: &str = "ann.search.us";
 /// Histogram: HNSW nodes visited per search (hops).
@@ -131,6 +150,15 @@ pub const ALL: &[&str] = &[
     SERVING_COLD_ITEM_TOTAL,
     SERVING_COLD_USER_TOTAL,
     SERVING_RECOMMEND_US,
+    SERVE_REQUESTS_TOTAL,
+    SERVE_WARM_HITS_TOTAL,
+    SERVE_COLD_ITEM_TOTAL,
+    SERVE_COLD_USER_TOTAL,
+    SERVE_CACHE_HITS_TOTAL,
+    SERVE_CACHE_MISSES_TOTAL,
+    SERVE_OVERLOADED_TOTAL,
+    SERVE_SWAPS_TOTAL,
+    SERVE_REQUEST_US,
     ANN_SEARCH_US,
     ANN_HNSW_HOPS,
     ANN_RECALL_PROBES_TOTAL,

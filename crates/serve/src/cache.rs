@@ -1,0 +1,205 @@
+//! The admission-gated cold-path cache.
+//!
+//! Cold-item (Eq. 6) and cold-user answers cost a full dot-product scan of
+//! the item matrix; repeated cold requests — a newly launched item going
+//! viral, a common demographic bucket — recompute the same scan. Each
+//! worker owns one of these caches (worker-local, so the hot path takes no
+//! locks), keyed by the full request identity and cleared on snapshot
+//! hot-swap so a stale model can never answer.
+//!
+//! Admission is gated by sighting count: a key must be requested
+//! `admit_after` times before its answer is stored, which keeps one-off
+//! long-tail requests from churning out the keys that actually repeat
+//! (the same reason TinyLFU-style admission beats plain LRU on scan-heavy
+//! traffic).
+
+use sisg_core::Recommendation;
+use sisg_corpus::schema::ItemFeature;
+use std::collections::{HashMap, VecDeque};
+
+/// The full identity of a cold-path answer. The cold-item key includes the
+/// *item id*, not just its SI: the serving path filters the queried item
+/// out of its own candidates, so two items with identical SI get
+/// different lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// An Eq. (6) cold-item inference.
+    ColdItem {
+        /// The queried (cold) item.
+        item: u32,
+        /// Its SI values.
+        si_values: [u32; ItemFeature::COUNT],
+        /// Candidates requested.
+        k: usize,
+    },
+    /// A cold-user type-average inference.
+    ColdUser {
+        /// Gender bucket.
+        gender: Option<u8>,
+        /// Age bucket.
+        age: Option<u8>,
+        /// Purchase-power bucket.
+        purchase: Option<u8>,
+        /// Candidates requested.
+        k: usize,
+    },
+}
+
+/// One worker's cold-path cache. FIFO eviction; sighting counts gate
+/// admission.
+#[derive(Debug)]
+pub struct AdmissionCache {
+    capacity: usize,
+    admit_after: u32,
+    seen: HashMap<CacheKey, u32>,
+    entries: HashMap<CacheKey, Vec<Recommendation>>,
+    order: VecDeque<CacheKey>,
+}
+
+impl AdmissionCache {
+    /// A cache holding at most `capacity` answers (`0` disables storage
+    /// entirely), admitting keys after `admit_after` sightings.
+    pub fn new(capacity: usize, admit_after: u32) -> Self {
+        Self {
+            capacity,
+            admit_after: admit_after.max(1),
+            seen: HashMap::new(),
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Records a sighting of `key` and returns the cached answer if one is
+    /// stored.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<&Vec<Recommendation>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let count = self.seen.entry(*key).or_insert(0);
+        *count = count.saturating_add(1);
+        self.entries.get(key)
+    }
+
+    /// Offers a freshly computed answer for `key`; stored only once the
+    /// key has passed the admission gate. Call after a [`Self::lookup`]
+    /// miss (the lookup records the sighting).
+    pub fn admit(&mut self, key: CacheKey, value: Vec<Recommendation>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let sightings = self.seen.get(&key).copied().unwrap_or(0);
+        if sightings < self.admit_after || self.entries.contains_key(&key) {
+            // Bound the sighting book too: it must not grow without limit
+            // under an adversarial stream of unique keys.
+            if self.seen.len() > self.capacity.saturating_mul(8).max(1024) {
+                self.seen.retain(|k, _| self.entries.contains_key(k));
+            }
+            return;
+        }
+        if self.order.len() >= self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.entries.remove(&evicted);
+                self.seen.remove(&evicted);
+            }
+        }
+        self.order.push_back(key);
+        self.entries.insert(key, value);
+    }
+
+    /// Drops every entry and sighting — called on snapshot hot-swap so no
+    /// answer from a retired model survives.
+    pub fn clear(&mut self) {
+        self.seen.clear();
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// Stored answers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no answers are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::ItemId;
+
+    fn key(item: u32) -> CacheKey {
+        CacheKey::ColdItem {
+            item,
+            si_values: [0; ItemFeature::COUNT],
+            k: 5,
+        }
+    }
+
+    fn answer(item: u32) -> Vec<Recommendation> {
+        vec![Recommendation {
+            item: ItemId(item),
+            score: 1.0,
+        }]
+    }
+
+    #[test]
+    fn admission_gate_requires_repeat_sightings() {
+        let mut cache = AdmissionCache::new(8, 2);
+        assert!(cache.lookup(&key(1)).is_none());
+        cache.admit(key(1), answer(1));
+        assert!(cache.is_empty(), "first sighting must not be admitted");
+        assert!(cache.lookup(&key(1)).is_none());
+        cache.admit(key(1), answer(1));
+        assert_eq!(cache.len(), 1, "second sighting passes the gate");
+        assert_eq!(cache.lookup(&key(1)), Some(&answer(1)));
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let mut cache = AdmissionCache::new(2, 1);
+        for i in 0..3 {
+            let _ = cache.lookup(&key(i));
+            cache.admit(key(i), answer(i));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&key(0)).is_none(), "oldest entry evicted");
+        assert!(cache.lookup(&key(2)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = AdmissionCache::new(0, 1);
+        let _ = cache.lookup(&key(1));
+        cache.admit(key(1), answer(1));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key(1)).is_none());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut cache = AdmissionCache::new(4, 1);
+        let _ = cache.lookup(&key(1));
+        cache.admit(key(1), answer(1));
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key(1)).is_none(), "sightings cleared too");
+    }
+
+    #[test]
+    fn sighting_book_stays_bounded_under_unique_keys() {
+        let mut cache = AdmissionCache::new(4, 2);
+        for i in 0..100_000u32 {
+            let _ = cache.lookup(&key(i));
+            cache.admit(key(i), answer(i));
+        }
+        assert!(
+            cache.seen.len() <= 4 * 8 + 1024 + 1,
+            "sighting book grew to {}",
+            cache.seen.len()
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Engine configuration, built through a validating builder so a zero
+//! shard count or zero-capacity queue is a typed build-time error, never a
+//! mid-request assertion.
+
+use sisg_core::CoreError;
+
+/// Tuning knobs of the sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeEngineConfig {
+    /// Worker threads; candidate lists are item-sharded across them.
+    /// Must be at least 1.
+    pub n_shards: usize,
+    /// Per-shard bounded queue depth. A full queue sheds further requests
+    /// with [`ServeError::Overloaded`](crate::ServeError::Overloaded)
+    /// instead of blocking. Must be at least 1.
+    pub queue_capacity: usize,
+    /// Cold-path cache entries per shard; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Times a cold key must be seen before its answer is admitted to the
+    /// cache (an admission gate keeps one-off requests from churning the
+    /// cache). Must be at least 1; `1` admits on first sight.
+    pub cache_admit_after: u32,
+}
+
+impl Default for ServeEngineConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: 8,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            cache_admit_after: 2,
+        }
+    }
+}
+
+impl ServeEngineConfig {
+    /// Starts a validated builder with the default configuration.
+    pub fn builder() -> ServeEngineConfigBuilder {
+        ServeEngineConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Validates the configuration. [`ServeEngine::start`] re-checks, so a
+    /// hand-rolled struct literal cannot bypass the builder's guarantees.
+    ///
+    /// [`ServeEngine::start`]: crate::ServeEngine::start
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.n_shards == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "n_shards",
+                reason: "must be at least 1",
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "queue_capacity",
+                reason: "must be at least 1",
+            });
+        }
+        if self.cache_admit_after == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "cache_admit_after",
+                reason: "must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServeEngineConfig`].
+#[derive(Debug, Clone)]
+pub struct ServeEngineConfigBuilder {
+    config: ServeEngineConfig,
+}
+
+impl ServeEngineConfigBuilder {
+    /// Worker threads (item shards).
+    pub fn n_shards(mut self, n: usize) -> Self {
+        self.config.n_shards = n;
+        self
+    }
+
+    /// Per-shard bounded queue depth.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.config.queue_capacity = cap;
+        self
+    }
+
+    /// Cold-path cache entries per shard (`0` disables caching).
+    pub fn cache_capacity(mut self, cap: usize) -> Self {
+        self.config.cache_capacity = cap;
+        self
+    }
+
+    /// Cold-key sightings required before admission to the cache.
+    pub fn cache_admit_after(mut self, n: u32) -> Self {
+        self.config.cache_admit_after = n;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ServeEngineConfig, CoreError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        for (build, field) in [
+            (ServeEngineConfig::builder().n_shards(0).build(), "n_shards"),
+            (
+                ServeEngineConfig::builder().queue_capacity(0).build(),
+                "queue_capacity",
+            ),
+            (
+                ServeEngineConfig::builder().cache_admit_after(0).build(),
+                "cache_admit_after",
+            ),
+        ] {
+            match build {
+                Err(CoreError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn builder_accepts_and_applies_overrides() {
+        let cfg = ServeEngineConfig::builder()
+            .n_shards(4)
+            .queue_capacity(16)
+            .cache_capacity(0)
+            .cache_admit_after(3)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.n_shards, 4);
+        assert_eq!(cfg.queue_capacity, 16);
+        assert_eq!(cfg.cache_capacity, 0);
+        assert_eq!(cfg.cache_admit_after, 3);
+    }
+}

@@ -1,0 +1,407 @@
+//! The sharded worker-pool engine.
+//!
+//! [`ServeEngine::start`] reshards a built
+//! [`MatchingService`](sisg_core::MatchingService) across worker threads,
+//! each owning one item shard, a bounded request queue, and a worker-local
+//! admission-gated cold-path cache. Requests route deterministically —
+//! candidate lookups by `item % n_shards`, cold-user queries by a
+//! demographic hash — so a repeating cold key always lands on the shard
+//! that cached it.
+//!
+//! # Backpressure
+//!
+//! Queues are bounded and submission never blocks: a full shard sheds the
+//! request with [`ServeError::Overloaded`] immediately, which is the only
+//! sane contract for an online matcher (a blocked caller would stack up
+//! latency exactly when the system is least able to absorb it).
+//!
+//! # Hot swap
+//!
+//! [`ServeEngine::swap`] installs a new snapshot under a write lock and
+//! bumps the epoch inside the same critical section, so workers always
+//! observe a coherent `(epoch, snapshot)` pair. Workers poll the epoch
+//! with one relaxed-cost atomic load per request and re-clone the `Arc`
+//! only when it moves; requests already in flight finish on the old
+//! snapshot (its `Arc` keeps it alive) and nothing is dropped.
+
+use crate::api::{ServeError, ServeRequest, ServeResponse};
+use crate::cache::AdmissionCache;
+use crate::config::ServeEngineConfig;
+use crate::metrics::{serve_metrics, ServeMetrics};
+use crate::snapshot::ServingSnapshot;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use sisg_core::MatchingService;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::thread::JoinHandle;
+
+/// State shared between the engine handle and every worker.
+struct EngineShared {
+    /// The current snapshot. Written only by [`ServeEngine::swap`], which
+    /// also bumps `epoch` inside the write critical section — readers
+    /// that take the read lock therefore always see a coherent pair.
+    snapshot: RwLock<Arc<ServingSnapshot>>,
+    epoch: AtomicU64,
+}
+
+/// Takes the read lock, recovering from a poisoned writer (the data is a
+/// plain `Arc` swap, always internally consistent).
+fn read_snapshot(lock: &RwLock<Arc<ServingSnapshot>>) -> RwLockReadGuard<'_, Arc<ServingSnapshot>> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_snapshot(
+    lock: &RwLock<Arc<ServingSnapshot>>,
+) -> RwLockWriteGuard<'_, Arc<ServingSnapshot>> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One unit of work on a shard queue.
+enum Task {
+    /// Answer a request and reply on the enclosed channel.
+    Serve {
+        req: ServeRequest,
+        reply: Sender<Result<ServeResponse, ServeError>>,
+    },
+    /// Park until the paired [`ShardHold`] is dropped (test hook for
+    /// deterministic backpressure).
+    Hold { gate: Receiver<()> },
+}
+
+/// A handle that keeps one worker parked; dropping it releases the worker.
+/// Produced by [`ServeEngine::hold_shard`] so tests can fill a queue
+/// deterministically instead of racing a flood of requests.
+pub struct ShardHold {
+    /// Dropping the sender disconnects the worker's `gate.recv()`.
+    _gate: Sender<()>,
+}
+
+impl std::fmt::Debug for ShardHold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHold").finish_non_exhaustive()
+    }
+}
+
+/// An in-flight request submitted with [`ServeEngine::submit`].
+pub struct PendingResponse {
+    reply: Receiver<Result<ServeResponse, ServeError>>,
+}
+
+impl std::fmt::Debug for PendingResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingResponse").finish_non_exhaustive()
+    }
+}
+
+impl PendingResponse {
+    /// Blocks until the worker answers. Returns
+    /// [`ServeError::Disconnected`] if the engine shut down first.
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        match self.reply.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::Disconnected),
+        }
+    }
+}
+
+/// Registry-backed engine counters, as deltas since [`ServeEngine::start`].
+///
+/// The obs registry is the single source of truth; this snapshot is a
+/// convenience read of it. Deltas are per-process, so two engines running
+/// in one process see each other's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests that reached a worker (sheds are counted in
+    /// `overloaded`, not here).
+    pub requests: u64,
+    /// Warm artifact lookups.
+    pub warm_hits: u64,
+    /// Cold-item (Eq. 6) requests.
+    pub cold_item_requests: u64,
+    /// Cold-user requests.
+    pub cold_user_requests: u64,
+    /// Cold-path answers served from the admission cache.
+    pub cache_hits: u64,
+    /// Cold-path answers that had to be computed.
+    pub cache_misses: u64,
+    /// Requests shed because the target shard's queue was full.
+    pub overloaded: u64,
+    /// Snapshot hot-swaps installed.
+    pub swaps: u64,
+}
+
+impl EngineStats {
+    fn now(m: &ServeMetrics) -> Self {
+        Self {
+            requests: m.requests.get(),
+            warm_hits: m.warm_hits.get(),
+            cold_item_requests: m.cold_items.get(),
+            cold_user_requests: m.cold_users.get(),
+            cache_hits: m.cache_hits.get(),
+            cache_misses: m.cache_misses.get(),
+            overloaded: m.overloaded.get(),
+            swaps: m.swaps.get(),
+        }
+    }
+
+    fn since(self, baseline: Self) -> Self {
+        Self {
+            requests: self.requests.saturating_sub(baseline.requests),
+            warm_hits: self.warm_hits.saturating_sub(baseline.warm_hits),
+            cold_item_requests: self
+                .cold_item_requests
+                .saturating_sub(baseline.cold_item_requests),
+            cold_user_requests: self
+                .cold_user_requests
+                .saturating_sub(baseline.cold_user_requests),
+            cache_hits: self.cache_hits.saturating_sub(baseline.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(baseline.cache_misses),
+            overloaded: self.overloaded.saturating_sub(baseline.overloaded),
+            swaps: self.swaps.saturating_sub(baseline.swaps),
+        }
+    }
+}
+
+/// The sharded, hot-swappable online matching engine.
+pub struct ServeEngine {
+    config: ServeEngineConfig,
+    shared: Arc<EngineShared>,
+    senders: Vec<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    baseline: EngineStats,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("config", &self.config)
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeEngine {
+    /// Reshards `service` across `config.n_shards` workers and starts the
+    /// pool. Fails on an invalid config or if the OS refuses a thread.
+    pub fn start(service: MatchingService, config: ServeEngineConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let metrics = serve_metrics();
+        let baseline = EngineStats::now(metrics);
+        let snapshot = Arc::new(ServingSnapshot::from_service(service, config.n_shards));
+        let shared = Arc::new(EngineShared {
+            snapshot: RwLock::new(Arc::clone(&snapshot)),
+            epoch: AtomicU64::new(0),
+        });
+        let mut senders = Vec::with_capacity(config.n_shards);
+        let mut workers = Vec::with_capacity(config.n_shards);
+        for shard in 0..config.n_shards {
+            let (tx, rx) = bounded::<Task>(config.queue_capacity);
+            let worker_shared = Arc::clone(&shared);
+            let worker_snapshot = Arc::clone(&snapshot);
+            let cache = AdmissionCache::new(config.cache_capacity, config.cache_admit_after);
+            let spawned = std::thread::Builder::new()
+                .name(format!("sisg-serve-{shard}"))
+                .spawn(move || worker_loop(shard, rx, worker_shared, worker_snapshot, cache));
+            match spawned {
+                Ok(handle) => {
+                    senders.push(tx);
+                    workers.push(handle);
+                }
+                Err(_) => {
+                    drop(tx);
+                    drop(senders);
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(ServeError::Spawn);
+                }
+            }
+        }
+        Ok(Self {
+            config,
+            shared,
+            senders,
+            workers,
+            baseline,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ServeEngineConfig {
+        &self.config
+    }
+
+    /// The current snapshot epoch (0 at start, +1 per [`Self::swap`]).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current snapshot (an `Arc` clone; in-flight swaps don't affect
+    /// it). Exposed for parity checks and warm-list introspection.
+    pub fn snapshot(&self) -> Arc<ServingSnapshot> {
+        Arc::clone(&read_snapshot(&self.shared.snapshot))
+    }
+
+    /// Engine counters as deltas since this engine started (read from the
+    /// obs registry — see [`EngineStats`] for the multi-engine caveat).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats::now(serve_metrics()).since(self.baseline)
+    }
+
+    /// The shard a request routes to.
+    pub fn shard_for(&self, req: &ServeRequest) -> usize {
+        match *req {
+            ServeRequest::Candidates { item, .. } => item.index() % self.config.n_shards,
+            ServeRequest::ColdUser {
+                gender,
+                age,
+                purchase,
+                ..
+            } => {
+                // FNV-1a over the demographic bytes: deterministic across
+                // runs (unlike `DefaultHasher`), so a repeating cold-user
+                // key always lands on the shard holding its cache entry.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for byte in [
+                    gender.map_or(0xff, |g| g),
+                    age.map_or(0xff, |a| a),
+                    purchase.map_or(0xff, |p| p),
+                    gender.is_some() as u8
+                        | (age.is_some() as u8) << 1
+                        | (purchase.is_some() as u8) << 2,
+                ] {
+                    h ^= u64::from(byte);
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                (h % self.config.n_shards as u64) as usize
+            }
+        }
+    }
+
+    /// Submits a request without waiting for the answer. Returns
+    /// immediately with [`ServeError::Overloaded`] when the target shard's
+    /// queue is full — never blocks.
+    pub fn submit(&self, req: ServeRequest) -> Result<PendingResponse, ServeError> {
+        let shard = self.shard_for(&req);
+        let (reply_tx, reply_rx) = bounded(1);
+        let task = Task::Serve {
+            req,
+            reply: reply_tx,
+        };
+        match self.senders[shard].try_send(task) {
+            Ok(()) => Ok(PendingResponse { reply: reply_rx }),
+            Err(TrySendError::Full(_)) => {
+                serve_metrics().overloaded.inc();
+                Err(ServeError::Overloaded { shard })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Disconnected),
+        }
+    }
+
+    /// Submits a request and blocks for the answer.
+    pub fn serve(&self, req: ServeRequest) -> Result<ServeResponse, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Submits a batch, then collects every answer. Requests are pipelined
+    /// per shard, so a batch overlaps queueing with computation; each slot
+    /// fails independently (a shed request is `Overloaded`, the rest
+    /// proceed).
+    pub fn serve_batch(
+        &self,
+        reqs: impl IntoIterator<Item = ServeRequest>,
+    ) -> Vec<Result<ServeResponse, ServeError>> {
+        let pending: Vec<Result<PendingResponse, ServeError>> =
+            reqs.into_iter().map(|r| self.submit(r)).collect();
+        pending
+            .into_iter()
+            .map(|p| p.and_then(PendingResponse::wait))
+            .collect()
+    }
+
+    /// Atomically installs a new snapshot built from `service` and returns
+    /// the new epoch. In-flight requests finish on the old snapshot;
+    /// workers pick up the new one (and drop their cold caches) on their
+    /// next request.
+    pub fn swap(&self, service: MatchingService) -> u64 {
+        let next = Arc::new(ServingSnapshot::from_service(service, self.config.n_shards));
+        let mut guard = write_snapshot(&self.shared.snapshot);
+        *guard = next;
+        // The bump must happen inside the write critical section: readers
+        // holding the read lock then see epoch and snapshot move together.
+        let epoch = self.shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        drop(guard);
+        serve_metrics().swaps.inc();
+        epoch
+    }
+
+    /// Parks `shard`'s worker until the returned guard is dropped (test
+    /// hook: lets a test fill the shard's bounded queue deterministically).
+    pub fn hold_shard(&self, shard: usize) -> Result<ShardHold, ServeError> {
+        let sender = self.senders.get(shard).ok_or(ServeError::Rejected(
+            sisg_core::CoreError::InvalidConfig {
+                field: "shard",
+                reason: "out of range for this engine",
+            },
+        ))?;
+        let (gate_tx, gate_rx) = bounded(1);
+        match sender.try_send(Task::Hold { gate: gate_rx }) {
+            Ok(()) => Ok(ShardHold { _gate: gate_tx }),
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded { shard }),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Disconnected),
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // Disconnect every queue, then join: workers drain what was
+        // already accepted (no dropped in-flight work) and exit on the
+        // hung-up channel.
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: drains its shard queue, tracking the shared epoch with a
+/// single atomic load per request and re-reading the snapshot under the
+/// read lock only when the epoch moves.
+fn worker_loop(
+    shard: usize,
+    rx: Receiver<Task>,
+    shared: Arc<EngineShared>,
+    mut snapshot: Arc<ServingSnapshot>,
+    mut cache: AdmissionCache,
+) {
+    let metrics = serve_metrics();
+    let mut epoch = shared.epoch.load(Ordering::Acquire);
+    while let Ok(task) = rx.recv() {
+        match task {
+            Task::Hold { gate } => {
+                // Parked until the ShardHold drops its sender (recv then
+                // returns Err) or sends an explicit release.
+                let _ = gate.recv();
+            }
+            Task::Serve { req, reply } => {
+                let current = shared.epoch.load(Ordering::Acquire);
+                if current != epoch {
+                    let guard = read_snapshot(&shared.snapshot);
+                    // Epoch and snapshot are written under the same write
+                    // lock, so this pair is coherent.
+                    epoch = shared.epoch.load(Ordering::Acquire);
+                    snapshot = Arc::clone(&guard);
+                    drop(guard);
+                    cache.clear();
+                }
+                let result = snapshot.serve(&req, shard, epoch, &mut cache, metrics);
+                // The caller may have abandoned its PendingResponse; a
+                // dead reply channel is not an engine error.
+                let _ = reply.try_send(result);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Sharded, multi-threaded online matching engine for SISG.
+//!
+//! The paper serves the matching stage from precomputed top-K candidate
+//! lists with two online cold-start fallbacks (Section IV-C). This crate
+//! is that serving tier as a redesigned, panic-free API:
+//!
+//! - **Typed surface** — [`ServeRequest`] in, [`ServeResponse`] or
+//!   [`ServeError`] out. Every fallible path returns `Result`; no panic is
+//!   reachable from the public API (enforced by `cargo xtask lint`).
+//! - **Item-sharded worker pool** — [`ServeEngine::start`] reshards a
+//!   built [`MatchingService`](sisg_core::MatchingService) across worker
+//!   threads over bounded queues; a saturated shard sheds load with
+//!   [`ServeError::Overloaded`] instead of blocking.
+//! - **Admission-gated cold cache** — repeated cold-item (Eq. 6) and
+//!   cold-user inferences are cached per worker behind a sighting-count
+//!   admission gate, bit-identical to the uncached computation.
+//! - **Epoch-pointer hot swap** — [`ServeEngine::swap`] installs a fresh
+//!   snapshot with zero dropped in-flight requests; responses carry the
+//!   epoch that answered them.
+//!
+//! Request accounting flows through the `serve.*` metrics in the obs
+//! registry (single source of truth); [`ServeEngine::stats`] reads deltas
+//! from it.
+//!
+//! ```
+//! use sisg_serve::{ServeEngine, ServeEngineConfig, ServeRequest};
+//! use sisg_core::{MatchingService, ServingConfig, SisgModel, Variant};
+//! use sisg_corpus::{CorpusConfig, GeneratedCorpus, ItemId};
+//! use sisg_sgns::SgnsConfig;
+//!
+//! let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+//! let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &SgnsConfig {
+//!     dim: 8, epochs: 1, ..Default::default()
+//! })?;
+//! let mut clicks = vec![0u64; corpus.config.n_items as usize];
+//! for s in corpus.sessions.iter() {
+//!     for it in s.items {
+//!         clicks[it.index()] += 1;
+//!     }
+//! }
+//! let service = MatchingService::build(
+//!     model, corpus.users.clone(), &clicks, ServingConfig::default(),
+//! )?;
+//! let engine = ServeEngine::start(service, ServeEngineConfig::builder().n_shards(2).build()?)?;
+//! let item = ItemId(0);
+//! let resp = engine.serve(ServeRequest::Candidates {
+//!     item,
+//!     si_values: *corpus.catalog.si_values(item),
+//!     k: 10,
+//! })?;
+//! assert_eq!(resp.epoch, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod config;
+pub mod engine;
+mod metrics;
+pub mod snapshot;
+
+pub use api::{ServeError, ServeRequest, ServeResponse};
+pub use cache::{AdmissionCache, CacheKey};
+pub use config::{ServeEngineConfig, ServeEngineConfigBuilder};
+pub use engine::{EngineStats, PendingResponse, ServeEngine, ShardHold};
+pub use snapshot::ServingSnapshot;

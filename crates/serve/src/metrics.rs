@@ -1,0 +1,37 @@
+//! Cached obs-registry handles for the engine's `serve.*` metrics.
+//!
+//! The registry is the single source of truth for request accounting;
+//! [`EngineStats`](crate::EngineStats) reads deltas from these counters
+//! rather than keeping a second set of atomics.
+
+use sisg_obs::{names, registry, Counter, Histogram};
+use std::sync::OnceLock;
+
+/// `&'static` metric handles, fetched once per process so the request path
+/// pays only relaxed atomic increments.
+pub(crate) struct ServeMetrics {
+    pub(crate) requests: &'static Counter,
+    pub(crate) warm_hits: &'static Counter,
+    pub(crate) cold_items: &'static Counter,
+    pub(crate) cold_users: &'static Counter,
+    pub(crate) cache_hits: &'static Counter,
+    pub(crate) cache_misses: &'static Counter,
+    pub(crate) overloaded: &'static Counter,
+    pub(crate) swaps: &'static Counter,
+    pub(crate) request_us: &'static Histogram,
+}
+
+pub(crate) fn serve_metrics() -> &'static ServeMetrics {
+    static M: OnceLock<ServeMetrics> = OnceLock::new();
+    M.get_or_init(|| ServeMetrics {
+        requests: registry().counter(names::SERVE_REQUESTS_TOTAL),
+        warm_hits: registry().counter(names::SERVE_WARM_HITS_TOTAL),
+        cold_items: registry().counter(names::SERVE_COLD_ITEM_TOTAL),
+        cold_users: registry().counter(names::SERVE_COLD_USER_TOTAL),
+        cache_hits: registry().counter(names::SERVE_CACHE_HITS_TOTAL),
+        cache_misses: registry().counter(names::SERVE_CACHE_MISSES_TOTAL),
+        overloaded: registry().counter(names::SERVE_OVERLOADED_TOTAL),
+        swaps: registry().counter(names::SERVE_SWAPS_TOTAL),
+        request_us: registry().histogram(names::SERVE_REQUEST_US),
+    })
+}

@@ -1,0 +1,227 @@
+//! The immutable serving artifact, resharded for the worker pool.
+//!
+//! A [`ServingSnapshot`] is a [`MatchingService`] decomposed and
+//! re-laid-out by shard: item `i` belongs to shard `i % n_shards` at local
+//! index `i / n_shards`, so each worker answers warm lookups from its own
+//! contiguous slice of the artifact. The lists are moved out of the
+//! service verbatim — a snapshot answers bit-identically to the service it
+//! came from, by construction rather than by re-derivation.
+
+use crate::api::{ServeError, ServeRequest, ServeResponse};
+use crate::cache::{AdmissionCache, CacheKey};
+use crate::metrics::ServeMetrics;
+use sisg_core::cold_start;
+use sisg_core::serving::MatchingParts;
+use sisg_core::{MatchingService, Recommendation, SisgModel};
+use sisg_corpus::{ItemId, UserRegistry};
+use sisg_obs::Stopwatch;
+
+/// One immutable generation of the serving artifact, sharded by item.
+pub struct ServingSnapshot {
+    n_shards: usize,
+    /// `shards[s][local]` = top-K list of item `local * n_shards + s`;
+    /// empty for cold items.
+    shards: Vec<Vec<Vec<Recommendation>>>,
+    /// Cold flags, indexed by item.
+    cold: Vec<bool>,
+    model: SisgModel,
+    users: UserRegistry,
+}
+
+impl std::fmt::Debug for ServingSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingSnapshot")
+            .field("n_shards", &self.n_shards)
+            .field("n_items", &self.cold.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServingSnapshot {
+    /// Reshards a built [`MatchingService`] across `n_shards` workers.
+    /// `n_shards` must already be validated (the engine config builder
+    /// does); a zero value is lifted to 1 rather than dividing by zero.
+    pub fn from_service(service: MatchingService, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        let MatchingParts {
+            lists,
+            cold,
+            model,
+            users,
+            ..
+        } = service.into_parts();
+        let mut shards: Vec<Vec<Vec<Recommendation>>> = (0..n_shards)
+            .map(|s| Vec::with_capacity(lists.len() / n_shards + usize::from(s == 0)))
+            .collect();
+        for (i, list) in lists.into_iter().enumerate() {
+            shards[i % n_shards].push(list);
+        }
+        Self {
+            n_shards,
+            shards,
+            cold,
+            model,
+            users,
+        }
+    }
+
+    /// The shard an item belongs to.
+    #[inline]
+    pub fn shard_of_item(&self, item: ItemId) -> usize {
+        item.index() % self.n_shards
+    }
+
+    /// Worker shards in this layout.
+    #[inline]
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Items in the served catalog.
+    pub fn n_items(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// True when `item` is in range and served through the cold path.
+    pub fn is_cold(&self, item: ItemId) -> bool {
+        self.cold.get(item.index()).copied().unwrap_or(false)
+    }
+
+    /// The model this snapshot answers from.
+    pub fn model(&self) -> &SisgModel {
+        &self.model
+    }
+
+    /// The warm list of `item`; `None` for cold or unknown items.
+    pub fn warm_list(&self, item: ItemId) -> Option<&[Recommendation]> {
+        let idx = item.index();
+        if idx >= self.cold.len() || self.cold[idx] {
+            return None;
+        }
+        self.shards
+            .get(idx % self.n_shards)
+            .and_then(|shard| shard.get(idx / self.n_shards))
+            .map(Vec::as_slice)
+    }
+
+    /// Answers one request on the calling (worker) thread. `shard` and
+    /// `epoch` are stamped into the response; `cache` is the worker-local
+    /// cold-path cache.
+    pub(crate) fn serve(
+        &self,
+        req: &ServeRequest,
+        shard: usize,
+        epoch: u64,
+        cache: &mut AdmissionCache,
+        metrics: &ServeMetrics,
+    ) -> Result<ServeResponse, ServeError> {
+        let watch = Stopwatch::start();
+        metrics.requests.inc();
+        let respond = |recommendations, cache_hit| ServeResponse {
+            recommendations,
+            epoch,
+            shard,
+            cache_hit,
+        };
+        let out = match *req {
+            ServeRequest::Candidates { item, si_values, k } => {
+                if self.model.space().try_item(item).is_none() {
+                    return Err(ServeError::Rejected(sisg_core::CoreError::UnknownItem(
+                        item,
+                    )));
+                }
+                if let Some(list) = self.warm_list(item) {
+                    metrics.warm_hits.inc();
+                    respond(list[..k.min(list.len())].to_vec(), false)
+                } else {
+                    metrics.cold_items.inc();
+                    let key = CacheKey::ColdItem {
+                        item: item.0,
+                        si_values,
+                        k,
+                    };
+                    if let Some(hit) = cache.lookup(&key) {
+                        metrics.cache_hits.inc();
+                        respond(hit.clone(), true)
+                    } else {
+                        metrics.cache_misses.inc();
+                        let computed = self.cold_item_answer(item, &si_values, k)?;
+                        cache.admit(key, computed.clone());
+                        respond(computed, false)
+                    }
+                }
+            }
+            ServeRequest::ColdUser {
+                gender,
+                age,
+                purchase,
+                k,
+            } => {
+                metrics.cold_users.inc();
+                let key = CacheKey::ColdUser {
+                    gender,
+                    age,
+                    purchase,
+                    k,
+                };
+                if let Some(hit) = cache.lookup(&key) {
+                    metrics.cache_hits.inc();
+                    respond(hit.clone(), true)
+                } else {
+                    metrics.cache_misses.inc();
+                    let computed = self.cold_user_answer(gender, age, purchase, k)?;
+                    cache.admit(key, computed.clone());
+                    respond(computed, false)
+                }
+            }
+        };
+        metrics.request_us.record_duration(watch.elapsed());
+        Ok(out)
+    }
+
+    /// The Eq. (6) cold-item path, mirroring
+    /// [`MatchingService::candidates`] exactly: over-fetch by one, drop
+    /// the queried item, take `k`.
+    fn cold_item_answer(
+        &self,
+        item: ItemId,
+        si_values: &[u32; sisg_corpus::schema::ItemFeature::COUNT],
+        k: usize,
+    ) -> Result<Vec<Recommendation>, ServeError> {
+        Ok(
+            cold_start::cold_item_recommendations(&self.model, si_values, k + 1)?
+                .into_iter()
+                .map(|n| Recommendation {
+                    item: ItemId(n.token.0),
+                    score: n.score,
+                })
+                .filter(|r| r.item != item)
+                .take(k)
+                .collect(),
+        )
+    }
+
+    /// The cold-user path, mirroring [`MatchingService::cold_user_candidates`].
+    fn cold_user_answer(
+        &self,
+        gender: Option<u8>,
+        age: Option<u8>,
+        purchase: Option<u8>,
+        k: usize,
+    ) -> Result<Vec<Recommendation>, ServeError> {
+        Ok(cold_start::cold_user_recommendations(
+            &self.model,
+            &self.users,
+            gender,
+            age,
+            purchase,
+            k,
+        )?
+        .into_iter()
+        .map(|n| Recommendation {
+            item: ItemId(n.token.0),
+            score: n.score,
+        })
+        .collect())
+    }
+}

@@ -16,11 +16,12 @@
 //!    error by `-D warnings` in scripts/check.sh).
 //! 4. **The serving and fault-tolerance paths are panic-free**:
 //!    `.unwrap()` / `.expect(` are banned in non-test library code of
-//!    `crates/core` and `crates/ann` (the retrieval/serving crates) and in
-//!    the retry/recovery files (`crates/distributed/src/{protocol,fault,
-//!    recovery}.rs`, `crates/simtest/src/lib.rs`) — recoverable errors
-//!    must be propagated, not turned into aborts while answering queries
-//!    or while surviving the very faults the code exists to absorb.
+//!    `crates/core`, `crates/ann` and `crates/serve` (the
+//!    retrieval/serving crates) and in the retry/recovery files
+//!    (`crates/distributed/src/{protocol,fault,recovery}.rs`,
+//!    `crates/simtest/src/lib.rs`) — recoverable errors must be
+//!    propagated, not turned into aborts while answering queries or while
+//!    surviving the very faults the code exists to absorb.
 //! 5. **All timing flows through the observability layer**:
 //!    `Instant::now()` is banned in non-test code outside `crates/obs`
 //!    and `compat/` — use `sisg_obs::Stopwatch`/`span` so elapsed time
@@ -32,6 +33,12 @@
 //!    `axpy_slice`, `fused_grad_step`, …), which preserve the documented
 //!    summation order *and* the unrolled throughput. An element loop
 //!    would silently reintroduce the slow path.
+//! 7. **The serving crates are `assert!`-free**: `assert!` /
+//!    `assert_eq!` / `assert_ne!` are banned in non-test library code of
+//!    `crates/core` and `crates/serve` — one bad request must come back
+//!    as a typed `CoreError`/`ServeError`, never abort the process that
+//!    is serving everyone else. `debug_assert!` remains available for
+//!    debug-build invariants.
 //!
 //! `cargo run -p xtask -- validate-metrics <file>...` checks that emitted
 //! metrics files (`results/metrics/*.json`, `results/BENCH_obs.json`)
@@ -135,7 +142,14 @@ impl fmt::Display for Violation {
 }
 
 /// Crates whose non-test library code must be `unwrap()`/`expect()`-free.
-const PANIC_FREE_CRATES: &[&str] = &["crates/core", "crates/ann"];
+const PANIC_FREE_CRATES: &[&str] = &["crates/core", "crates/ann", "crates/serve"];
+
+/// Crates whose non-test library code must also be `assert!`-free
+/// (rule 7): these are the online serving crates, where a failed
+/// invariant must surface as a typed error on one request, not abort the
+/// process for every request. `debug_assert!` stays allowed — it
+/// vanishes in release builds.
+const ASSERT_FREE_CRATES: &[&str] = &["crates/core", "crates/serve"];
 
 /// Individual files under the same panic-free rule: the retry, recovery,
 /// and fault-simulation paths. A panic while absorbing a fault turns a
@@ -171,6 +185,7 @@ fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
             .to_string_lossy()
             .replace('\\', "/");
         let panic_free = PANIC_FREE_CRATES.contains(&rel_crate.as_str());
+        let assert_free = ASSERT_FREE_CRATES.contains(&rel_crate.as_str());
         let obs_timing = !instant_exempt(&rel_crate);
         let kernel_path = KERNEL_PATH_CRATES.contains(&rel_crate.as_str());
 
@@ -192,6 +207,7 @@ fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
                 &content,
                 all_test,
                 panic_free || PANIC_FREE_FILES.contains(&rel_str.as_str()),
+                assert_free,
                 obs_timing,
                 kernel_path,
             ));
@@ -274,12 +290,13 @@ fn check_missing_docs_attr(rel: &Path, content: &str) -> Option<Violation> {
     }
 }
 
-/// Rules 1, 2, 4, 5 and 6 over one file's source text.
+/// Rules 1, 2, 4, 5, 6 and 7 over one file's source text.
 fn scan_file(
     rel: &Path,
     content: &str,
     all_test: bool,
     panic_free: bool,
+    assert_free: bool,
     obs_timing: bool,
     kernel_path: bool,
 ) -> Vec<Violation> {
@@ -330,6 +347,24 @@ fn scan_file(
                     rule: "no-unwrap",
                     message: "`.unwrap()`/`.expect()` banned in panic-free library code (serving and fault-tolerance paths); propagate the error".into(),
                 });
+            }
+
+            // Rule 7: assert-free serving crates — a request-path
+            // invariant failure must be a typed error, not an abort.
+            if assert_free {
+                for banned in ["assert", "assert_eq", "assert_ne"] {
+                    if has_word(&code, banned) {
+                        violations.push(Violation {
+                            path: rel.to_path_buf(),
+                            line: line_no,
+                            rule: "no-assert",
+                            message: format!(
+                                "`{banned}!` banned in assert-free serving code; return a typed error (`debug_assert!` is allowed)"
+                            ),
+                        });
+                        break;
+                    }
+                }
             }
 
             // Rule 5: timing goes through sisg-obs so it is observable.
@@ -665,11 +700,23 @@ mod tests {
     use super::*;
 
     fn scan(content: &str, panic_free: bool) -> Vec<Violation> {
-        scan_file(Path::new("x.rs"), content, false, panic_free, true, false)
+        scan_file(
+            Path::new("x.rs"),
+            content,
+            false,
+            panic_free,
+            false,
+            true,
+            false,
+        )
+    }
+
+    fn scan_assert_free(content: &str) -> Vec<Violation> {
+        scan_file(Path::new("x.rs"), content, false, true, true, true, false)
     }
 
     fn scan_kernel(content: &str) -> Vec<Violation> {
-        scan_file(Path::new("x.rs"), content, false, false, true, true)
+        scan_file(Path::new("x.rs"), content, false, false, false, true, true)
     }
 
     #[test]
@@ -751,6 +798,33 @@ mod tests {
     }
 
     #[test]
+    fn asserts_in_assert_free_crate_are_flagged() {
+        for bad in [
+            "fn f(x: usize) { assert!(x > 0); }\n",
+            "fn f(x: usize) { assert_eq!(x, 1); }\n",
+            "fn f(x: usize) { assert_ne!(x, 0); }\n",
+        ] {
+            let v = scan_assert_free(bad);
+            assert_eq!(v.len(), 1, "missed: {bad}");
+            assert_eq!(v[0].rule, "no-assert");
+        }
+    }
+
+    #[test]
+    fn debug_assert_and_test_asserts_pass_the_assert_rule() {
+        // debug_assert! compiles out of release builds — allowed.
+        let ok = "fn f(x: usize) { debug_assert!(x > 0); }\n";
+        assert!(scan_assert_free(ok).is_empty());
+        // Test modules keep their asserts.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert_eq!(1, 1); }\n}\n";
+        assert!(scan_assert_free(test_src).is_empty());
+        // Crates outside the assert-free set are untouched.
+        let other = "fn f(x: usize) { assert!(x > 0); }\n";
+        assert!(scan(other, false).is_empty());
+    }
+
+    #[test]
     fn missing_docs_attr_detected() {
         assert!(check_missing_docs_attr(Path::new("x.rs"), "//! Docs.\nfn f() {}\n").is_some());
         assert!(check_missing_docs_attr(
@@ -776,6 +850,7 @@ mod tests {
             Path::new("crates/x/tests/t.rs"),
             src,
             true,
+            false,
             false,
             true,
             false,
@@ -821,7 +896,7 @@ mod tests {
     #[test]
     fn instant_now_in_exempt_crate_or_test_passes() {
         let src = "fn f() { let t = Instant::now(); }\n";
-        assert!(scan_file(Path::new("o.rs"), src, false, false, false, false).is_empty());
+        assert!(scan_file(Path::new("o.rs"), src, false, false, false, false, false).is_empty());
         let test_src = "#[cfg(test)]\nmod tests {\n fn f() { Instant::now(); }\n}\n";
         assert!(scan(test_src, false).is_empty());
         assert!(instant_exempt("crates/obs"));

@@ -44,7 +44,8 @@ fn main() {
         corpus.config.n_items,
         Variant::SisgFU,
         &sgns,
-    );
+    )
+    .expect("valid config");
 
     println!("\n== cold items: Eq. (6) inference ==");
     let mut coherent = 0usize;
@@ -56,7 +57,7 @@ fn main() {
             item.0,
             si[ItemFeature::LeafCategory.slot()]
         );
-        for n in cold_item_recommendations(&model, si, 5) {
+        for n in cold_item_recommendations(&model, si, 5).expect("catalog SI") {
             let neighbor = ItemId(n.token.0);
             println!(
                 "  -> item {:<5} leaf_category_{} (score {:.3})",
@@ -68,7 +69,7 @@ fn main() {
     }
     for &item in &launching {
         let si = corpus.catalog.si_values(item);
-        for n in cold_item_recommendations(&model, si, 10) {
+        for n in cold_item_recommendations(&model, si, 10).expect("catalog SI") {
             total += 1;
             if corpus.catalog.leaf_category(ItemId(n.token.0)) == corpus.catalog.leaf_category(item)
             {
@@ -89,11 +90,11 @@ fn main() {
         ("male, 61+", 1, 6),
     ] {
         match cold_user_recommendations(&model, &corpus.users, Some(gender), Some(age), None, 5) {
-            Some(recs) => {
+            Ok(recs) => {
                 let items: Vec<u32> = recs.iter().map(|n| n.token.0).collect();
                 println!("  {label:<16} -> items {items:?}");
             }
-            None => println!("  {label:<16} -> no realized user type matches"),
+            Err(e) => println!("  {label:<16} -> {e}"),
         }
     }
 }

@@ -60,7 +60,8 @@ fn main() {
     );
 
     // 3. Ship the vectors back through the word2vec text format.
-    let external = SisgModel::from_store(Variant::SisgFU, space.clone(), store);
+    let external = SisgModel::from_store(Variant::SisgFU, space.clone(), store)
+        .expect("store covers the token space");
     let mut input_file = Vec::new();
     let mut output_file = Vec::new();
     export_input(&external, &mut input_file).expect("export input vectors");

@@ -41,7 +41,8 @@ fn main() {
         corpus.config.n_items,
         Variant::SisgFUD,
         &sgns,
-    );
+    )
+    .expect("valid config");
     println!(
         "trained {} tokens in {:.1}s ({:.0} tokens/s)",
         report.tokens,
@@ -53,7 +54,8 @@ fn main() {
     let blob = codec::encode(model.store());
     println!("serialized embedding artifact: {} KB", blob.len() / 1_000);
     let reloaded = codec::decode(&blob).expect("artifact decodes");
-    let serving = SisgModel::from_store(Variant::SisgFUD, model.space().clone(), reloaded);
+    let serving = SisgModel::from_store(Variant::SisgFUD, model.space().clone(), reloaded)
+        .expect("artifact covers the token space");
 
     println!("\n== serving: SISG vs CF on held-out next clicks ==");
     let cf = CfModel::train(&split.train, corpus.config.n_items, &CfConfig::default());

@@ -31,7 +31,7 @@ fn main() {
         epochs: 2,
         ..Default::default()
     };
-    let rec = Recommender::train(&corpus, Variant::SisgFUD, &sgns);
+    let rec = Recommender::train(&corpus, Variant::SisgFUD, &sgns).expect("valid config");
     println!(
         "  trained on {} enriched tokens, {} positive pairs",
         rec.report().tokens,
@@ -52,15 +52,18 @@ fn main() {
     // 2. Cold item (Eq. 6): a brand-new item known only by its metadata.
     let si = *rec.catalog().si_values(ItemId(10));
     println!("\ncold-item candidates from SI alone (Eq. 6):");
-    for r in rec.recommend_for_cold_item(&si, 5) {
+    for r in rec.recommend_for_cold_item(&si, 5).expect("catalog SI") {
         println!("  item {:<6} score {:.4}", r.item.0, r.score);
     }
 
     // 3. Cold user (Figure 4): a new female user, age 19-25.
     println!("\ncold-user candidates for (female, 19-25):");
-    if let Some(recs) = rec.recommend_for_cold_user(Some(0), Some(1), None, 5) {
-        for r in recs {
-            println!("  item {:<6} score {:.4}", r.item.0, r.score);
+    match rec.recommend_for_cold_user(Some(0), Some(1), None, 5) {
+        Ok(recs) => {
+            for r in recs {
+                println!("  item {:<6} score {:.4}", r.item.0, r.score);
+            }
         }
+        Err(e) => println!("  no candidates: {e}"),
     }
 }

@@ -61,4 +61,13 @@ SISG_RESULTS=target/ci-results \
 cargo run -p xtask --quiet -- validate-metrics \
   target/ci-results/BENCH_perf.json
 
+step "serve smoke: seconds-scale perf_serve run + schema validation"
+# --smoke load-tests the sharded serve engine (warm/cold/cold-user mix,
+# cache, batching) against the sequential baseline on a small model and
+# writes a snapshot-shaped BENCH_serve.json; validate-metrics checks it.
+SISG_RESULTS=target/ci-results \
+  cargo run --release --quiet -p sisg-bench --bin perf_serve -- --smoke >/dev/null
+cargo run -p xtask --quiet -- validate-metrics \
+  target/ci-results/BENCH_serve.json
+
 printf '\ncheck.sh: all gates passed\n'

@@ -17,7 +17,8 @@
 //! use taobao_sisg::sgns::SgnsConfig;
 //!
 //! let corpus = GeneratedCorpus::generate(CorpusConfig::scaled(2_000, 42));
-//! let rec = Recommender::train(&corpus, Variant::SisgFUD, &SgnsConfig::default());
+//! let rec = Recommender::train(&corpus, Variant::SisgFUD, &SgnsConfig::default())
+//!     .expect("valid config");
 //! for r in rec.similar_items(taobao_sisg::corpus::ItemId(0), 10) {
 //!     println!("{:?} score {:.3}", r.item, r.score);
 //! }
@@ -33,4 +34,5 @@ pub use sisg_distributed as distributed;
 pub use sisg_eges as eges;
 pub use sisg_embedding as embedding;
 pub use sisg_eval as eval;
+pub use sisg_serve as serve;
 pub use sisg_sgns as sgns;

@@ -33,7 +33,8 @@ fn setup() -> (GeneratedCorpus, Vec<ItemId>, SisgModel) {
             epochs: 2,
             ..Default::default()
         },
-    );
+    )
+    .expect("train");
     (corpus, withheld, model)
 }
 
@@ -44,7 +45,8 @@ fn withheld_items_get_category_coherent_neighbors() {
     let mut coherent = 0usize;
     let mut total = 0usize;
     for &item in &withheld {
-        let recs = cold_item_recommendations(&model, corpus.catalog.si_values(item), k);
+        let recs =
+            cold_item_recommendations(&model, corpus.catalog.si_values(item), k).expect("valid SI");
         assert_eq!(recs.len(), k);
         assert!(
             recs.iter().all(|n| !withheld.contains(&ItemId(n.token.0))),
@@ -77,7 +79,8 @@ fn cold_item_beats_untrained_vector() {
         .iter()
         .filter(|n| corpus.catalog.leaf_category(ItemId(n.token.0)) == cat)
         .count();
-    let cold = cold_item_recommendations(&model, corpus.catalog.si_values(item), k);
+    let cold =
+        cold_item_recommendations(&model, corpus.catalog.si_values(item), k).expect("valid SI");
     let coherent_cold = cold
         .iter()
         .filter(|n| corpus.catalog.leaf_category(ItemId(n.token.0)) == cat)
@@ -102,15 +105,15 @@ fn cold_user_vectors_average_matching_types_only() {
         m.iter().map(|n| n.token).collect::<Vec<_>>(),
         "gender-conditioned recommendations must differ"
     );
-    // Impossible demographics yield None, not garbage.
-    assert!(cold_user_recommendations(&model, &corpus.users, Some(0), Some(99), None, 5).is_none());
+    // Impossible demographics yield a typed error, not garbage.
+    assert!(cold_user_recommendations(&model, &corpus.users, Some(0), Some(99), None, 5).is_err());
 }
 
 #[test]
 fn averaging_is_linear_in_inputs() {
     let (corpus, _, model) = setup();
     let types: Vec<UserTypeId> = (0..3).map(UserTypeId).collect();
-    let avg = average_user_types(&model, &types);
+    let avg = average_user_types(&model, &types).expect("known types");
     let mut manual = vec![0.0f32; model.store().dim()];
     for &ut in &types {
         let v = model.token_input(model.space().user_type(ut));

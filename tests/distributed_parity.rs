@@ -36,7 +36,8 @@ fn distributed_hit_rate_is_comparable_to_single_process() {
         corpus.config.n_items,
         Variant::Sgns,
         &sgns,
-    );
+    )
+    .expect("train");
 
     // Distributed run over the same (un-enriched) sequences.
     let enriched = EnrichedCorpus::build_from_sessions(
@@ -63,7 +64,8 @@ fn distributed_hit_rate_is_comparable_to_single_process() {
         corpus.catalog.cardinalities(),
         corpus.users.n_user_types(),
     );
-    let distributed = SisgModel::from_store(Variant::Sgns, space, store);
+    let distributed =
+        SisgModel::from_store(Variant::Sgns, space, store).expect("store covers space");
 
     let ks = [20usize];
     let hr_single = evaluate_hit_rates("single", &single, &split.eval, &ks).hr[0];

@@ -39,7 +39,8 @@ fn full_offline_protocol_runs_and_si_helps() {
             corpus.config.n_items,
             variant,
             &sgns(),
-        );
+        )
+        .expect("train");
         results.push(evaluate_hit_rates(variant.name(), &model, &split.eval, &ks));
     }
     let hr = |name: &str| {
@@ -69,7 +70,7 @@ fn every_retriever_family_answers_the_same_query() {
     let query = ItemId(1);
     let k = 10;
 
-    let (sisg, _) = SisgModel::train(&corpus, Variant::SisgF, &sgns());
+    let (sisg, _) = SisgModel::train(&corpus, Variant::SisgF, &sgns()).expect("train");
     let eges = EgesModel::train(
         &corpus,
         &EgesConfig {
@@ -113,10 +114,11 @@ fn every_retriever_family_answers_the_same_query() {
 fn recommender_round_trips_through_codec() {
     use taobao_sisg::embedding::codec;
     let corpus = corpus();
-    let rec = Recommender::train(&corpus, Variant::SisgFUD, &sgns());
+    let rec = Recommender::train(&corpus, Variant::SisgFUD, &sgns()).expect("train");
     let blob = codec::encode(rec.model().store());
     let store = codec::decode(&blob).expect("decode");
-    let served = SisgModel::from_store(Variant::SisgFUD, rec.model().space().clone(), store);
+    let served = SisgModel::from_store(Variant::SisgFUD, rec.model().space().clone(), store)
+        .expect("store covers space");
     for q in [ItemId(0), ItemId(5), ItemId(42)] {
         assert_eq!(
             rec.model().retrieve(q, 20),
@@ -137,7 +139,7 @@ fn directional_variant_encodes_click_order() {
         window: 1,
         ..sgns()
     };
-    let (model, _) = SisgModel::train(&corpus, Variant::SisgFUD, &cfg);
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFUD, &cfg).expect("train");
     // Count frequent forward transitions; the model should usually score
     // them above their reverses.
     let mut forward_wins = 0u32;
