@@ -47,6 +47,7 @@ use sisg_sgns::sigmoid::SigmoidTable;
 use sisg_sgns::{NoiseTable, PairSampler, SubsampleTable};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
 pub use crate::protocol::{TnsRequest, TnsResponse};
 
@@ -274,14 +275,23 @@ pub fn train_distributed_channels_with(
     report.publish_to_obs();
     sisg_obs::registry()
         .gauge(obs_names::DIST_CHANNEL_DEPTH_PEAK)
+        // ORDERING: Relaxed — all workers have joined; reading a stat
+        // counter after join needs no extra synchronization.
         .record_max(depth_peak.load(Ordering::Relaxed) as f64);
 
     (EmbeddingStore::from_matrices(input, output), report)
 }
 
+/// How long a worker parks on its own inbox when it has nothing else to
+/// do (peer queue full, or waiting out the termination barrier): long
+/// enough not to burn a core spinning, short enough to re-probe promptly.
+const PARK_WAIT: Duration = Duration::from_micros(200);
+
 /// Bumps the in-flight message count on a successful send and maintains
 /// the peak.
 fn track_send(in_flight: &AtomicI64, peak: &AtomicU64) {
+    // ORDERING: Relaxed — backpressure stats only; the channel itself
+    // synchronizes message payloads, these counters publish nothing.
     let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
     peak.fetch_max(depth.max(0) as u64, Ordering::Relaxed);
 }
@@ -327,6 +337,8 @@ impl Driver<'_> {
 
     /// Hands one received message to the machine and routes any reply.
     fn dispatch(&mut self, msg: Message) {
+        // ORDERING: Relaxed — depth stat only; `msg` itself was already
+        // synchronized by the channel receive.
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
         match self.machine.deliver(msg) {
             Delivered::Reply { to, response } => {
@@ -358,7 +370,14 @@ impl Driver<'_> {
                 Err(TrySendError::Full(msg)) => {
                     self.outbox.push_front((to, msg));
                     if !self.service_inbox() {
-                        std::thread::yield_now();
+                        // Nothing to serve: park on the own inbox instead
+                        // of spinning — either a message arrives (handle
+                        // it) or the timeout fires and the peer's queue
+                        // is probed again. Liveness is unchanged; an idle
+                        // wait no longer burns a core.
+                        if let Ok(msg) = self.rx.recv_timeout(PARK_WAIT) {
+                            self.dispatch(msg);
+                        }
                     }
                 }
                 // A peer already shut down (post-barrier); drop quietly.
@@ -414,12 +433,23 @@ impl Driver<'_> {
 
         // Service-while-waiting termination: answer requests until every
         // worker has finished scanning, then drain the inbox.
-        scanning_done.fetch_add(1, Ordering::SeqCst);
-        while scanning_done.load(Ordering::SeqCst) < w {
+        //
+        // ORDERING: Release on the increment / Acquire on the poll — each
+        // worker publishes everything it did before declaring itself done,
+        // and a worker that observes the full count sees all of it. A
+        // single counter polled for one threshold needs no SeqCst total
+        // order; the shard payloads additionally flow through the result
+        // mutex and `join`.
+        scanning_done.fetch_add(1, Ordering::Release);
+        while scanning_done.load(Ordering::Acquire) < w {
             let served = self.service_inbox();
             self.pump();
             if !served {
-                std::thread::yield_now();
+                // Park on the inbox rather than spin-yield; requests that
+                // arrive while waiting out the barrier still get served.
+                if let Ok(msg) = self.rx.recv_timeout(PARK_WAIT) {
+                    self.dispatch(msg);
+                }
             }
         }
         self.service_inbox();

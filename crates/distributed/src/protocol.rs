@@ -611,6 +611,9 @@ impl<'a> WorkerMachine<'a> {
     }
 
     fn next_lr(&self) -> f32 {
+        // ORDERING: Relaxed — shared progress counter for the lr schedule;
+        // slightly-stale reads only shift the decay by a step, and nothing
+        // is published through it.
         let done = self.env.progress.fetch_add(1, Ordering::Relaxed);
         let frac = (done as f64 / self.env.schedule_pairs.max(1) as f64).min(1.0);
         (self.env.config.learning_rate as f64 * (1.0 - frac))

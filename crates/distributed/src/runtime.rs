@@ -288,6 +288,8 @@ pub fn train_distributed_prepared(
         item_pairs: per_worker.iter().map(|c| c.item_pairs).sum(),
         remote_item_pairs: per_worker.iter().map(|c| c.remote_item_pairs).sum(),
         pair_comm_bytes: per_worker.iter().map(|c| c.comm_bytes).sum(),
+        // ORDERING: Relaxed — read after all worker threads joined; the join
+        // is the synchronization, these are plain stat cells.
         sync_comm_bytes: sync_bytes.load(Ordering::Relaxed),
         sync_rounds: sync_rounds.load(Ordering::Relaxed),
         tokens_processed: enriched.total_tokens() * config.epochs as u64,
@@ -416,6 +418,9 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
                     if !responsible {
                         continue;
                     }
+                    // ORDERING: Relaxed — a shared pair counter driving the lr decay;
+                    // workers tolerate slightly-stale progress and publish nothing
+                    // through it.
                     let done = progress.fetch_add(1, Ordering::Relaxed);
                     let frac = (done as f64 / schedule_pairs.max(1) as f64).min(1.0);
                     let lr = (config.learning_rate as f64 * (1.0 - frac))
@@ -473,6 +478,8 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerCounters {
                 let sync_span = sisg_obs::span(obs_names::DIST_SYNC_SPAN);
                 let bytes = replicas.synchronize(store, hot, config.sync_mode);
                 sync_span.finish();
+                // ORDERING: Relaxed — stat counters read only after join (or by the
+                // leader itself); the surrounding barrier orders the sync payload.
                 sync_bytes.fetch_add(bytes, Ordering::Relaxed);
                 sync_rounds.fetch_add(1, Ordering::Relaxed);
             }

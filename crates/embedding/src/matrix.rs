@@ -92,6 +92,9 @@ impl<'a> RowPtr<'a> {
     /// Panics when `d >= len()`.
     #[inline]
     pub fn get_elem(&self, d: usize) -> f32 {
+        // ORDERING: Relaxed — independent f32 bit-cells; Hogwild tolerates stale
+        // reads and lost updates, and no other memory is published through these
+        // atomics (DESIGN.md §4). Word-width atomicity alone rules out tearing.
         f32::from_bits(self.cells[d].load(Ordering::Relaxed))
     }
 
@@ -102,6 +105,7 @@ impl<'a> RowPtr<'a> {
     /// Panics when `d >= len()`.
     #[inline]
     pub fn set_elem(&self, d: usize, v: f32) {
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         self.cells[d].store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -122,6 +126,7 @@ impl<'a> RowPtr<'a> {
     #[inline]
     pub fn load_into(&self, dst: &mut [f32]) {
         assert_eq!(dst.len(), self.cells.len(), "length mismatch");
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for (out, cell) in dst.iter_mut().zip(self.cells) {
             *out = f32::from_bits(cell.load(Ordering::Relaxed));
         }
@@ -134,6 +139,7 @@ impl<'a> RowPtr<'a> {
     #[inline]
     pub fn store_from(&self, src: &[f32]) {
         assert_eq!(src.len(), self.cells.len(), "length mismatch");
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for (cell, &v) in self.cells.iter().zip(src) {
             cell.store(v.to_bits(), Ordering::Relaxed);
         }
@@ -156,6 +162,7 @@ impl<'a> RowPtr<'a> {
     pub fn dot(&self, other: &RowPtr<'_>) -> f32 {
         assert_eq!(self.len(), other.len(), "length mismatch");
         let mut acc = 0.0f32;
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for (a, b) in self.cells.iter().zip(other.cells) {
             acc += f32::from_bits(a.load(Ordering::Relaxed))
                 * f32::from_bits(b.load(Ordering::Relaxed));
@@ -184,6 +191,7 @@ impl<'a> RowPtr<'a> {
     pub fn dot_slice(&self, xs: &[f32]) -> f32 {
         assert_eq!(self.len(), xs.len(), "length mismatch");
         let mut acc = 0.0f32;
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for (cell, &x) in self.cells.iter().zip(xs) {
             acc += f32::from_bits(cell.load(Ordering::Relaxed)) * x;
         }
@@ -213,6 +221,7 @@ impl<'a> RowPtr<'a> {
         assert_eq!(self.len(), x.len(), "length mismatch");
         let mut cc = self.cells.chunks_exact(4);
         let mut xc = x.cells.chunks_exact(4);
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for (cells, xs) in (&mut cc).zip(&mut xc) {
             let v0 = f32::from_bits(cells[0].load(Ordering::Relaxed))
                 + a * f32::from_bits(xs[0].load(Ordering::Relaxed));
@@ -227,6 +236,7 @@ impl<'a> RowPtr<'a> {
             cells[2].store(v2.to_bits(), Ordering::Relaxed);
             cells[3].store(v3.to_bits(), Ordering::Relaxed);
         }
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for (cell, xcell) in cc.remainder().iter().zip(xc.remainder()) {
             let v = f32::from_bits(cell.load(Ordering::Relaxed))
                 + a * f32::from_bits(xcell.load(Ordering::Relaxed));
@@ -253,6 +263,7 @@ impl<'a> RowPtr<'a> {
         assert_eq!(self.len(), xs.len(), "length mismatch");
         let mut cc = self.cells.chunks_exact(4);
         let mut xc = xs.chunks_exact(4);
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for (cells, x) in (&mut cc).zip(&mut xc) {
             let v0 = f32::from_bits(cells[0].load(Ordering::Relaxed)) + a * x[0];
             let v1 = f32::from_bits(cells[1].load(Ordering::Relaxed)) + a * x[1];
@@ -263,6 +274,7 @@ impl<'a> RowPtr<'a> {
             cells[2].store(v2.to_bits(), Ordering::Relaxed);
             cells[3].store(v3.to_bits(), Ordering::Relaxed);
         }
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for (cell, &x) in cc.remainder().iter().zip(xc.remainder()) {
             let v = f32::from_bits(cell.load(Ordering::Relaxed)) + a * x;
             cell.store(v.to_bits(), Ordering::Relaxed);
@@ -290,12 +302,14 @@ impl<'a> RowPtr<'a> {
         assert_eq!(self.len(), dst.len(), "length mismatch");
         let mut dc = dst.chunks_exact_mut(4);
         let mut cc = self.cells.chunks_exact(4);
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for (slots, cells) in (&mut dc).zip(&mut cc) {
             slots[0] += a * f32::from_bits(cells[0].load(Ordering::Relaxed));
             slots[1] += a * f32::from_bits(cells[1].load(Ordering::Relaxed));
             slots[2] += a * f32::from_bits(cells[2].load(Ordering::Relaxed));
             slots[3] += a * f32::from_bits(cells[3].load(Ordering::Relaxed));
         }
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for (slot, cell) in dc.into_remainder().iter_mut().zip(cc.remainder()) {
             *slot += a * f32::from_bits(cell.load(Ordering::Relaxed));
         }
@@ -318,6 +332,7 @@ impl<'a> RowPtr<'a> {
         let mut cc = self.cells.chunks_exact(4);
         let mut vc = v.chunks_exact(4);
         let mut gc = grad.chunks_exact_mut(4);
+        // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
         for ((cells, vs), gs) in (&mut cc).zip(&mut vc).zip(&mut gc) {
             let o0 = f32::from_bits(cells[0].load(Ordering::Relaxed));
             let o1 = f32::from_bits(cells[1].load(Ordering::Relaxed));
@@ -338,6 +353,7 @@ impl<'a> RowPtr<'a> {
             .zip(vc.remainder())
             .zip(gc.into_remainder())
         {
+            // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
             let old = f32::from_bits(cell.load(Ordering::Relaxed));
             *slot += g * old;
             cell.store((old + g * x).to_bits(), Ordering::Relaxed);
@@ -374,6 +390,7 @@ pub fn dot_slice_x4(rows: [RowPtr<'_>; 4], xs: &[f32]) -> [f32; 4] {
         .zip(r2.cells)
         .zip(r3.cells)
         .zip(xs);
+    // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
     for ((((c0, c1), c2), c3), &x) in it {
         a0 += f32::from_bits(c0.load(Ordering::Relaxed)) * x;
         a1 += f32::from_bits(c1.load(Ordering::Relaxed)) * x;
@@ -519,6 +536,7 @@ impl Matrix {
     pub fn into_data(self) -> Vec<f32> {
         self.data
             .iter()
+            // ORDERING: Relaxed — same Hogwild bit-cell argument as above.
             .map(|cell| f32::from_bits(cell.load(Ordering::Relaxed)))
             .collect()
     }

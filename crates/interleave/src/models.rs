@@ -1,0 +1,273 @@
+//! Models of the concrete concurrent protocols this workspace ships, each as
+//! a correct variant and (where a historical bug class exists) a deliberately
+//! broken variant the checker must catch.
+//!
+//! The models are deliberately tiny — a handful of scheduler steps per thread
+//! — so the full schedule tree stays exhaustively enumerable, while still
+//! exercising the exact step ordering the production code relies on:
+//!
+//! * [`hot_swap`] — the serve engine's epoch-pointer snapshot swap
+//!   (`crates/serve/src/engine.rs`): the epoch bump must happen *inside* the
+//!   write lock or a reader can pair a stale epoch with a fresh answer.
+//! * [`cache_swap_clear`] — the admission-cache table swap: a reader that
+//!   reloads the table after a version bump must also refresh its cached
+//!   answer, or it serves a stale value under the new version.
+//! * [`rowptr_no_tear_atomic`] / [`rowptr_no_tear_split`] — RowPtr's packed
+//!   word: a single word-width atomic cannot tear, while publishing the same
+//!   payload as two independent halves demonstrably can.
+//! * [`deadlock_demo`] — two locks acquired in opposite orders, proving the
+//!   explorer's deadlock detection fires.
+
+use crate::{explore, Body, Checker, ModelAtomicU64, ModelCell, ModelRwLock, ObsLog, Report};
+
+/// Epoch-pointer hot swap, as in the serve engine: a writer installs two
+/// successive snapshot generations (answer = generation × 100) under a write
+/// lock and bumps the epoch counter; a reader probes the epoch and, when it
+/// moved, re-reads epoch + answer under the read lock.
+///
+/// Invariant: every (epoch, answer) pair a reader serves satisfies
+/// `answer == epoch * 100` (the initial pair is (0, 0)).
+///
+/// With `bump_after_unlock = false` the epoch bump happens inside the write
+/// lock — the protocol the production engine uses — and no interleaving can
+/// produce a torn pair. With `bump_after_unlock = true` the bump moves after
+/// the unlock, and the checker finds schedules where a reader pairs epoch 1
+/// with the generation-2 answer.
+pub fn hot_swap(bump_after_unlock: bool) -> Report {
+    explore(move |alloc| {
+        let lock = ModelRwLock::new(alloc);
+        let epoch = ModelAtomicU64::new(0);
+        let answer = ModelCell::new(0u64);
+        let obs: ObsLog<(u64, u64)> = ObsLog::new();
+
+        let writer: Body = {
+            let (lock, epoch, answer) = (lock.clone(), epoch.clone(), answer.clone());
+            Box::new(move |ctx| {
+                for generation in 1..=2u64 {
+                    let w = lock.write(ctx)?;
+                    answer.set(ctx, generation * 100)?;
+                    if !bump_after_unlock {
+                        epoch.store(ctx, generation)?;
+                    }
+                    drop(w);
+                    if bump_after_unlock {
+                        epoch.store(ctx, generation)?;
+                    }
+                }
+                Ok(())
+            })
+        };
+
+        let reader: Body = {
+            let obs = obs.clone();
+            Box::new(move |ctx| {
+                let mut served = (0u64, 0u64);
+                let probe = epoch.load(ctx)?;
+                if probe != served.0 {
+                    let r = lock.read(ctx)?;
+                    let e = epoch.load(ctx)?;
+                    let v = answer.get(ctx)?;
+                    drop(r);
+                    served = (e, v);
+                }
+                obs.push(served);
+                Ok(())
+            })
+        };
+
+        let checker: Checker = Box::new(move || {
+            for (e, v) in obs.take() {
+                if v != e * 100 {
+                    return Err(format!("torn epoch/answer pair: epoch {e} with answer {v}"));
+                }
+            }
+            Ok(())
+        });
+        (vec![writer, reader], checker)
+    })
+}
+
+/// Admission-cache swap-clear: a writer swaps the backing table (value = 100)
+/// and bumps its version inside a write lock; a reader serves twice from a
+/// thread-local cache of (version, answer), reloading the table under the
+/// read lock whenever its cached version is stale.
+///
+/// Invariant: every served (version, answer) pair satisfies
+/// `answer == version * 100`.
+///
+/// With `skip_clear = false` the reload refreshes the cached answer along
+/// with the version — no interleaving serves stale data. With
+/// `skip_clear = true` the reload updates the version but forgets to refresh
+/// the answer (the swap-without-clear bug class), and the checker finds
+/// schedules serving the old answer under the new version.
+pub fn cache_swap_clear(skip_clear: bool) -> Report {
+    explore(move |alloc| {
+        let lock = ModelRwLock::new(alloc);
+        let version = ModelAtomicU64::new(0);
+        let table = ModelCell::new(0u64);
+        let obs: ObsLog<(u64, u64)> = ObsLog::new();
+
+        let writer: Body = {
+            let (lock, version, table) = (lock.clone(), version.clone(), table.clone());
+            Box::new(move |ctx| {
+                let w = lock.write(ctx)?;
+                table.set(ctx, 100)?;
+                version.store(ctx, 1)?;
+                drop(w);
+                Ok(())
+            })
+        };
+
+        let reader: Body = {
+            let obs = obs.clone();
+            Box::new(move |ctx| {
+                let mut cache = (0u64, 0u64);
+                for _serve in 0..2 {
+                    let probe = version.load(ctx)?;
+                    if probe != cache.0 {
+                        let r = lock.read(ctx)?;
+                        let val = table.get(ctx)?;
+                        let ver = version.load(ctx)?;
+                        drop(r);
+                        cache.0 = ver;
+                        if !skip_clear {
+                            cache.1 = val;
+                        }
+                    }
+                    obs.push(cache);
+                }
+                Ok(())
+            })
+        };
+
+        let checker: Checker = Box::new(move || {
+            for (ver, ans) in obs.take() {
+                if ans != ver * 100 {
+                    return Err(format!(
+                        "stale cache read: version {ver} served answer {ans}"
+                    ));
+                }
+            }
+            Ok(())
+        });
+        (vec![writer, reader], checker)
+    })
+}
+
+/// RowPtr no-tearing, word-width variant: two writers publish complete packed
+/// words (`0x1111`, `0x2222`) with single atomic stores while a reader loads
+/// the word twice. Every observed value must be one of the three complete
+/// words — with one step per store there is no interleaving that can tear.
+///
+/// Steps are 1 + 1 + 2 across the three threads, so the schedule tree has
+/// exactly 4!/(1!·1!·2!) = 12 executions; the test pins that closed form,
+/// which doubles as a correctness check on the explorer's enumeration.
+pub fn rowptr_no_tear_atomic() -> Report {
+    explore(|_alloc| {
+        let word = ModelAtomicU64::new(0);
+        let obs: ObsLog<u64> = ObsLog::new();
+
+        let writer_a: Body = {
+            let word = word.clone();
+            Box::new(move |ctx| word.store(ctx, 0x1111))
+        };
+        let writer_b: Body = {
+            let word = word.clone();
+            Box::new(move |ctx| word.store(ctx, 0x2222))
+        };
+        let reader: Body = {
+            let obs = obs.clone();
+            Box::new(move |ctx| {
+                for _ in 0..2 {
+                    let v = word.load(ctx)?;
+                    obs.push(v);
+                }
+                Ok(())
+            })
+        };
+
+        let checker: Checker = Box::new(move || {
+            for v in obs.take() {
+                if v != 0 && v != 0x1111 && v != 0x2222 {
+                    return Err(format!("torn word: {v:#x}"));
+                }
+            }
+            Ok(())
+        });
+        (vec![writer_a, writer_b, reader], checker)
+    })
+}
+
+/// RowPtr no-tearing, broken split-halves variant: the same payloads
+/// published as two independent halves (writer A stores lo=1 then hi=1,
+/// writer B lo=2 then hi=2) while a reader composes (lo, hi) twice.
+///
+/// Invariant: a composed pair must have matching halves. Splitting the word
+/// makes torn pairs like (1, 2) reachable, which is exactly why RowPtr packs
+/// its bits into one word-width atomic.
+///
+/// Steps are 2 + 2 + 4, so the tree has 8!/(2!·2!·4!) = 420 executions; the
+/// test pins that closed form too.
+pub fn rowptr_no_tear_split() -> Report {
+    explore(|_alloc| {
+        let lo = ModelAtomicU64::new(0);
+        let hi = ModelAtomicU64::new(0);
+        let obs: ObsLog<(u64, u64)> = ObsLog::new();
+
+        let mk_writer = |lo: ModelAtomicU64, hi: ModelAtomicU64, val: u64| -> Body {
+            Box::new(move |ctx| {
+                lo.store(ctx, val)?;
+                hi.store(ctx, val)?;
+                Ok(())
+            })
+        };
+        let writer_a = mk_writer(lo.clone(), hi.clone(), 1);
+        let writer_b = mk_writer(lo.clone(), hi.clone(), 2);
+        let reader: Body = {
+            let obs = obs.clone();
+            Box::new(move |ctx| {
+                for _ in 0..2 {
+                    let l = lo.load(ctx)?;
+                    let h = hi.load(ctx)?;
+                    obs.push((l, h));
+                }
+                Ok(())
+            })
+        };
+
+        let checker: Checker = Box::new(move || {
+            for (l, h) in obs.take() {
+                if l != h {
+                    return Err(format!("torn composite: lo {l} / hi {h}"));
+                }
+            }
+            Ok(())
+        });
+        (vec![writer_a, writer_b, reader], checker)
+    })
+}
+
+/// Classic lock-order-inversion deadlock: two threads take the same two
+/// write locks in opposite orders. The explorer must find the schedules where
+/// each thread holds one lock and waits forever on the other, and report them
+/// as deadlocks without hanging or panicking.
+pub fn deadlock_demo() -> Report {
+    explore(|alloc| {
+        let l1 = ModelRwLock::new(alloc);
+        let l2 = ModelRwLock::new(alloc);
+
+        let mk = |first: ModelRwLock, second: ModelRwLock| -> Body {
+            Box::new(move |ctx| {
+                let a = first.write(ctx)?;
+                let b = second.write(ctx)?;
+                drop(b);
+                drop(a);
+                Ok(())
+            })
+        };
+        let t1 = mk(l1.clone(), l2.clone());
+        let t2 = mk(l2, l1);
+        let checker: Checker = Box::new(|| Ok(()));
+        (vec![t1, t2], checker)
+    })
+}

@@ -37,6 +37,9 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         #[cfg(feature = "enabled")]
+        // ORDERING: Relaxed — metric cells are independent monotone stats; readers
+        // tolerate slightly-stale values and no other memory is published through
+        // them, so no acquire/release pairing is needed anywhere in this module.
         self.cell.fetch_add(n, Ordering::Relaxed);
         #[cfg(not(feature = "enabled"))]
         let _ = n;
@@ -51,12 +54,14 @@ impl Counter {
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
         self.cell.load(Ordering::Relaxed)
     }
 
     /// Zeroes the counter. Test / bench-harness aid; production code never
     /// resets.
     pub fn reset(&self) {
+        // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
         self.cell.store(0, Ordering::Relaxed);
     }
 }
@@ -90,6 +95,7 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: f64) {
         #[cfg(feature = "enabled")]
+        // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
         self.bits.store(v.to_bits(), Ordering::Relaxed);
         #[cfg(not(feature = "enabled"))]
         let _ = v;
@@ -103,6 +109,9 @@ impl Gauge {
             if v.is_nan() {
                 return;
             }
+            // ORDERING: Relaxed — the CAS loop only needs atomicity of the max cell
+            // itself (same independent-stat argument as Counter::add); failure and
+            // success orderings can both stay Relaxed.
             let mut cur = self.bits.load(Ordering::Relaxed);
             loop {
                 if f64::from_bits(cur) >= v {
@@ -126,11 +135,13 @@ impl Gauge {
     /// Current value (0.0 until first `set`).
     #[inline]
     pub fn get(&self) -> f64 {
+        // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 
     /// Zeroes the gauge. Test / bench-harness aid.
     pub fn reset(&self) {
+        // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
         self.bits.store(0, Ordering::Relaxed);
     }
 }
@@ -230,6 +241,9 @@ impl Histogram {
     pub fn record(&self, v: u64) {
         #[cfg(feature = "enabled")]
         {
+            // ORDERING: Relaxed — bucket/count/sum/max are each independently atomic;
+            // a snapshot may observe a count without its sum (documented slack for
+            // in-flight observations), so no release pairing is required.
             self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
             self.count.fetch_add(1, Ordering::Relaxed);
             self.sum.fetch_add(v, Ordering::Relaxed);
@@ -249,18 +263,21 @@ impl Histogram {
     /// Number of recorded observations.
     #[inline]
     pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of recorded values (wraps only past `u64::MAX` total).
     #[inline]
     pub fn sum(&self) -> u64 {
+        // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Largest recorded value (exact, not bucketed).
     #[inline]
     pub fn max(&self) -> u64 {
+        // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
         self.max.load(Ordering::Relaxed)
     }
 
@@ -271,6 +288,7 @@ impl Histogram {
         let mut counts = [0u64; HISTOGRAM_BUCKETS];
         let mut total = 0u64;
         for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
             *slot = bucket.load(Ordering::Relaxed);
             total += *slot;
         }
@@ -292,12 +310,14 @@ impl Histogram {
     pub fn bucket_count(&self, idx: usize) -> u64 {
         self.buckets
             .get(idx)
+            // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
             .map(|b| b.load(Ordering::Relaxed))
             .unwrap_or(0)
     }
 
     /// Zeroes all state. Test / bench-harness aid.
     pub fn reset(&self) {
+        // ORDERING: Relaxed — same independent-stat-cell argument as Counter::add.
         for b in self.buckets.iter() {
             b.store(0, Ordering::Relaxed);
         }

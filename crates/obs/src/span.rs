@@ -109,6 +109,9 @@ fn record_span(name: &'static str, elapsed: Duration) {
         crate::registry()
             .histogram(&format!("{name}.us"))
             .record_duration(elapsed);
+        // ORDERING: Relaxed — SINK_ACTIVE is only a fast-path hint; the sink
+        // itself is read under the SINK mutex, whose lock/unlock provides all
+        // the synchronization the writer handoff needs.
         if SINK_ACTIVE.load(Ordering::Relaxed) {
             let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
             let mut guard = lock(&SINK);
@@ -138,12 +141,16 @@ pub fn set_span_sink(path: &Path) -> std::io::Result<()> {
     }
     let file = File::create(path)?;
     *lock(&SINK) = Some(BufWriter::new(file));
+    // ORDERING: Relaxed — the flag is advisory (see record_span); the sink
+    // installation above is published by the SINK mutex, not this store.
     SINK_ACTIVE.store(true, Ordering::Relaxed);
     Ok(())
 }
 
 /// Removes the span sink (flushing it) — spans keep feeding histograms.
 pub fn clear_span_sink() {
+    // ORDERING: Relaxed — advisory flag; the mutex-guarded take() below is
+    // what actually retires the writer.
     SINK_ACTIVE.store(false, Ordering::Relaxed);
     if let Some(mut w) = lock(&SINK).take() {
         let _ = w.flush();

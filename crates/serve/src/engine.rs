@@ -235,6 +235,8 @@ impl ServeEngine {
 
     /// The current snapshot epoch (0 at start, +1 per [`Self::swap`]).
     pub fn epoch(&self) -> u64 {
+        // ORDERING: Acquire — pairs with the AcqRel bump in `swap` so a
+        // caller that observes epoch N also observes snapshot N's contents.
         self.shared.epoch.load(Ordering::Acquire)
     }
 
@@ -331,6 +333,9 @@ impl ServeEngine {
         *guard = next;
         // The bump must happen inside the write critical section: readers
         // holding the read lock then see epoch and snapshot move together.
+        // ORDERING: AcqRel — the release half publishes the new snapshot to
+        // Acquire loads of the epoch; the acquire half keeps the bump from
+        // floating above the `*guard = next` store in this section.
         let epoch = self.shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         drop(guard);
         serve_metrics().swaps.inc();
@@ -378,6 +383,7 @@ fn worker_loop(
     mut cache: AdmissionCache,
 ) {
     let metrics = serve_metrics();
+    // ORDERING: Acquire — pairs with `swap`'s AcqRel bump; see `epoch()`.
     let mut epoch = shared.epoch.load(Ordering::Acquire);
     while let Ok(task) = rx.recv() {
         match task {
@@ -387,11 +393,16 @@ fn worker_loop(
                 let _ = gate.recv();
             }
             Task::Serve { req, reply } => {
+                // ORDERING: Acquire — the cheap per-request staleness probe; pairs
+                // with `swap`'s AcqRel bump.
                 let current = shared.epoch.load(Ordering::Acquire);
                 if current != epoch {
                     let guard = read_snapshot(&shared.snapshot);
                     // Epoch and snapshot are written under the same write
                     // lock, so this pair is coherent.
+                    // ORDERING: Acquire — re-read under the read lock; the lock makes
+                    // the epoch/snapshot pair coherent, Acquire keeps this load from
+                    // reordering above the lock acquisition.
                     epoch = shared.epoch.load(Ordering::Acquire);
                     snapshot = Arc::clone(&guard);
                     drop(guard);

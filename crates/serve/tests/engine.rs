@@ -175,6 +175,10 @@ fn hot_swap_drops_no_requests_and_post_swap_answers_match_a_fresh_build() {
         .expect("valid config");
     let engine = ServeEngine::start(service_a, config).expect("engine starts");
 
+    // ORDERING: Relaxed everywhere below — stop/served/torn/failed are
+    // plain test counters with no payload behind them; the scoped-thread
+    // join orders the final reads, and the engine under test does its
+    // own synchronization.
     let stop = AtomicBool::new(false);
     let served = AtomicU64::new(0);
     let torn = AtomicU64::new(0);
@@ -182,6 +186,7 @@ fn hot_swap_drops_no_requests_and_post_swap_answers_match_a_fresh_build() {
     std::thread::scope(|scope| {
         for _ in 0..2 {
             scope.spawn(|| {
+                // ORDERING: Relaxed — see the counter note above.
                 while !stop.load(Ordering::Relaxed) {
                     for (idx, &item) in items.iter().enumerate() {
                         match engine.serve(candidates_request(&corpus, item, k)) {
@@ -197,11 +202,13 @@ fn hot_swap_drops_no_requests_and_post_swap_answers_match_a_fresh_build() {
                                         continue;
                                     }
                                 };
+                                // ORDERING: Relaxed — counter note above.
                                 if &resp.recommendations != expected {
                                     torn.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                             Err(_) => {
+                                // ORDERING: Relaxed — counter note above.
                                 failed.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -211,17 +218,21 @@ fn hot_swap_drops_no_requests_and_post_swap_answers_match_a_fresh_build() {
         }
         // Let the clients build up steady-state traffic, then swap
         // mid-flight.
+        // ORDERING: Relaxed — monotone progress probe; see the counter note.
         while served.load(Ordering::Relaxed) < 200 {
             std::thread::yield_now();
         }
         let epoch = engine.swap(service_b);
         assert_eq!(epoch, 1);
+        // ORDERING: Relaxed — same monotone progress probe.
         while served.load(Ordering::Relaxed) < 400 {
             std::thread::yield_now();
         }
+        // ORDERING: Relaxed — see the counter note above.
         stop.store(true, Ordering::Relaxed);
     });
 
+    // ORDERING: Relaxed — reads after scope join; see the counter note.
     assert_eq!(
         failed.load(Ordering::Relaxed),
         0,

@@ -316,6 +316,8 @@ fn run_chunk<S, F>(
     for i in range {
         let seq = seqs.sequence(i);
         ctx.subsample.filter_into(seq, rng, &mut buf.filtered);
+        // ORDERING: Relaxed — shared token counter for the lr decay; Hogwild
+        // workers tolerate stale progress and publish nothing through it.
         let done = progress.fetch_add(seq.len() as u64, Ordering::Relaxed);
         stats.raw_tokens += seq.len() as u64;
         stats.tokens += buf.filtered.len() as u64;

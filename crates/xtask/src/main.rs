@@ -1,71 +1,51 @@
 //! Workspace automation tasks (the cargo-xtask pattern).
 //!
 //! `cargo run -p xtask -- lint` runs the repo's static-analysis rules —
-//! textual invariants that `rustc`/`clippy` cannot express — as hard
-//! errors:
+//! invariants that `rustc`/`clippy` cannot express — as hard errors. The
+//! rules pattern-match the token stream of a small hand-rolled Rust lexer
+//! ([`lexer`]), so keywords inside string literals and comments neither
+//! trip nor mask a rule. `cargo run -p xtask -- lint --list` prints the
+//! rule table (the same markdown table embedded in DESIGN.md §7 — a test
+//! keeps them identical); see [`rules::RULES`] for ids, scopes and the
+//! enforced invariants, from `safety-comment` (rule 1) through the
+//! concurrency-discipline rules `ordering-justified`,
+//! `guard-across-channel` and `no-sleep` (rules 8–10).
 //!
-//! 1. **`unsafe` needs a justification**: every line containing the
-//!    `unsafe` keyword must carry a `// SAFETY:` comment on the same line
-//!    or within the preceding lines (an `/// # Safety` doc section also
-//!    counts, for `unsafe fn` declarations).
-//! 2. **No unseeded RNG outside tests**: `thread_rng` and `from_entropy`
-//!    are banned in non-test code. DESIGN.md §5 promises bit-reproducible
-//!    runs from a CLI seed; one unseeded generator silently breaks that.
-//! 3. **Every crate root opts into `missing_docs`**: each `src/lib.rs` /
-//!    `src/main.rs` must declare `#![warn(missing_docs)]` (promoted to an
-//!    error by `-D warnings` in scripts/check.sh).
-//! 4. **The serving and fault-tolerance paths are panic-free**:
-//!    `.unwrap()` / `.expect(` are banned in non-test library code of
-//!    `crates/core`, `crates/ann` and `crates/serve` (the
-//!    retrieval/serving crates) and in the retry/recovery files
-//!    (`crates/distributed/src/{protocol,fault,recovery}.rs`,
-//!    `crates/simtest/src/lib.rs`) — recoverable errors must be
-//!    propagated, not turned into aborts while answering queries or while
-//!    surviving the very faults the code exists to absorb.
-//! 5. **All timing flows through the observability layer**:
-//!    `Instant::now()` is banned in non-test code outside `crates/obs`
-//!    and `compat/` — use `sisg_obs::Stopwatch`/`span` so elapsed time
-//!    stays visible to metrics snapshots (docs/OBSERVABILITY.md).
-//! 6. **Training loops go through the kernel layer**: the per-element
-//!    `RowPtr` accessors (`get_elem`/`set_elem`/`add_elem`) are banned in
-//!    non-test code of `crates/sgns` and `crates/eges` — hot loops must
-//!    use the row-granular kernels of DESIGN.md §8 (`dot_slice`,
-//!    `axpy_slice`, `fused_grad_step`, …), which preserve the documented
-//!    summation order *and* the unrolled throughput. An element loop
-//!    would silently reintroduce the slow path.
-//! 7. **The serving crates are `assert!`-free**: `assert!` /
-//!    `assert_eq!` / `assert_ne!` are banned in non-test library code of
-//!    `crates/core` and `crates/serve` — one bad request must come back
-//!    as a typed `CoreError`/`ServeError`, never abort the process that
-//!    is serving everyone else. `debug_assert!` remains available for
-//!    debug-build invariants.
-//!
-//! `cargo run -p xtask -- validate-metrics <file>...` checks that emitted
-//! metrics files (`results/metrics/*.json`, `results/BENCH_obs.json`)
-//! parse and have the documented snapshot shape, and that perf trajectory
-//! files (`results/BENCH_perf.json`, schema `sisg.perf.v1`) carry
-//! well-formed corpus/kernels/runs sections; CI runs it against a fresh
-//! experiment run and a `perf_train --smoke` output.
-//!
-//! The rules are enforced by line-level scanning with comment/string
-//! stripping and `#[cfg(test)]`-region tracking; see the unit tests for
-//! seeded violations proving each rule actually fires.
+//! `cargo run -p xtask -- validate-metrics [--catalog <md>] <file>...`
+//! checks that emitted metrics files (`results/metrics/*.json`,
+//! `results/BENCH_obs.json`) parse and have the documented snapshot
+//! shape, and that perf trajectory files (`results/BENCH_perf.json`,
+//! schema `sisg.perf.v1`) carry well-formed corpus/kernels/runs sections.
+//! With `--catalog docs/OBSERVABILITY.md` every snapshot metric must also
+//! be declared in the doc's metric table. Failure classes exit
+//! distinctly: usage 2, unreadable/malformed JSON 3, wrong shape 4,
+//! undeclared metric 5.
 #![warn(missing_docs)]
-// This file talks *about* SAFETY comments (it implements the lint that
+// This crate talks *about* SAFETY comments (it implements the lint that
 // requires them); clippy's `unnecessary_safety_comment` misreads that
 // prose as misplaced safety comments.
 #![allow(clippy::unnecessary_safety_comment)]
 
-use std::fmt;
+mod lexer;
+mod metrics;
+mod rules;
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: cargo run -p xtask -- lint [--list] | validate-metrics [--catalog <md>] <file>...";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
+        Some("lint") if args.len() == 2 && args[1] == "--list" => {
+            print!("{}", rules::render_rule_table());
+            ExitCode::SUCCESS
+        }
+        Some("lint") if args.len() == 1 => {
             let root = workspace_root();
-            match run_lint(&root) {
+            match rules::run_lint(&root) {
                 Ok(violations) if violations.is_empty() => {
                     println!("xtask lint: OK");
                     ExitCode::SUCCESS
@@ -84,25 +64,53 @@ fn main() -> ExitCode {
             }
         }
         Some("validate-metrics") if args.len() > 1 => {
+            let mut files: Vec<&str> = Vec::new();
+            let mut catalog_path: Option<&str> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                if arg == "--catalog" {
+                    match it.next() {
+                        Some(p) => catalog_path = Some(p),
+                        None => {
+                            eprintln!("{USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                } else {
+                    files.push(arg);
+                }
+            }
+            if files.is_empty() {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            let catalog = match catalog_path.map(|p| metrics::load_catalog(Path::new(p))) {
+                Some(Ok(c)) => Some(c),
+                Some(Err(err)) => {
+                    eprintln!("xtask validate-metrics: {err}");
+                    return ExitCode::from(err.exit_code());
+                }
+                None => None,
+            };
             let mut snapshots = 0usize;
-            let mut metrics = 0usize;
-            for path in &args[1..] {
-                match validate_metrics_file(Path::new(path)) {
+            let mut count = 0usize;
+            for path in files {
+                match metrics::validate_metrics_file(Path::new(path), catalog.as_ref()) {
                     Ok((s, m)) => {
                         snapshots += s;
-                        metrics += m;
+                        count += m;
                     }
                     Err(err) => {
                         eprintln!("xtask validate-metrics: {path}: {err}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(err.exit_code());
                     }
                 }
             }
-            println!("xtask validate-metrics: OK ({snapshots} snapshot(s), {metrics} metric(s))");
+            println!("xtask validate-metrics: OK ({snapshots} snapshot(s), {count} metric(s))");
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint | validate-metrics <file>...");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
@@ -110,915 +118,11 @@ fn main() -> ExitCode {
 
 /// Locates the workspace root: xtask is always run via `cargo run -p xtask`,
 /// so `CARGO_MANIFEST_DIR` is `<root>/crates/xtask`.
-fn workspace_root() -> PathBuf {
+pub(crate) fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
         .parent()
         .and_then(Path::parent)
         .map(Path::to_path_buf)
         .unwrap_or(manifest)
-}
-
-/// One rule violation, formatted `path:line: [rule] message`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Violation {
-    path: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
-    }
-}
-
-/// Crates whose non-test library code must be `unwrap()`/`expect()`-free.
-const PANIC_FREE_CRATES: &[&str] = &["crates/core", "crates/ann", "crates/serve"];
-
-/// Crates whose non-test library code must also be `assert!`-free
-/// (rule 7): these are the online serving crates, where a failed
-/// invariant must surface as a typed error on one request, not abort the
-/// process for every request. `debug_assert!` stays allowed — it
-/// vanishes in release builds.
-const ASSERT_FREE_CRATES: &[&str] = &["crates/core", "crates/serve"];
-
-/// Individual files under the same panic-free rule: the retry, recovery,
-/// and fault-simulation paths. A panic while absorbing a fault turns a
-/// recoverable event into a crash, so these propagate errors instead.
-const PANIC_FREE_FILES: &[&str] = &[
-    "crates/distributed/src/protocol.rs",
-    "crates/distributed/src/fault.rs",
-    "crates/distributed/src/recovery.rs",
-    "crates/simtest/src/lib.rs",
-];
-
-/// Crates whose non-test code must not use per-element `RowPtr` accessors
-/// (rule 6) — their hot loops go through the DESIGN.md §8 kernels.
-const KERNEL_PATH_CRATES: &[&str] = &["crates/sgns", "crates/eges"];
-
-/// Crates allowed to call `Instant::now()` directly: the observability
-/// layer itself (it implements `Stopwatch`) and the offline dependency
-/// stubs (they mirror upstream APIs verbatim).
-fn instant_exempt(rel_crate: &str) -> bool {
-    rel_crate == "crates/obs" || rel_crate.starts_with("compat/")
-}
-
-fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
-    let mut violations = Vec::new();
-    let mut crate_dirs = Vec::new();
-    for holder in ["crates", "compat"] {
-        crate_dirs.extend(list_crate_dirs(&root.join(holder))?);
-    }
-    for crate_dir in crate_dirs {
-        let rel_crate = crate_dir
-            .strip_prefix(root)
-            .unwrap_or(&crate_dir)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let panic_free = PANIC_FREE_CRATES.contains(&rel_crate.as_str());
-        let assert_free = ASSERT_FREE_CRATES.contains(&rel_crate.as_str());
-        let obs_timing = !instant_exempt(&rel_crate);
-        let kernel_path = KERNEL_PATH_CRATES.contains(&rel_crate.as_str());
-
-        let mut saw_root = false;
-        for file in rust_files(&crate_dir)? {
-            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            let content = std::fs::read_to_string(&file)
-                .map_err(|e| format!("read {}: {e}", file.display()))?;
-            let is_crate_root = file.ends_with("src/lib.rs") || file.ends_with("src/main.rs");
-            if is_crate_root {
-                saw_root = true;
-                violations.extend(check_missing_docs_attr(&rel, &content));
-            }
-            // Integration tests and benches are test code end to end.
-            let rel_str = rel.to_string_lossy().replace('\\', "/");
-            let all_test = rel_str.contains("/tests/") || rel_str.contains("/benches/");
-            violations.extend(scan_file(
-                &rel,
-                &content,
-                all_test,
-                panic_free || PANIC_FREE_FILES.contains(&rel_str.as_str()),
-                assert_free,
-                obs_timing,
-                kernel_path,
-            ));
-        }
-        if !saw_root {
-            violations.push(Violation {
-                path: PathBuf::from(&rel_crate),
-                line: 1,
-                rule: "missing-docs",
-                message: "crate has no src/lib.rs or src/main.rs".into(),
-            });
-        }
-    }
-    Ok(violations)
-}
-
-/// Workspace member directories under `crates/` (one level, plus
-/// `crates/compat/*`).
-fn list_crate_dirs(crates_dir: &Path) -> Result<Vec<PathBuf>, String> {
-    let mut out = Vec::new();
-    let entries = std::fs::read_dir(crates_dir)
-        .map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?;
-    for entry in entries {
-        let path = entry.map_err(|e| e.to_string())?.path();
-        if !path.is_dir() {
-            continue;
-        }
-        if path.join("Cargo.toml").is_file() {
-            out.push(path);
-        } else {
-            // A holder of nested members (crates/compat/*).
-            let nested = std::fs::read_dir(&path)
-                .map_err(|e| format!("read_dir {}: {e}", path.display()))?;
-            for sub in nested {
-                let sub = sub.map_err(|e| e.to_string())?.path();
-                if sub.is_dir() && sub.join("Cargo.toml").is_file() {
-                    out.push(sub);
-                }
-            }
-        }
-    }
-    out.sort();
-    Ok(out)
-}
-
-/// All `.rs` files in a crate directory, recursively, skipping `target/`.
-fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(current) = stack.pop() {
-        let entries = std::fs::read_dir(&current)
-            .map_err(|e| format!("read_dir {}: {e}", current.display()))?;
-        for entry in entries {
-            let path = entry.map_err(|e| e.to_string())?.path();
-            if path.is_dir() {
-                if path.file_name().is_some_and(|n| n == "target") {
-                    continue;
-                }
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    Ok(out)
-}
-
-/// Rule 3: the crate root must opt into missing-docs warnings.
-fn check_missing_docs_attr(rel: &Path, content: &str) -> Option<Violation> {
-    if content.contains("#![warn(missing_docs)]") || content.contains("#![deny(missing_docs)]") {
-        None
-    } else {
-        Some(Violation {
-            path: rel.to_path_buf(),
-            line: 1,
-            rule: "missing-docs",
-            message: "crate root lacks #![warn(missing_docs)]".into(),
-        })
-    }
-}
-
-/// Rules 1, 2, 4, 5, 6 and 7 over one file's source text.
-fn scan_file(
-    rel: &Path,
-    content: &str,
-    all_test: bool,
-    panic_free: bool,
-    assert_free: bool,
-    obs_timing: bool,
-    kernel_path: bool,
-) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    let lines: Vec<&str> = content.lines().collect();
-    let mut regions = TestRegionTracker::default();
-    let mut in_block_comment = false;
-
-    for (idx, raw) in lines.iter().enumerate() {
-        let line_no = idx + 1;
-        let (code, now_in_block) = strip_comments_and_strings(raw, in_block_comment);
-        in_block_comment = now_in_block;
-        let in_test = all_test || regions.in_test();
-        regions.observe(raw, &code);
-
-        // Rule 1: `unsafe` requires a nearby justification. Applies in test
-        // code too — tests exercising unsafe APIs document why they are
-        // sound just like production call sites.
-        if has_word(&code, "unsafe") && !has_safety_comment(&lines, idx) {
-            violations.push(Violation {
-                path: rel.to_path_buf(),
-                line: line_no,
-                rule: "safety-comment",
-                message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc) on this or a preceding line".into(),
-            });
-        }
-
-        if !in_test {
-            // Rule 2: determinism — no ambient-entropy RNG constructors.
-            for banned in ["thread_rng", "from_entropy"] {
-                if has_word(&code, banned) {
-                    violations.push(Violation {
-                        path: rel.to_path_buf(),
-                        line: line_no,
-                        rule: "seeded-rng",
-                        message: format!(
-                            "`{banned}` is banned outside tests; seed explicitly (DESIGN.md §5)"
-                        ),
-                    });
-                }
-            }
-
-            // Rule 4: panic-free serving path.
-            if panic_free && (code.contains(".unwrap()") || code.contains(".expect(")) {
-                violations.push(Violation {
-                    path: rel.to_path_buf(),
-                    line: line_no,
-                    rule: "no-unwrap",
-                    message: "`.unwrap()`/`.expect()` banned in panic-free library code (serving and fault-tolerance paths); propagate the error".into(),
-                });
-            }
-
-            // Rule 7: assert-free serving crates — a request-path
-            // invariant failure must be a typed error, not an abort.
-            if assert_free {
-                for banned in ["assert", "assert_eq", "assert_ne"] {
-                    if has_word(&code, banned) {
-                        violations.push(Violation {
-                            path: rel.to_path_buf(),
-                            line: line_no,
-                            rule: "no-assert",
-                            message: format!(
-                                "`{banned}!` banned in assert-free serving code; return a typed error (`debug_assert!` is allowed)"
-                            ),
-                        });
-                        break;
-                    }
-                }
-            }
-
-            // Rule 5: timing goes through sisg-obs so it is observable.
-            if obs_timing && code.contains("Instant::now") {
-                violations.push(Violation {
-                    path: rel.to_path_buf(),
-                    line: line_no,
-                    rule: "no-instant",
-                    message: "`Instant::now()` banned outside crates/obs; use sisg_obs::Stopwatch or span (docs/OBSERVABILITY.md)".into(),
-                });
-            }
-
-            // Rule 6: no per-element RowPtr loops in training crates.
-            if kernel_path {
-                for banned in ["get_elem(", "set_elem(", "add_elem("] {
-                    if code.contains(banned) {
-                        violations.push(Violation {
-                            path: rel.to_path_buf(),
-                            line: line_no,
-                            rule: "kernel-path",
-                            message: format!(
-                                "per-element `{banned}..)` banned in training crates; use the row-granular kernels (DESIGN.md §8)"
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    }
-    violations
-}
-
-/// Validates one emitted metrics file: either a single registry snapshot
-/// (`results/metrics/<run>.json`) or the consolidated run-name → snapshot
-/// map (`results/BENCH_obs.json`). Returns (snapshots, metrics) counted.
-fn validate_metrics_file(path: &Path) -> Result<(usize, usize), String> {
-    use serde::Value;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
-    let doc: Value = serde_json::from_str(&text).map_err(|e| format!("parse: {e}"))?;
-    let Value::Object(fields) = &doc else {
-        return Err(format!("expected a JSON object, got {}", doc.kind()));
-    };
-    if let Some((_, schema)) = fields.iter().find(|(k, _)| k == "schema") {
-        return match schema {
-            Value::Str(s) if s == "sisg.perf.v1" => Ok((1, validate_perf_doc(&doc)?)),
-            Value::Str(s) => Err(format!("unknown schema `{s}`")),
-            other => Err(format!("`schema` must be a string, got {}", other.kind())),
-        };
-    }
-    if fields.iter().any(|(k, _)| k == "counters") {
-        let n = validate_snapshot(&doc)?;
-        return Ok((1, n));
-    }
-    // Consolidated map: every value must be a snapshot.
-    let mut metrics = 0usize;
-    for (run, snapshot) in fields {
-        metrics += validate_snapshot(snapshot).map_err(|e| format!("run `{run}`: {e}"))?;
-    }
-    Ok((fields.len(), metrics))
-}
-
-/// Checks the documented snapshot shape; returns the metric count.
-fn validate_snapshot(snapshot: &serde::Value) -> Result<usize, String> {
-    use serde::Value;
-    let name = snapshot.get_field("name").map_err(|e| e.to_string())?;
-    if !matches!(name, Value::Str(_)) {
-        return Err(format!("`name` must be a string, got {}", name.kind()));
-    }
-    let mut metrics = 0usize;
-    for (section, check) in [
-        ("counters", is_u64 as fn(&Value) -> bool),
-        ("gauges", is_number_or_null),
-        ("histograms", is_histogram),
-    ] {
-        let Value::Object(entries) = snapshot.get_field(section).map_err(|e| e.to_string())? else {
-            return Err(format!("`{section}` must be an object"));
-        };
-        for (metric, value) in entries {
-            if !check(value) {
-                return Err(format!("`{section}.{metric}` has the wrong shape"));
-            }
-            metrics += 1;
-        }
-    }
-    Ok(metrics)
-}
-
-/// Checks a `sisg.perf.v1` perf trajectory document
-/// (`results/BENCH_perf.json`, written by the `perf_train` bench):
-/// `corpus` totals, nanosecond kernel timings, per-run throughput rows,
-/// and a `reference` section that is either `null` (no baseline captured
-/// yet) or a nested object of pre-change numbers. Returns the number of
-/// validated measurements (kernel timings + runs).
-fn validate_perf_doc(doc: &serde::Value) -> Result<usize, String> {
-    use serde::Value;
-    let name = doc.get_field("name").map_err(|e| e.to_string())?;
-    if !matches!(name, Value::Str(_)) {
-        return Err(format!("`name` must be a string, got {}", name.kind()));
-    }
-
-    let Value::Object(corpus) = doc.get_field("corpus").map_err(|e| e.to_string())? else {
-        return Err("`corpus` must be an object".into());
-    };
-    for key in ["tokens", "sequences", "seq_len"] {
-        let Some((_, v)) = corpus.iter().find(|(k, _)| k == key) else {
-            return Err(format!("`corpus.{key}` missing"));
-        };
-        if !is_u64(v) {
-            return Err(format!("`corpus.{key}` must be a u64, got {}", v.kind()));
-        }
-    }
-    if !corpus
-        .iter()
-        .any(|(k, v)| k == "smoke" && matches!(v, Value::Bool(_)))
-    {
-        return Err("`corpus.smoke` must be a bool".into());
-    }
-
-    let reference = doc.get_field("reference").map_err(|e| e.to_string())?;
-    if !matches!(reference, Value::Null | Value::Object(_)) {
-        return Err(format!(
-            "`reference` must be null or an object, got {}",
-            reference.kind()
-        ));
-    }
-
-    let Value::Object(kernels) = doc.get_field("kernels").map_err(|e| e.to_string())? else {
-        return Err("`kernels` must be an object".into());
-    };
-    for (kernel, v) in kernels {
-        if !is_number(v) {
-            return Err(format!("`kernels.{kernel}` must be a number"));
-        }
-    }
-
-    let Value::Array(runs) = doc.get_field("runs").map_err(|e| e.to_string())? else {
-        return Err("`runs` must be an array".into());
-    };
-    if runs.is_empty() {
-        return Err("`runs` must not be empty".into());
-    }
-    for (i, run) in runs.iter().enumerate() {
-        for key in ["threads", "dim", "pairs", "tokens"] {
-            let v = run
-                .get_field(key)
-                .map_err(|_| format!("`runs[{i}].{key}` missing"))?;
-            if !is_u64(v) {
-                return Err(format!("`runs[{i}].{key}` must be a u64, got {}", v.kind()));
-            }
-        }
-        for key in ["seconds", "pairs_per_sec", "tokens_per_sec"] {
-            let v = run
-                .get_field(key)
-                .map_err(|_| format!("`runs[{i}].{key}` missing"))?;
-            if !is_number(v) {
-                return Err(format!(
-                    "`runs[{i}].{key}` must be a number, got {}",
-                    v.kind()
-                ));
-            }
-        }
-    }
-    Ok(kernels.len() + runs.len())
-}
-
-fn is_u64(v: &serde::Value) -> bool {
-    matches!(v, serde::Value::U64(_))
-}
-
-fn is_number(v: &serde::Value) -> bool {
-    use serde::Value;
-    matches!(v, Value::U64(_) | Value::I64(_) | Value::F64(_))
-}
-
-fn is_number_or_null(v: &serde::Value) -> bool {
-    use serde::Value;
-    matches!(
-        v,
-        Value::U64(_) | Value::I64(_) | Value::F64(_) | Value::Null
-    )
-}
-
-/// A histogram entry: count/sum/max totals plus p50/p90/p99 quantiles
-/// (null when the histogram is empty).
-fn is_histogram(v: &serde::Value) -> bool {
-    let serde::Value::Object(fields) = v else {
-        return false;
-    };
-    ["count", "sum", "max"]
-        .iter()
-        .all(|k| fields.iter().any(|(n, fv)| n == k && is_u64(fv)))
-        && ["p50", "p90", "p99"]
-            .iter()
-            .all(|k| fields.iter().any(|(n, fv)| n == k && is_number_or_null(fv)))
-}
-
-/// Tracks whether the scanner is inside a `#[cfg(test)]`-gated item by
-/// brace counting: after the attribute, the next `{` opens the region and
-/// it ends when the depth returns to the opening level.
-#[derive(Debug, Default)]
-struct TestRegionTracker {
-    depth: i64,
-    pending_attr: bool,
-    region_close_depth: Option<i64>,
-}
-
-impl TestRegionTracker {
-    fn in_test(&self) -> bool {
-        self.region_close_depth.is_some() || self.pending_attr
-    }
-
-    fn observe(&mut self, raw: &str, code: &str) {
-        if raw.contains("#[cfg(test)]") && self.region_close_depth.is_none() {
-            self.pending_attr = true;
-        }
-        for ch in code.chars() {
-            match ch {
-                '{' => {
-                    if self.pending_attr {
-                        self.pending_attr = false;
-                        self.region_close_depth = Some(self.depth);
-                    }
-                    self.depth += 1;
-                }
-                '}' => {
-                    self.depth -= 1;
-                    if self.region_close_depth == Some(self.depth) {
-                        self.region_close_depth = None;
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-}
-
-/// True when `word` appears in `code` delimited by non-identifier chars.
-fn has_word(code: &str, word: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(word) {
-        let begin = start + pos;
-        let end = begin + word.len();
-        let left_ok = begin == 0 || !is_ident_char(bytes[begin - 1]);
-        let right_ok = end == bytes.len() || !is_ident_char(bytes[end]);
-        if left_ok && right_ok {
-            return true;
-        }
-        start = end;
-    }
-    false
-}
-
-fn is_ident_char(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// How many lines above an `unsafe` occurrence we look for a SAFETY note.
-const SAFETY_LOOKBACK: usize = 12;
-
-/// True when the line itself or one of the preceding [`SAFETY_LOOKBACK`]
-/// lines carries a `SAFETY:` comment or a `# Safety` doc heading.
-fn has_safety_comment(lines: &[&str], idx: usize) -> bool {
-    let from = idx.saturating_sub(SAFETY_LOOKBACK);
-    lines[from..=idx]
-        .iter()
-        .any(|l| l.contains("SAFETY:") || l.contains("# Safety"))
-}
-
-/// Blanks out string/char literal contents, line comments, and block
-/// comments so keyword scans don't fire on prose. Returns the cleaned
-/// line and whether a block comment continues onto the next line.
-fn strip_comments_and_strings(line: &str, mut in_block_comment: bool) -> (String, bool) {
-    let mut out = String::with_capacity(line.len());
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if in_block_comment {
-            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        match bytes[i] {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                in_block_comment = true;
-                i += 2;
-            }
-            b'"' => {
-                out.push('"');
-                i += 1;
-                while i < bytes.len() {
-                    if bytes[i] == b'\\' {
-                        i += 2;
-                    } else if bytes[i] == b'"' {
-                        out.push('"');
-                        i += 1;
-                        break;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            b'\'' if i + 2 < bytes.len() && (bytes[i + 2] == b'\'' || (bytes[i + 1] == b'\\')) => {
-                // Char literal ('x' or '\n'); lifetimes ('a) fall through.
-                i += 1; // opening quote
-                while i < bytes.len() {
-                    if bytes[i] == b'\\' {
-                        i += 2;
-                    } else if bytes[i] == b'\'' {
-                        i += 1;
-                        break;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            other => {
-                out.push(other as char);
-                i += 1;
-            }
-        }
-    }
-    (out, in_block_comment)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn scan(content: &str, panic_free: bool) -> Vec<Violation> {
-        scan_file(
-            Path::new("x.rs"),
-            content,
-            false,
-            panic_free,
-            false,
-            true,
-            false,
-        )
-    }
-
-    fn scan_assert_free(content: &str) -> Vec<Violation> {
-        scan_file(Path::new("x.rs"), content, false, true, true, true, false)
-    }
-
-    fn scan_kernel(content: &str) -> Vec<Violation> {
-        scan_file(Path::new("x.rs"), content, false, false, false, true, true)
-    }
-
-    #[test]
-    fn unsafe_without_safety_comment_is_flagged() {
-        let bad = "fn f(p: *mut f32) {\n    unsafe { *p = 1.0; }\n}\n";
-        let v = scan(bad, false);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "safety-comment");
-        assert_eq!(v[0].line, 2);
-    }
-
-    #[test]
-    fn unsafe_with_safety_comment_passes() {
-        let good =
-            "fn f(p: *mut f32) {\n    // SAFETY: p is valid and exclusive here.\n    unsafe { *p = 1.0; }\n}\n";
-        assert!(scan(good, false).is_empty());
-    }
-
-    #[test]
-    fn unsafe_fn_with_safety_doc_section_passes() {
-        let good = "/// Does things.\n///\n/// # Safety\n/// Caller must uphold X.\npub unsafe fn f() {}\n";
-        assert!(scan(good, false).is_empty());
-    }
-
-    #[test]
-    fn unsafe_in_string_or_comment_is_ignored() {
-        let ok = "// this mentions unsafe in prose\nlet s = \"unsafe\";\n";
-        assert!(scan(ok, false).is_empty());
-    }
-
-    #[test]
-    fn thread_rng_outside_tests_is_flagged() {
-        let bad = "fn f() { let mut r = rand::thread_rng(); }\n";
-        let v = scan(bad, false);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "seeded-rng");
-    }
-
-    #[test]
-    fn from_entropy_outside_tests_is_flagged() {
-        let bad = "fn f() { let r = StdRng::from_entropy(); }\n";
-        let v = scan(bad, false);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "seeded-rng");
-    }
-
-    #[test]
-    fn thread_rng_inside_cfg_test_module_passes() {
-        let ok = "#[cfg(test)]\nmod tests {\n    fn f() { let r = rand::thread_rng(); }\n}\n";
-        assert!(scan(ok, false).is_empty());
-    }
-
-    #[test]
-    fn unwrap_in_panic_free_crate_is_flagged() {
-        let bad = "fn f() { let x: Option<u32> = None; x.unwrap(); }\n";
-        let v = scan(bad, true);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "no-unwrap");
-    }
-
-    #[test]
-    fn expect_in_panic_free_crate_is_flagged() {
-        let bad = "fn f() { let x: Option<u32> = None; x.expect(\"boom\"); }\n";
-        let v = scan(bad, true);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "no-unwrap");
-    }
-
-    #[test]
-    fn unwrap_in_test_module_of_panic_free_crate_passes() {
-        let ok = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
-        assert!(scan(ok, true).is_empty());
-    }
-
-    #[test]
-    fn unwrap_outside_panic_free_crates_passes() {
-        let ok = "fn f() { Some(1).unwrap(); }\n";
-        assert!(scan(ok, false).is_empty());
-    }
-
-    #[test]
-    fn asserts_in_assert_free_crate_are_flagged() {
-        for bad in [
-            "fn f(x: usize) { assert!(x > 0); }\n",
-            "fn f(x: usize) { assert_eq!(x, 1); }\n",
-            "fn f(x: usize) { assert_ne!(x, 0); }\n",
-        ] {
-            let v = scan_assert_free(bad);
-            assert_eq!(v.len(), 1, "missed: {bad}");
-            assert_eq!(v[0].rule, "no-assert");
-        }
-    }
-
-    #[test]
-    fn debug_assert_and_test_asserts_pass_the_assert_rule() {
-        // debug_assert! compiles out of release builds — allowed.
-        let ok = "fn f(x: usize) { debug_assert!(x > 0); }\n";
-        assert!(scan_assert_free(ok).is_empty());
-        // Test modules keep their asserts.
-        let test_src =
-            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert_eq!(1, 1); }\n}\n";
-        assert!(scan_assert_free(test_src).is_empty());
-        // Crates outside the assert-free set are untouched.
-        let other = "fn f(x: usize) { assert!(x > 0); }\n";
-        assert!(scan(other, false).is_empty());
-    }
-
-    #[test]
-    fn missing_docs_attr_detected() {
-        assert!(check_missing_docs_attr(Path::new("x.rs"), "//! Docs.\nfn f() {}\n").is_some());
-        assert!(check_missing_docs_attr(
-            Path::new("x.rs"),
-            "//! Docs.\n#![warn(missing_docs)]\nfn f() {}\n"
-        )
-        .is_none());
-    }
-
-    #[test]
-    fn test_region_tracker_handles_nesting() {
-        let src = "mod a {\n#[cfg(test)]\nmod tests {\n fn f() { let x = { 1 }; }\n}\nfn g() { thread_rng(); }\n}\n";
-        let v = scan(src, false);
-        // Only the call *outside* the test module fires.
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 6);
-    }
-
-    #[test]
-    fn integration_test_files_are_exempt_from_rng_rule() {
-        let src = "fn f() { thread_rng(); }\n";
-        let v = scan_file(
-            Path::new("crates/x/tests/t.rs"),
-            src,
-            true,
-            false,
-            false,
-            true,
-            false,
-        );
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn per_element_accessors_in_kernel_path_crates_are_flagged() {
-        for bad in [
-            "fn f(r: RowPtr) { let x = r.get_elem(0); }\n",
-            "fn f(r: RowPtr) { r.set_elem(0, 1.0); }\n",
-            "fn f(r: RowPtr) { for d in 0..r.len() { r.add_elem(d, 0.1); } }\n",
-        ] {
-            let v = scan_kernel(bad);
-            assert_eq!(v.len(), 1, "missed: {bad}");
-            assert_eq!(v[0].rule, "kernel-path");
-        }
-    }
-
-    #[test]
-    fn per_element_accessors_pass_outside_kernel_path_or_in_tests() {
-        // Non-training crates (e.g. crates/embedding, where the accessors
-        // live) are exempt.
-        let src = "fn f(r: RowPtr) { r.add_elem(0, 0.1); }\n";
-        assert!(scan(src, false).is_empty());
-        // Test modules inside training crates are exempt too.
-        let test_src = "#[cfg(test)]\nmod tests {\n fn f(r: RowPtr) { r.add_elem(0, 0.1); }\n}\n";
-        assert!(scan_kernel(test_src).is_empty());
-        // Row-granular kernels never fire the rule.
-        let good = "fn f(r: RowPtr, x: &[f32]) { r.axpy_slice(0.1, x); }\n";
-        assert!(scan_kernel(good).is_empty());
-    }
-
-    #[test]
-    fn instant_now_outside_obs_is_flagged() {
-        let bad = "fn f() { let t = std::time::Instant::now(); }\n";
-        let v = scan(bad, false);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "no-instant");
-    }
-
-    #[test]
-    fn instant_now_in_exempt_crate_or_test_passes() {
-        let src = "fn f() { let t = Instant::now(); }\n";
-        assert!(scan_file(Path::new("o.rs"), src, false, false, false, false, false).is_empty());
-        let test_src = "#[cfg(test)]\nmod tests {\n fn f() { Instant::now(); }\n}\n";
-        assert!(scan(test_src, false).is_empty());
-        assert!(instant_exempt("crates/obs"));
-        assert!(instant_exempt("compat/criterion"));
-        assert!(!instant_exempt("crates/sgns"));
-    }
-
-    #[test]
-    fn validate_snapshot_accepts_the_documented_shape() {
-        let good: serde::Value = serde_json::from_str(
-            r#"{
-              "name": "run",
-              "counters": {"sgns.pairs_total": 12},
-              "gauges": {"sgns.lr": 0.01, "bad_day": null},
-              "histograms": {
-                "sgns.train.us": {"count": 1, "sum": 9, "max": 9,
-                                  "p50": 9.0, "p90": 9.0, "p99": null}
-              }
-            }"#,
-        )
-        .expect("parse");
-        assert_eq!(validate_snapshot(&good).expect("valid"), 4);
-    }
-
-    #[test]
-    fn validate_snapshot_rejects_malformed_sections() {
-        for bad in [
-            r#"{"name": 3, "counters": {}, "gauges": {}, "histograms": {}}"#,
-            r#"{"name": "r", "gauges": {}, "histograms": {}}"#,
-            r#"{"name": "r", "counters": {"c": -1}, "gauges": {}, "histograms": {}}"#,
-            r#"{"name": "r", "counters": {}, "gauges": {"g": "x"}, "histograms": {}}"#,
-            r#"{"name": "r", "counters": {}, "gauges": {}, "histograms": {"h": {"count": 1}}}"#,
-        ] {
-            let doc: serde::Value = serde_json::from_str(bad).expect("parse");
-            assert!(validate_snapshot(&doc).is_err(), "accepted: {bad}");
-        }
-    }
-
-    const PERF_DOC: &str = r#"{
-      "schema": "sisg.perf.v1",
-      "name": "perf_train",
-      "corpus": {"tokens": 2000, "sequences": 3000, "seq_len": 40, "smoke": false},
-      "reference": null,
-      "kernels": {"dot_ordered_d128_ns": 41.5},
-      "runs": [{"threads": 1, "dim": 32, "pairs": 100, "tokens": 50,
-                "seconds": 0.5, "pairs_per_sec": 200.0, "tokens_per_sec": 100.0}]
-    }"#;
-
-    #[test]
-    fn validate_perf_doc_accepts_the_documented_shape() {
-        let doc: serde::Value = serde_json::from_str(PERF_DOC).expect("parse");
-        // One kernel timing + one run row.
-        assert_eq!(validate_perf_doc(&doc).expect("valid"), 2);
-    }
-
-    #[test]
-    fn validate_perf_doc_accepts_an_object_reference() {
-        let with_ref = PERF_DOC.replace(
-            "\"reference\": null",
-            "\"reference\": {\"runs\": [], \"kernels\": {}}",
-        );
-        let doc: serde::Value = serde_json::from_str(&with_ref).expect("parse");
-        assert!(validate_perf_doc(&doc).is_ok());
-    }
-
-    #[test]
-    fn validate_perf_doc_rejects_malformed_sections() {
-        for (from, to) in [
-            ("\"tokens\": 2000", "\"tokens\": -3"),
-            ("\"smoke\": false", "\"smoke\": 1"),
-            ("\"reference\": null", "\"reference\": 7"),
-            (
-                "\"dot_ordered_d128_ns\": 41.5",
-                "\"dot_ordered_d128_ns\": \"fast\"",
-            ),
-            ("\"pairs_per_sec\": 200.0", "\"pairs_per_sec\": null"),
-            ("\"threads\": 1, ", ""),
-        ] {
-            let bad = PERF_DOC.replace(from, to);
-            let doc: serde::Value = serde_json::from_str(&bad).expect("parse");
-            assert!(validate_perf_doc(&doc).is_err(), "accepted: {bad}");
-        }
-    }
-
-    #[test]
-    fn validate_perf_doc_rejects_empty_runs() {
-        let bad = PERF_DOC.replace(
-            "\"runs\": [{\"threads\": 1, \"dim\": 32, \"pairs\": 100, \"tokens\": 50,\n                \"seconds\": 0.5, \"pairs_per_sec\": 200.0, \"tokens_per_sec\": 100.0}]",
-            "\"runs\": []",
-        );
-        let doc: serde::Value = serde_json::from_str(&bad).expect("parse");
-        assert!(validate_perf_doc(&doc).is_err());
-    }
-
-    #[test]
-    fn panic_free_file_list_points_at_real_files() {
-        // A renamed or moved fault-path file would silently drop out of
-        // rule 4; keep the list anchored to the tree.
-        let root = workspace_root();
-        for f in PANIC_FREE_FILES {
-            assert!(
-                root.join(f).is_file(),
-                "PANIC_FREE_FILES entry `{f}` does not exist"
-            );
-        }
-    }
-
-    #[test]
-    fn lint_runs_clean_on_this_workspace() {
-        // The self-hosting check: the real tree must pass. Covered here so
-        // `cargo test` fails fast if a violation slips in without running
-        // scripts/check.sh.
-        let root = workspace_root();
-        let violations = run_lint(&root).expect("lint walks the tree");
-        assert!(
-            violations.is_empty(),
-            "workspace has lint violations:\n{}",
-            violations
-                .iter()
-                .map(|v| v.to_string())
-                .collect::<Vec<_>>()
-                .join("\n")
-        );
-    }
 }

@@ -1,0 +1,443 @@
+//! `xtask validate-metrics`: shape validation for emitted metrics files,
+//! plus the optional `--catalog` cross-check against the metric table in
+//! docs/OBSERVABILITY.md.
+//!
+//! Failure classes map to distinct process exit codes so CI logs (and the
+//! error-path tests) can tell them apart without parsing messages:
+//! unreadable/malformed JSON → 3, wrong document shape → 4, a metric
+//! emitted but not declared in the catalog → 5.
+
+use serde::Value;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// A validate-metrics failure, classified by exit code.
+#[derive(Debug)]
+pub enum MetricsError {
+    /// The file cannot be read or is not valid JSON (exit 3).
+    Parse(String),
+    /// The JSON parses but does not have the documented shape (exit 4).
+    Shape(String),
+    /// A metric is emitted but missing from the catalog (exit 5).
+    Undeclared {
+        /// The emitted-but-undeclared metric name.
+        metric: String,
+    },
+}
+
+impl MetricsError {
+    /// The process exit code this failure class maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            MetricsError::Parse(_) => 3,
+            MetricsError::Shape(_) => 4,
+            MetricsError::Undeclared { .. } => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::Parse(msg) => write!(f, "{msg}"),
+            MetricsError::Shape(msg) => write!(f, "{msg}"),
+            MetricsError::Undeclared { metric } => write!(
+                f,
+                "metric `{metric}` is emitted but not declared in the catalog (docs/OBSERVABILITY.md)"
+            ),
+        }
+    }
+}
+
+/// Parses the metric catalog out of a markdown file: every table row
+/// whose first cell is backticked (`` | `name` | kind | … ``) declares
+/// one metric name. Returns [`MetricsError::Parse`] when the file is
+/// unreadable and [`MetricsError::Shape`] when no names are found (an
+/// empty catalog would silently approve everything).
+pub fn load_catalog(path: &Path) -> Result<BTreeSet<String>, MetricsError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| MetricsError::Parse(format!("read catalog: {e}")))?;
+    let names = parse_catalog(&text);
+    if names.is_empty() {
+        return Err(MetricsError::Shape(format!(
+            "catalog {} declares no metrics (no `| \\`name\\` |` table rows)",
+            path.display()
+        )));
+    }
+    Ok(names)
+}
+
+fn parse_catalog(text: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix('|') else {
+            continue;
+        };
+        let cell = rest.trim_start();
+        let Some(after_tick) = cell.strip_prefix('`') else {
+            continue;
+        };
+        if let Some(end) = after_tick.find('`') {
+            let name = &after_tick[..end];
+            if !name.is_empty() {
+                names.insert(name.to_string());
+            }
+        }
+    }
+    names
+}
+
+/// Validates one emitted metrics file: either a single registry snapshot
+/// (`results/metrics/<run>.json`), the consolidated run-name → snapshot
+/// map (`results/BENCH_obs.json`), or a `sisg.perf.v1` perf trajectory.
+/// With a catalog, every snapshot metric must be declared in it (perf
+/// docs are exempt — their kernels/runs are not registry metrics).
+/// Returns (snapshots, metrics) counted.
+pub fn validate_metrics_file(
+    path: &Path,
+    catalog: Option<&BTreeSet<String>>,
+) -> Result<(usize, usize), MetricsError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| MetricsError::Parse(format!("read: {e}")))?;
+    let doc: Value =
+        serde_json::from_str(&text).map_err(|e| MetricsError::Parse(format!("parse: {e}")))?;
+    let Value::Object(fields) = &doc else {
+        return Err(MetricsError::Shape(format!(
+            "expected a JSON object, got {}",
+            doc.kind()
+        )));
+    };
+    if let Some((_, schema)) = fields.iter().find(|(k, _)| k == "schema") {
+        return match schema {
+            Value::Str(s) if s == "sisg.perf.v1" => {
+                Ok((1, validate_perf_doc(&doc).map_err(MetricsError::Shape)?))
+            }
+            Value::Str(s) => Err(MetricsError::Shape(format!("unknown schema `{s}`"))),
+            other => Err(MetricsError::Shape(format!(
+                "`schema` must be a string, got {}",
+                other.kind()
+            ))),
+        };
+    }
+    if fields.iter().any(|(k, _)| k == "counters") {
+        let n = validate_snapshot(&doc, catalog)?;
+        return Ok((1, n));
+    }
+    // Consolidated map: every value must be a snapshot.
+    let mut metrics = 0usize;
+    for (run, snapshot) in fields {
+        metrics += validate_snapshot(snapshot, catalog).map_err(|e| match e {
+            MetricsError::Shape(msg) => MetricsError::Shape(format!("run `{run}`: {msg}")),
+            other => other,
+        })?;
+    }
+    Ok((fields.len(), metrics))
+}
+
+/// Checks the documented snapshot shape (and catalog membership when a
+/// catalog is supplied); returns the metric count.
+fn validate_snapshot(
+    snapshot: &Value,
+    catalog: Option<&BTreeSet<String>>,
+) -> Result<usize, MetricsError> {
+    let shape = |msg: String| MetricsError::Shape(msg);
+    let name = snapshot
+        .get_field("name")
+        .map_err(|e| shape(e.to_string()))?;
+    if !matches!(name, Value::Str(_)) {
+        return Err(shape(format!(
+            "`name` must be a string, got {}",
+            name.kind()
+        )));
+    }
+    let mut metrics = 0usize;
+    for (section, check) in [
+        ("counters", is_u64 as fn(&Value) -> bool),
+        ("gauges", is_number_or_null),
+        ("histograms", is_histogram),
+    ] {
+        let Value::Object(entries) = snapshot
+            .get_field(section)
+            .map_err(|e| shape(e.to_string()))?
+        else {
+            return Err(shape(format!("`{section}` must be an object")));
+        };
+        for (metric, value) in entries {
+            if !check(value) {
+                return Err(shape(format!("`{section}.{metric}` has the wrong shape")));
+            }
+            if let Some(declared) = catalog {
+                if !declared.contains(metric) {
+                    return Err(MetricsError::Undeclared {
+                        metric: metric.clone(),
+                    });
+                }
+            }
+            metrics += 1;
+        }
+    }
+    Ok(metrics)
+}
+
+/// Checks a `sisg.perf.v1` perf trajectory document
+/// (`results/BENCH_perf.json`, written by the `perf_train` bench):
+/// `corpus` totals, nanosecond kernel timings, per-run throughput rows,
+/// and a `reference` section that is either `null` (no baseline captured
+/// yet) or a nested object of pre-change numbers. Returns the number of
+/// validated measurements (kernel timings + runs).
+fn validate_perf_doc(doc: &Value) -> Result<usize, String> {
+    let name = doc.get_field("name").map_err(|e| e.to_string())?;
+    if !matches!(name, Value::Str(_)) {
+        return Err(format!("`name` must be a string, got {}", name.kind()));
+    }
+
+    let Value::Object(corpus) = doc.get_field("corpus").map_err(|e| e.to_string())? else {
+        return Err("`corpus` must be an object".into());
+    };
+    for key in ["tokens", "sequences", "seq_len"] {
+        let Some((_, v)) = corpus.iter().find(|(k, _)| k == key) else {
+            return Err(format!("`corpus.{key}` missing"));
+        };
+        if !is_u64(v) {
+            return Err(format!("`corpus.{key}` must be a u64, got {}", v.kind()));
+        }
+    }
+    if !corpus
+        .iter()
+        .any(|(k, v)| k == "smoke" && matches!(v, Value::Bool(_)))
+    {
+        return Err("`corpus.smoke` must be a bool".into());
+    }
+
+    let reference = doc.get_field("reference").map_err(|e| e.to_string())?;
+    if !matches!(reference, Value::Null | Value::Object(_)) {
+        return Err(format!(
+            "`reference` must be null or an object, got {}",
+            reference.kind()
+        ));
+    }
+
+    let Value::Object(kernels) = doc.get_field("kernels").map_err(|e| e.to_string())? else {
+        return Err("`kernels` must be an object".into());
+    };
+    for (kernel, v) in kernels {
+        if !is_number(v) {
+            return Err(format!("`kernels.{kernel}` must be a number"));
+        }
+    }
+
+    let Value::Array(runs) = doc.get_field("runs").map_err(|e| e.to_string())? else {
+        return Err("`runs` must be an array".into());
+    };
+    if runs.is_empty() {
+        return Err("`runs` must not be empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        for key in ["threads", "dim", "pairs", "tokens"] {
+            let v = run
+                .get_field(key)
+                .map_err(|_| format!("`runs[{i}].{key}` missing"))?;
+            if !is_u64(v) {
+                return Err(format!("`runs[{i}].{key}` must be a u64, got {}", v.kind()));
+            }
+        }
+        for key in ["seconds", "pairs_per_sec", "tokens_per_sec"] {
+            let v = run
+                .get_field(key)
+                .map_err(|_| format!("`runs[{i}].{key}` missing"))?;
+            if !is_number(v) {
+                return Err(format!(
+                    "`runs[{i}].{key}` must be a number, got {}",
+                    v.kind()
+                ));
+            }
+        }
+    }
+    Ok(kernels.len() + runs.len())
+}
+
+fn is_u64(v: &Value) -> bool {
+    matches!(v, Value::U64(_))
+}
+
+fn is_number(v: &Value) -> bool {
+    matches!(v, Value::U64(_) | Value::I64(_) | Value::F64(_))
+}
+
+fn is_number_or_null(v: &Value) -> bool {
+    matches!(
+        v,
+        Value::U64(_) | Value::I64(_) | Value::F64(_) | Value::Null
+    )
+}
+
+/// A histogram entry: count/sum/max totals plus p50/p90/p99 quantiles
+/// (null when the histogram is empty).
+fn is_histogram(v: &Value) -> bool {
+    let Value::Object(fields) = v else {
+        return false;
+    };
+    ["count", "sum", "max"]
+        .iter()
+        .all(|k| fields.iter().any(|(n, fv)| n == k && is_u64(fv)))
+        && ["p50", "p90", "p99"]
+            .iter()
+            .all(|k| fields.iter().any(|(n, fv)| n == k && is_number_or_null(fv)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(text: &str) -> Value {
+        serde_json::from_str(text).expect("parse")
+    }
+
+    #[test]
+    fn validate_snapshot_accepts_the_documented_shape() {
+        let good = snapshot(
+            r#"{
+              "name": "run",
+              "counters": {"sgns.pairs_total": 12},
+              "gauges": {"sgns.lr": 0.01, "bad_day": null},
+              "histograms": {
+                "sgns.train.us": {"count": 1, "sum": 9, "max": 9,
+                                  "p50": 9.0, "p90": 9.0, "p99": null}
+              }
+            }"#,
+        );
+        assert_eq!(validate_snapshot(&good, None).expect("valid"), 4);
+    }
+
+    #[test]
+    fn validate_snapshot_rejects_malformed_sections() {
+        for bad in [
+            r#"{"name": 3, "counters": {}, "gauges": {}, "histograms": {}}"#,
+            r#"{"name": "r", "gauges": {}, "histograms": {}}"#,
+            r#"{"name": "r", "counters": {"c": -1}, "gauges": {}, "histograms": {}}"#,
+            r#"{"name": "r", "counters": {}, "gauges": {"g": "x"}, "histograms": {}}"#,
+            r#"{"name": "r", "counters": {}, "gauges": {}, "histograms": {"h": {"count": 1}}}"#,
+        ] {
+            let doc = snapshot(bad);
+            let err = validate_snapshot(&doc, None).expect_err("accepted");
+            assert!(matches!(err, MetricsError::Shape(_)), "wrong class: {bad}");
+        }
+    }
+
+    #[test]
+    fn catalog_check_flags_undeclared_metrics_with_exit_5() {
+        let doc = snapshot(
+            r#"{"name": "r", "counters": {"made.up_total": 1}, "gauges": {}, "histograms": {}}"#,
+        );
+        let declared: BTreeSet<String> = ["sgns.pairs_total".to_string()].into_iter().collect();
+        let err = validate_snapshot(&doc, Some(&declared)).expect_err("accepted");
+        assert!(matches!(&err, MetricsError::Undeclared { metric } if metric == "made.up_total"));
+        assert_eq!(err.exit_code(), 5);
+    }
+
+    #[test]
+    fn catalog_check_passes_declared_metrics() {
+        let doc = snapshot(
+            r#"{"name": "r", "counters": {"sgns.pairs_total": 1}, "gauges": {}, "histograms": {}}"#,
+        );
+        let declared: BTreeSet<String> = ["sgns.pairs_total".to_string()].into_iter().collect();
+        assert_eq!(validate_snapshot(&doc, Some(&declared)).expect("valid"), 1);
+    }
+
+    #[test]
+    fn parse_catalog_reads_backticked_table_cells() {
+        let md = "\
+# Catalog\n\
+| Metric | Kind | Meaning |\n\
+|---|---|---|\n\
+| `a.total` | counter | Things. |\n\
+| `b.us` | histogram | Latency. |\n\
+prose mentioning `not.a.row` stays out\n";
+        let names = parse_catalog(md);
+        assert_eq!(
+            names.into_iter().collect::<Vec<_>>(),
+            vec!["a.total".to_string(), "b.us".to_string()]
+        );
+    }
+
+    #[test]
+    fn the_real_catalog_declares_every_obs_name() {
+        // The shipped docs/OBSERVABILITY.md must cover the compiled-in
+        // metric name registry, or the CI catalog check would reject a
+        // fresh snapshot.
+        let root = crate::workspace_root();
+        let declared = load_catalog(&root.join("docs/OBSERVABILITY.md")).expect("catalog");
+        for name in sisg_obs::names::ALL {
+            assert!(declared.contains(*name), "`{name}` missing from catalog");
+        }
+    }
+
+    #[test]
+    fn error_classes_map_to_distinct_exit_codes() {
+        assert_eq!(MetricsError::Parse(String::new()).exit_code(), 3);
+        assert_eq!(MetricsError::Shape(String::new()).exit_code(), 4);
+        assert_eq!(
+            MetricsError::Undeclared {
+                metric: String::new()
+            }
+            .exit_code(),
+            5
+        );
+    }
+
+    const PERF_DOC: &str = r#"{
+      "schema": "sisg.perf.v1",
+      "name": "perf_train",
+      "corpus": {"tokens": 2000, "sequences": 3000, "seq_len": 40, "smoke": false},
+      "reference": null,
+      "kernels": {"dot_ordered_d128_ns": 41.5},
+      "runs": [{"threads": 1, "dim": 32, "pairs": 100, "tokens": 50,
+                "seconds": 0.5, "pairs_per_sec": 200.0, "tokens_per_sec": 100.0}]
+    }"#;
+
+    #[test]
+    fn validate_perf_doc_accepts_the_documented_shape() {
+        let doc = snapshot(PERF_DOC);
+        // One kernel timing + one run row.
+        assert_eq!(validate_perf_doc(&doc).expect("valid"), 2);
+    }
+
+    #[test]
+    fn validate_perf_doc_accepts_an_object_reference() {
+        let with_ref = PERF_DOC.replace(
+            "\"reference\": null",
+            "\"reference\": {\"runs\": [], \"kernels\": {}}",
+        );
+        let doc = snapshot(&with_ref);
+        assert!(validate_perf_doc(&doc).is_ok());
+    }
+
+    #[test]
+    fn validate_perf_doc_rejects_malformed_sections() {
+        for (from, to) in [
+            ("\"tokens\": 2000", "\"tokens\": -3"),
+            ("\"smoke\": false", "\"smoke\": 1"),
+            ("\"reference\": null", "\"reference\": 7"),
+            (
+                "\"dot_ordered_d128_ns\": 41.5",
+                "\"dot_ordered_d128_ns\": \"fast\"",
+            ),
+            ("\"pairs_per_sec\": 200.0", "\"pairs_per_sec\": null"),
+            ("\"threads\": 1, ", ""),
+        ] {
+            let bad = PERF_DOC.replace(from, to);
+            let doc = snapshot(&bad);
+            assert!(validate_perf_doc(&doc).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn validate_perf_doc_rejects_empty_runs() {
+        let bad = PERF_DOC.replace(
+            "\"runs\": [{\"threads\": 1, \"dim\": 32, \"pairs\": 100, \"tokens\": 50,\n                \"seconds\": 0.5, \"pairs_per_sec\": 200.0, \"tokens_per_sec\": 100.0}]",
+            "\"runs\": []",
+        );
+        let doc = snapshot(&bad);
+        assert!(validate_perf_doc(&doc).is_err());
+    }
+}

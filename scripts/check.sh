@@ -30,6 +30,30 @@ step "tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+step "interleave: schedule-exhaustive protocol model checks"
+# Enumerates every interleaving of the modeled hot-swap, cache-clear and
+# RowPtr protocols and pins the exact schedule counts (DESIGN.md §7). The
+# trees are a few hundred schedules, so the exhaustive run is seconds-scale.
+# SISG_INTERLEAVE_SMOKE=<n> caps exploration (tests then skip count pinning)
+# for constrained environments; CI sets a high ceiling that leaves the
+# current models exhaustive while bounding runaway tree growth.
+cargo test --release -q -p sisg-interleave
+
+step "tsan (best effort): interleave models + hogwild stress under ThreadSanitizer"
+# ThreadSanitizer needs a nightly toolchain with rust-src (-Zbuild-std).
+# Skip cleanly when either is absent instead of failing the gate — the
+# exhaustive interleave pass above is the authoritative concurrency check.
+if rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+   && rustup component list --toolchain nightly 2>/dev/null \
+      | grep -q 'rust-src (installed)'; then
+  host="$(rustc -vV | sed -n 's/^host: //p')"
+  RUSTFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -Zbuild-std --target "$host" -q \
+      -p sisg-interleave -p sisg-embedding
+else
+  echo "nightly + rust-src unavailable — skipping TSan (not a failure)"
+fi
+
 step "benches compile"
 # Criterion benches are not run in CI (too slow, too noisy) but must keep
 # compiling — they pin the public kernel/trainer APIs.
@@ -43,7 +67,7 @@ rm -rf target/ci-results
 SISG_RESULTS=target/ci-results SISG_ITEMS=400 SISG_EPOCHS=1 \
   cargo run --release --quiet -p sisg-bench --bin ablation_ann >/dev/null
 cargo run -p xtask --quiet -- validate-metrics \
-  target/ci-results/metrics/ablation_ann.json
+  --catalog docs/OBSERVABILITY.md target/ci-results/metrics/ablation_ann.json
 
 step "simtest smoke: pinned fault seeds replay to their recorded traces"
 # Three seeded fault schedules (drop+duplicate+delay) must reproduce their
@@ -59,7 +83,7 @@ step "perf smoke: seconds-scale perf_train run + schema validation"
 SISG_RESULTS=target/ci-results \
   cargo run --release --quiet -p sisg-bench --bin perf_train -- --smoke >/dev/null
 cargo run -p xtask --quiet -- validate-metrics \
-  target/ci-results/BENCH_perf.json
+  --catalog docs/OBSERVABILITY.md target/ci-results/BENCH_perf.json
 
 step "serve smoke: seconds-scale perf_serve run + schema validation"
 # --smoke load-tests the sharded serve engine (warm/cold/cold-user mix,
@@ -68,6 +92,6 @@ step "serve smoke: seconds-scale perf_serve run + schema validation"
 SISG_RESULTS=target/ci-results \
   cargo run --release --quiet -p sisg-bench --bin perf_serve -- --smoke >/dev/null
 cargo run -p xtask --quiet -- validate-metrics \
-  target/ci-results/BENCH_serve.json
+  --catalog docs/OBSERVABILITY.md target/ci-results/BENCH_serve.json
 
 printf '\ncheck.sh: all gates passed\n'
