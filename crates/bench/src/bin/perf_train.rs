@@ -12,9 +12,16 @@
 //! Scale knobs: `SISG_PERF_TOKENS`, `SISG_PERF_SEQS`, `SISG_PERF_LEN`,
 //! `SISG_SEED`, and `SISG_RESULTS` for the output directory.
 //!
+//! Every multi-thread tier runs twice — once per engine (`partitioned`
+//! vs the legacy `atomic` Hogwild) — so the trajectory file A/Bs the
+//! ownership-partitioned engine against the path it replaced
+//! (docs/PARALLELISM.md §6 explains how to read the rows).
+//!
 //! Note: on a single-core host the multi-thread rows time-slice one CPU —
-//! they measure Hogwild overhead, not parallel speedup; the headline number
-//! is the `threads == 1` row (the exact non-atomic path).
+//! they measure per-engine overhead (atomics and contention for `atomic`,
+//! the replicated scan and merges for `partitioned`), not parallel
+//! speedup; the headline number is the `threads == 1` row (the exact
+//! non-atomic path) and docs/PARALLELISM.md §6 gives the multi-core model.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,10 +29,11 @@ use serde::Value;
 use sisg_bench::{emit_metrics, env_u64, env_usize, results_dir};
 use sisg_corpus::TokenId;
 use sisg_obs::Stopwatch;
-use sisg_sgns::{count_freqs, train_with_freqs, SgnsConfig, WindowMode};
+use sisg_sgns::{count_freqs, train_with_freqs, SgnsConfig, TrainEngine, WindowMode};
 
 /// One measured training run.
 struct RunResult {
+    engine: &'static str,
     threads: usize,
     dim: usize,
     pairs: u64,
@@ -52,6 +60,7 @@ impl RunResult {
 
     fn to_value(&self) -> Value {
         Value::Object(vec![
+            ("engine".into(), Value::Str(self.engine.into())),
             ("threads".into(), Value::U64(self.threads as u64)),
             ("dim".into(), Value::U64(self.dim as u64)),
             ("pairs".into(), Value::U64(self.pairs)),
@@ -79,7 +88,13 @@ fn perf_corpus(n_tokens: u32, n_seqs: usize, seq_len: usize, seed: u64) -> Vec<V
         .collect()
 }
 
-fn run_once(seqs: &Vec<Vec<TokenId>>, freqs: &[u64], dim: usize, threads: usize) -> RunResult {
+fn run_once(
+    seqs: &Vec<Vec<TokenId>>,
+    freqs: &[u64],
+    dim: usize,
+    threads: usize,
+    engine: TrainEngine,
+) -> RunResult {
     let cfg = SgnsConfig {
         dim,
         window: 4,
@@ -90,11 +105,19 @@ fn run_once(seqs: &Vec<Vec<TokenId>>, freqs: &[u64], dim: usize, threads: usize)
         // pairs/sec ratio a pure kernel comparison.
         subsample: 0.0,
         threads,
+        engine,
         seed: env_u64("SISG_SEED", 42),
         ..Default::default()
     };
     let (_store, stats) = train_with_freqs(seqs, freqs, &cfg);
     RunResult {
+        engine: match (threads, engine) {
+            (1, _) => "single",
+            (_, TrainEngine::Partitioned) => "partitioned",
+            (_, TrainEngine::AtomicHogwild) => "atomic",
+            // perf_train always passes a concrete engine per tier.
+            (_, TrainEngine::Auto) => "auto",
+        },
         threads,
         dim,
         pairs: stats.pairs,
@@ -221,30 +244,41 @@ fn main() {
         n_seqs * seq_len
     );
 
-    let thread_counts: &[usize] = if smoke { &[1] } else { &[1, 2, 4, 8] };
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
     let dims: &[usize] = if smoke { &[32] } else { &[32, 128] };
 
     // Warm-up run so page faults and lazy init don't land in row one.
-    let _ = run_once(&seqs, &freqs, dims[0], 1);
+    let _ = run_once(&seqs, &freqs, dims[0], 1, TrainEngine::Partitioned);
 
     let mut runs = Vec::new();
     println!(
-        "{:>7} {:>5} {:>10} {:>9} {:>14} {:>14}",
-        "threads", "dim", "pairs", "seconds", "pairs/sec", "tokens/sec"
+        "{:>11} {:>7} {:>5} {:>10} {:>9} {:>14} {:>14}",
+        "engine", "threads", "dim", "pairs", "seconds", "pairs/sec", "tokens/sec"
     );
     for &dim in dims {
         for &threads in thread_counts {
-            let r = run_once(&seqs, &freqs, dim, threads);
-            println!(
-                "{:>7} {:>5} {:>10} {:>9.3} {:>14.0} {:>14.0}",
-                r.threads,
-                r.dim,
-                r.pairs,
-                r.seconds,
-                r.pairs_per_sec(),
-                r.tokens_per_sec()
-            );
-            runs.push(r);
+            // threads == 1 is the exact reference path regardless of
+            // engine; above that, A/B the partitioned engine against the
+            // legacy atomic Hogwild it replaced.
+            let engines: &[TrainEngine] = if threads == 1 {
+                &[TrainEngine::Partitioned]
+            } else {
+                &[TrainEngine::Partitioned, TrainEngine::AtomicHogwild]
+            };
+            for &engine in engines {
+                let r = run_once(&seqs, &freqs, dim, threads, engine);
+                println!(
+                    "{:>11} {:>7} {:>5} {:>10} {:>9.3} {:>14.0} {:>14.0}",
+                    r.engine,
+                    r.threads,
+                    r.dim,
+                    r.pairs,
+                    r.seconds,
+                    r.pairs_per_sec(),
+                    r.tokens_per_sec()
+                );
+                runs.push(r);
+            }
         }
     }
 

@@ -21,7 +21,7 @@ use sisg_eges::{EgesConfig, EgesModel, WalkConfig};
 use sisg_embedding::Matrix;
 use sisg_obs::{names, registry};
 use sisg_serve::{ServeEngine, ServeEngineConfig, ServeError, ServeRequest};
-use sisg_sgns::SgnsConfig;
+use sisg_sgns::{SgnsConfig, TrainEngine};
 use std::path::Path;
 
 fn exercise_every_layer() -> GeneratedCorpus {
@@ -33,6 +33,21 @@ fn exercise_every_layer() -> GeneratedCorpus {
         epochs: 1,
         ..Default::default()
     };
+
+    // The partitioned parallel engine (threads > 1) with a hot set small
+    // enough to leave real cold shards, so all three train.* routing and
+    // replica-merge counters record from live paths.
+    let (_, stats) = SisgModel::train(
+        &corpus,
+        Variant::Sgns,
+        &sgns
+            .clone()
+            .with_threads(2)
+            .with_hot_set_size(4)
+            .with_engine(TrainEngine::Partitioned),
+    )
+    .expect("partitioned train");
+    assert!(stats.stats.pairs > 0, "partitioned run trained nothing");
 
     // SGNS (inside SisgModel) + the serving layer, one all-warm and one
     // all-cold service so every request path records.

@@ -1,0 +1,153 @@
+//! Intra-process vocabulary sharding: HBGP reused for thread ownership.
+//!
+//! The partitioned trainer (`sisg_sgns::partitioned`, docs/PARALLELISM.md)
+//! needs an [`OwnershipPlan`]: every cold vocabulary row owned by exactly
+//! one thread, the hot top-K rows replicated. Its built-in default balances
+//! shards by frequency mass alone; this module builds the better plan the
+//! paper's own partitioner implies — run the Section III-B merge heuristic
+//! over the *token* transition graph, so tokens that co-occur end up on the
+//! same thread and the cross-shard pair fraction (stale reads + deferred
+//! input gradients) shrinks, exactly as HBGP shrinks cross-machine traffic
+//! in the distributed engine.
+//!
+//! Hot tokens are excluded from the graph before partitioning: their rows
+//! are replicated on every thread, so their transitions cost nothing and
+//! would only distort the cut.
+
+use crate::hbgp::{partition_categories, CategoryGraph, HbgpPartitioner};
+use sisg_sgns::partition::top_k_by_frequency;
+use sisg_sgns::{OwnershipPlan, Sequences};
+use std::collections::HashMap;
+
+/// Coarsens `seqs` to a token-level transition graph over a vocabulary of
+/// `freqs.len()` tokens, with the `hot` tokens' mass and edges removed
+/// (they are replicated, not owned).
+pub fn token_graph<S: Sequences + ?Sized>(
+    seqs: &S,
+    freqs: &[u64],
+    hot: &[sisg_corpus::TokenId],
+) -> CategoryGraph {
+    let mut is_hot = vec![false; freqs.len()];
+    for &t in hot {
+        is_hot[t.index()] = true;
+    }
+    let mass: Vec<u64> = freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| if is_hot[i] { 0 } else { f })
+        .collect();
+    let mut weights: HashMap<(u32, u32), u64> = HashMap::new();
+    for i in 0..seqs.n_sequences() {
+        for w in seqs.sequence(i).windows(2) {
+            let (a, b) = (w[0].0, w[1].0);
+            if a != b && !is_hot[w[0].index()] && !is_hot[w[1].index()] {
+                *weights.entry((a.min(b), a.max(b))).or_default() += 1;
+            }
+        }
+    }
+    CategoryGraph::from_parts(weights, mass)
+}
+
+/// Builds an [`OwnershipPlan`] for `threads` training threads by running
+/// the HBGP merge heuristic over the token transition graph of `seqs`:
+/// the `hot_k` most frequent tokens are replicated, the rest are grouped
+/// to keep co-occurring tokens on one thread under the `β·|V|/w` balance
+/// cap. Pass the result to `sisg_sgns::train_partitioned_into`.
+pub fn plan_intra_process<S: Sequences + ?Sized>(
+    seqs: &S,
+    freqs: &[u64],
+    threads: usize,
+    hot_k: usize,
+    partitioner: &HbgpPartitioner,
+) -> OwnershipPlan {
+    assert!(threads > 0, "need at least one thread");
+    let hot = top_k_by_frequency(freqs, hot_k);
+    let graph = token_graph(seqs, freqs, &hot);
+    let owners = partition_categories(
+        &graph,
+        threads,
+        partitioner.beta,
+        partitioner.beta_relaxation,
+    );
+    OwnershipPlan::from_owners(owners, threads, hot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisg_corpus::TokenId;
+
+    /// Two disjoint co-occurrence clusters must land on different threads
+    /// with a zero cut — the whole point of reusing HBGP over frequency
+    /// balancing, which would happily interleave them.
+    #[test]
+    fn co_occurring_tokens_share_a_thread() {
+        let mut seqs: Vec<Vec<TokenId>> = Vec::new();
+        for _ in 0..50 {
+            seqs.push((0u32..5).map(TokenId).collect());
+            seqs.push((5u32..10).map(TokenId).collect());
+        }
+        let freqs = sisg_sgns::count_freqs(&seqs, 10);
+        let plan = plan_intra_process(&seqs, &freqs, 2, 0, &HbgpPartitioner::default());
+        let owner0 = plan.owner(TokenId(0));
+        for t in 1..5 {
+            assert_eq!(plan.owner(TokenId(t)), owner0, "cluster A split");
+        }
+        let owner5 = plan.owner(TokenId(5));
+        assert_ne!(owner5, owner0, "clusters must use both threads");
+        for t in 6..10 {
+            assert_eq!(plan.owner(TokenId(t)), owner5, "cluster B split");
+        }
+        // Zero cut: every adjacent pair routes to a shard that owns both.
+        for s in &seqs {
+            for w in s.windows(2) {
+                let shard = plan.route(w[0], w[1]);
+                assert!(plan.is_local(shard, w[0]) && plan.is_local(shard, w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn hot_tokens_are_replicated_not_owned() {
+        // Token 0 bridges both clusters and dominates frequency; with
+        // hot_k = 1 it is replicated, so the bridge does not force the
+        // clusters together.
+        let mut seqs: Vec<Vec<TokenId>> = Vec::new();
+        for _ in 0..50 {
+            seqs.push(vec![TokenId(0), TokenId(1), TokenId(2), TokenId(0)]);
+            seqs.push(vec![TokenId(0), TokenId(3), TokenId(4), TokenId(0)]);
+        }
+        let freqs = sisg_sgns::count_freqs(&seqs, 5);
+        let plan = plan_intra_process(&seqs, &freqs, 2, 1, &HbgpPartitioner::default());
+        assert!(plan.is_hot(TokenId(0)));
+        assert_eq!(plan.owner(TokenId(1)), plan.owner(TokenId(2)));
+        assert_eq!(plan.owner(TokenId(3)), plan.owner(TokenId(4)));
+        assert_ne!(plan.owner(TokenId(1)), plan.owner(TokenId(3)));
+    }
+
+    /// The HBGP plan must plug straight into the partitioned trainer.
+    #[test]
+    fn hbgp_plan_trains() {
+        let seqs: Vec<Vec<TokenId>> = (0..60)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0u32 } else { 6 };
+                (0..6).map(|j| TokenId(base + j)).collect()
+            })
+            .collect();
+        let freqs = sisg_sgns::count_freqs(&seqs, 12);
+        let plan = plan_intra_process(&seqs, &freqs, 2, 2, &HbgpPartitioner::default());
+        let cfg = sisg_sgns::SgnsConfig {
+            dim: 8,
+            window: 2,
+            negatives: 3,
+            epochs: 1,
+            subsample: 0.0,
+            threads: 2,
+            ..Default::default()
+        };
+        let store = sisg_embedding::EmbeddingStore::new(12, cfg.dim, cfg.seed);
+        let (store, stats) = sisg_sgns::train_partitioned_into(&seqs, &freqs, &cfg, store, &plan);
+        assert!(stats.pairs > 0);
+        assert_eq!(store.n_tokens(), 12);
+    }
+}

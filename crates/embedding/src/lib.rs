@@ -12,10 +12,12 @@ pub mod codec;
 pub mod kernels;
 pub mod math;
 pub mod matrix;
+pub mod replica;
 pub mod store;
 pub mod topk;
 pub mod word2vec;
 
 pub use matrix::{dot_slice_x4, Matrix, RowPtr};
+pub use replica::ReplicaBank;
 pub use store::EmbeddingStore;
 pub use topk::{retrieve_top_k, Neighbor, TopK};

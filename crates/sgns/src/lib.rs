@@ -16,22 +16,29 @@
 //!   (the `-D` directional variants of Section II-C), plus Mikolov
 //!   frequency subsampling;
 //! - [`sigmoid::SigmoidTable`] — the classic 1000-entry σ lookup table;
-//! - [`trainer`] — single-threaded reference trainer and a Hogwild
-//!   shared-memory parallel trainer with linear learning-rate decay.
+//! - [`trainer`] — single-threaded reference trainer plus two parallel
+//!   engines with linear learning-rate decay: the default
+//!   ownership-[`partitioned`] engine over an [`OwnershipPlan`]
+//!   (docs/PARALLELISM.md) and the legacy atomic Hogwild path.
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod noise;
+pub mod partition;
+pub mod partitioned;
 pub mod sampler;
 pub mod sgd;
 pub mod sigmoid;
 pub mod trainer;
 
-pub use config::SgnsConfig;
+pub use config::{SgnsConfig, TrainEngine};
 pub use noise::NoiseTable;
+pub use partition::OwnershipPlan;
+pub use partitioned::{train_partitioned, train_partitioned_into};
 pub use sampler::{PairSampler, SubsampleTable, WindowMode};
 pub use sgd::{train_pair, train_pair_mut, PairScratch};
 pub use trainer::{
-    count_freqs, train, train_into, train_parallel, train_with_freqs, Sequences, TrainStats,
+    count_freqs, resolve_engine, train, train_into, train_parallel, train_with_freqs, Sequences,
+    TrainStats,
 };

@@ -206,12 +206,97 @@ pub fn mut_steps(
     loss
 }
 
+/// Where a step token's output row lives in the partitioned engine: either
+/// the worker's cold shard matrix or its hot replica matrix, by physical
+/// row index. Produced by the engine's resolver from the `OwnershipPlan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitRow {
+    /// Row of the worker's cold (owned) shard matrix.
+    Cold(usize),
+    /// Row of the worker's hot replica matrix.
+    Hot(usize),
+}
+
+#[inline]
+fn split_row<'a>(cold: &'a Matrix, hot: &'a Matrix, sr: SplitRow) -> &'a [f32] {
+    match sr {
+        SplitRow::Cold(i) => cold.row(i),
+        SplitRow::Hot(i) => hot.row(i),
+    }
+}
+
+#[inline]
+fn split_row_mut<'a>(cold: &'a mut Matrix, hot: &'a mut Matrix, sr: SplitRow) -> &'a mut [f32] {
+    match sr {
+        SplitRow::Cold(i) => cold.row_mut(i),
+        SplitRow::Hot(i) => hot.row_mut(i),
+    }
+}
+
+/// The step phase when a worker's output rows are split across two
+/// matrices (its cold shard and its hot replica bank). Phase-for-phase
+/// identical to [`mut_steps`] — same batched dot phase, same step order,
+/// same kernels — so results are bit-identical to training the same rows
+/// in one matrix (pinned by a test below). Still zero atomics: both
+/// matrices are exclusively owned by the calling worker.
+#[allow(clippy::too_many_arguments)]
+pub fn split_steps(
+    cold: &mut Matrix,
+    hot: &mut Matrix,
+    resolve: impl Fn(TokenId) -> SplitRow,
+    kept: &[TokenId],
+    v: &[f32],
+    lr: f32,
+    sigmoid: &SigmoidTable,
+    grad: &mut [f32],
+    scores: &mut Vec<f32>,
+) -> f64 {
+    let n = kept.len();
+    let mut loss = 0.0f64;
+    if pairwise_distinct(kept) {
+        scores.clear();
+        scores.resize(n, 0.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            let rows = [
+                split_row(cold, hot, resolve(kept[i])),
+                split_row(cold, hot, resolve(kept[i + 1])),
+                split_row(cold, hot, resolve(kept[i + 2])),
+                split_row(cold, hot, resolve(kept[i + 3])),
+            ];
+            let out = kernels::dot_ordered_x4(rows, v);
+            scores[i..i + 4].copy_from_slice(&out);
+            i += 4;
+        }
+        while i < n {
+            scores[i] = kernels::dot_ordered(split_row(cold, hot, resolve(kept[i])), v);
+            i += 1;
+        }
+        for (i, &t) in kept.iter().enumerate() {
+            let label = if i == 0 { 1.0f32 } else { 0.0 };
+            let f = scores[i];
+            let g = (label - sigmoid.sigmoid(f)) * lr;
+            kernels::fused_step(g, v, split_row_mut(cold, hot, resolve(t)), grad);
+            loss += step_loss(sigmoid, f, label);
+        }
+    } else {
+        for (i, &t) in kept.iter().enumerate() {
+            let label = if i == 0 { 1.0f32 } else { 0.0 };
+            let f = kernels::dot_ordered(split_row(cold, hot, resolve(t)), v);
+            let g = (label - sigmoid.sigmoid(f)) * lr;
+            kernels::fused_step(g, v, split_row_mut(cold, hot, resolve(t)), grad);
+            loss += step_loss(sigmoid, f, label);
+        }
+    }
+    loss
+}
+
 /// Builds the step-token list: the positive context first, then every
 /// negative that does not collide with it (the original word2vec skip —
 /// updating the same row with both labels in one step would cancel the
 /// signal).
 #[inline]
-fn build_kept(kept: &mut Vec<TokenId>, context: TokenId, negatives: &[TokenId]) {
+pub(crate) fn build_kept(kept: &mut Vec<TokenId>, context: TokenId, negatives: &[TokenId]) {
     kept.clear();
     kept.push(context);
     for &neg in negatives {
@@ -470,6 +555,91 @@ mod tests {
                     |m: &Matrix| -> Vec<u32> { m.as_slice().iter().map(|v| v.to_bits()).collect() };
                 assert_eq!(bits(&input_h), bits(&input_m), "case {case} dim {dim}");
                 assert_eq!(bits(&output_h), bits(&output_m), "case {case} dim {dim}");
+            }
+        }
+    }
+
+    /// Splitting a worker's output rows across a cold shard and a hot
+    /// replica matrix must not change a single bit vs. the same rows in
+    /// one matrix — `split_steps` is `mut_steps` with a two-way resolver.
+    #[test]
+    fn split_and_mut_steps_are_bit_identical() {
+        // Same negative-set shapes as the hogwild/mut parity test: batch,
+        // x4 remainder, and the duplicate-token sequential fallback.
+        let neg_sets: &[&[TokenId]] = &[
+            &[],
+            &[TokenId(2)],
+            &[TokenId(2), TokenId(3), TokenId(4), TokenId(5)],
+            &[TokenId(2), TokenId(3), TokenId(2), TokenId(4), TokenId(5)],
+        ];
+        // Rows 1, 3, 5 are "hot" (replica slots 0, 1, 2), the rest cold.
+        let resolve = |t: TokenId| -> SplitRow {
+            if t.index() % 2 == 1 {
+                SplitRow::Hot(t.index() / 2)
+            } else {
+                SplitRow::Cold(t.index() / 2)
+            }
+        };
+        for (case, negatives) in neg_sets.iter().enumerate() {
+            for dim in [4usize, 7, 8] {
+                let mut output_m = Matrix::uniform_init(6, dim, 31);
+                let mut cold = Matrix::zeros(3, dim);
+                let mut hot = Matrix::zeros(3, dim);
+                for r in 0..6 {
+                    let dst = match resolve(TokenId(r as u32)) {
+                        SplitRow::Cold(i) => cold.row_mut(i),
+                        SplitRow::Hot(i) => hot.row_mut(i),
+                    };
+                    dst.copy_from_slice(output_m.row(r));
+                }
+                let input = Matrix::uniform_init(6, dim, 32);
+                let sig = SigmoidTable::new();
+                let v = input.row(0).to_vec();
+                let mut grad_m = vec![0.0f32; dim];
+                let mut grad_s = vec![0.0f32; dim];
+                let mut scores_m = Vec::new();
+                let mut scores_s = Vec::new();
+                let mut kept = Vec::new();
+                build_kept(&mut kept, TokenId(1), negatives);
+
+                let mut loss_m = 0.0;
+                let mut loss_s = 0.0;
+                for _ in 0..5 {
+                    loss_m += mut_steps(
+                        &mut output_m,
+                        &kept,
+                        &v,
+                        0.07,
+                        &sig,
+                        &mut grad_m,
+                        &mut scores_m,
+                    );
+                    loss_s += split_steps(
+                        &mut cold,
+                        &mut hot,
+                        resolve,
+                        &kept,
+                        &v,
+                        0.07,
+                        &sig,
+                        &mut grad_s,
+                        &mut scores_s,
+                    );
+                }
+                assert_eq!(loss_m.to_bits(), loss_s.to_bits(), "case {case} dim {dim}");
+                let bits = |s: &[f32]| -> Vec<u32> { s.iter().map(|v| v.to_bits()).collect() };
+                assert_eq!(bits(&grad_m), bits(&grad_s), "case {case} dim {dim}");
+                for r in 0..6 {
+                    let split = match resolve(TokenId(r as u32)) {
+                        SplitRow::Cold(i) => cold.row(i),
+                        SplitRow::Hot(i) => hot.row(i),
+                    };
+                    assert_eq!(
+                        bits(output_m.row(r)),
+                        bits(split),
+                        "case {case} dim {dim} row {r}"
+                    );
+                }
             }
         }
     }

@@ -1,14 +1,17 @@
-//! Training drivers: a single-threaded reference path and a Hogwild
-//! shared-memory parallel path.
+//! Training drivers: a single-threaded reference path and two parallel
+//! engines — the ownership-partitioned one (`crate::partitioned`,
+//! docs/PARALLELISM.md) and atomic Hogwild — selected per workload by
+//! [`resolve_engine`] when [`SgnsConfig::engine`](crate::config::TrainEngine)
+//! is `Auto` (the default).
 //!
-//! Both drivers consume any [`Sequences`] source — enriched SISG sequences,
+//! All drivers consume any [`Sequences`] source — enriched SISG sequences,
 //! plain item sequences, or EGES random-walk corpora — and produce an
 //! [`EmbeddingStore`]. Learning rate decays linearly with processed-token
 //! progress, exactly as in word2vec.
 
 use crate::config::SgnsConfig;
 use crate::noise::NoiseTable;
-use crate::sampler::{PairSampler, SubsampleTable};
+use crate::sampler::{PairSampler, SubsampleTable, WindowMode};
 use crate::sgd::{train_pair, train_pair_mut, PairScratch};
 use crate::sigmoid::SigmoidTable;
 use rand::rngs::StdRng;
@@ -104,20 +107,20 @@ impl TrainStats {
 /// driver flushes them to the obs registry once per epoch per thread, so
 /// instrumentation costs nothing inside the pair loop.
 #[derive(Debug, Clone, Default)]
-struct ChunkStats {
-    pairs: u64,
+pub(crate) struct ChunkStats {
+    pub(crate) pairs: u64,
     /// Tokens surviving subsampling.
-    tokens: u64,
+    pub(crate) tokens: u64,
     /// Tokens seen before subsampling.
-    raw_tokens: u64,
-    loss_sum: f64,
-    loss_count: u64,
+    pub(crate) raw_tokens: u64,
+    pub(crate) loss_sum: f64,
+    pub(crate) loss_count: u64,
     /// Effective (decayed) learning rate at the last trained pair.
-    last_lr: f32,
+    pub(crate) last_lr: f32,
 }
 
 impl ChunkStats {
-    fn merge(&mut self, o: &ChunkStats) {
+    pub(crate) fn merge(&mut self, o: &ChunkStats) {
         self.pairs += o.pairs;
         self.tokens += o.tokens;
         self.raw_tokens += o.raw_tokens;
@@ -126,7 +129,7 @@ impl ChunkStats {
         self.last_lr = o.last_lr;
     }
 
-    fn avg_loss(&self) -> f64 {
+    pub(crate) fn avg_loss(&self) -> f64 {
         if self.loss_count > 0 {
             self.loss_sum / self.loss_count as f64
         } else {
@@ -135,7 +138,7 @@ impl ChunkStats {
     }
 
     /// Publishes this chunk's deltas to the global registry.
-    fn flush_to_obs(&self) {
+    pub(crate) fn flush_to_obs(&self) {
         let m = sgns_metrics();
         m.pairs.add(self.pairs);
         m.tokens.add(self.tokens);
@@ -196,7 +199,9 @@ pub fn count_freqs<S: Sequences + ?Sized>(seqs: &S, n_tokens: usize) -> Vec<u64>
 /// Trains SGNS embeddings over `seqs` with vocabulary size `n_tokens`.
 ///
 /// With `config.threads == 1` this is the exact, deterministic reference
-/// path; larger thread counts switch to Hogwild.
+/// path; larger thread counts switch to the engine selected by
+/// `config.engine` — per-workload auto-selection by default
+/// ([`resolve_engine`]), with both engines explicitly pinnable.
 ///
 /// ```
 /// use sisg_corpus::TokenId;
@@ -256,7 +261,87 @@ pub fn train_into<S: Sequences + ?Sized>(
     if config.threads <= 1 {
         train_single(seqs, freqs, config, store)
     } else {
-        train_parallel_into(seqs, freqs, config, store)
+        match resolve_engine(freqs, config) {
+            crate::config::TrainEngine::Partitioned => {
+                let plan = crate::partition::OwnershipPlan::balanced_by_frequency(
+                    freqs,
+                    config.threads,
+                    if config.hot_set_size == 0 {
+                        crate::partition::OwnershipPlan::auto_hot_k(freqs.len())
+                    } else {
+                        config.hot_set_size
+                    },
+                );
+                crate::partitioned::train_partitioned_into(seqs, freqs, config, store, &plan)
+            }
+            _ => train_parallel_into(seqs, freqs, config, store),
+        }
+    }
+}
+
+/// Above this many expected updates on the single hottest row per thread
+/// per merge round, `TrainEngine::Auto` picks Hogwild over the partitioned
+/// engine: per-round summed deltas on such rows are dominated by the
+/// correlated systematic gradient component, so every merge overshoots
+/// into the trust-region clip and the hot head advances at the bounded
+/// clip rate instead of its true gradient rate — Hogwild's
+/// immediately-visible writes have no such bound. Calibrated on the
+/// offline corpus family: partitioned-healthy workloads measure ≤ ~50,
+/// the frequency-enriched ones that need Hogwild measure ≥ ~2500
+/// (docs/PARALLELISM.md §5).
+const HOT_ROW_ROUND_UPDATE_LIMIT: f64 = 256.0;
+
+/// Expected post-subsampling updates on the single hottest row per thread
+/// per merge round — the statistic [`resolve_engine`] thresholds.
+fn hottest_row_round_updates(freqs: &[u64], config: &SgnsConfig) -> f64 {
+    let subsample = SubsampleTable::new(freqs, config.subsample);
+    let max_kept = freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c as f64 * subsample.keep_prob(TokenId(i as u32)) as f64)
+        .fold(0.0f64, f64::max);
+    // A kept occurrence contributes ~2·window row updates (input side as
+    // target, output side as context); constants beyond that are absorbed
+    // by the threshold.
+    max_kept * 2.0 * config.window as f64
+        / (config.replica_sync_rounds.max(1) as f64 * config.threads as f64)
+}
+
+/// Resolves [`TrainEngine::Auto`] against a concrete workload: returns the
+/// engine `threads > 1` training will actually run (never `Auto`).
+/// Explicit engine choices pass through untouched.
+///
+/// Two rules, both measured on the offline corpus family
+/// (docs/PARALLELISM.md §5):
+///
+/// 1. **Hot-row density** — partitioned unless the hottest row's expected
+///    update density per thread per merge round exceeds
+///    [`HOT_ROW_ROUND_UPDATE_LIMIT`]; hot-dominated corpora (tiny
+///    vocabularies, frequency-enriched side information) need Hogwild's
+///    immediate write visibility, while partitionable corpora get the
+///    deterministic non-atomic engine.
+/// 2. **Directional windows** — directional training retrieves by
+///    `input · output`, which leans on exactly the output rows the
+///    partitioned engine trains only against owner-local negative draws;
+///    the measured deficit is well outside the quality band (HR@10 0.16
+///    vs Hogwild's 0.29 on the directional offline variant) even though
+///    the density statistic looks healthy, so Auto routes directional
+///    workloads to Hogwild.
+///
+/// Pure function of `(freqs, config)`, so the choice is reproducible for a
+/// fixed corpus.
+pub fn resolve_engine(freqs: &[u64], config: &SgnsConfig) -> crate::config::TrainEngine {
+    match config.engine {
+        crate::config::TrainEngine::Auto => {
+            if config.window_mode == WindowMode::RightOnly
+                || hottest_row_round_updates(freqs, config) > HOT_ROW_ROUND_UPDATE_LIMIT
+            {
+                crate::config::TrainEngine::AtomicHogwild
+            } else {
+                crate::config::TrainEngine::Partitioned
+            }
+        }
+        explicit => explicit,
     }
 }
 
@@ -273,17 +358,17 @@ struct EpochContext<'a> {
 /// Per-worker reusable buffers of the chunk loop: allocated once per
 /// thread, reused across every sequence and epoch — the hot loop itself
 /// never allocates.
-struct ChunkBuffers {
-    filtered: Vec<TokenId>,
-    negatives: Vec<TokenId>,
+pub(crate) struct ChunkBuffers {
+    pub(crate) filtered: Vec<TokenId>,
+    pub(crate) negatives: Vec<TokenId>,
     /// `for_each_pair` needs the rng; pairs are drawn into this buffer
     /// first to keep a single mutable borrow of rng at a time.
-    pair_buf: Vec<(TokenId, TokenId)>,
-    scratch: PairScratch,
+    pub(crate) pair_buf: Vec<(TokenId, TokenId)>,
+    pub(crate) scratch: PairScratch,
 }
 
 impl ChunkBuffers {
-    fn new(dim: usize, negatives: usize) -> Self {
+    pub(crate) fn new(dim: usize, negatives: usize) -> Self {
         Self {
             filtered: Vec::with_capacity(64),
             negatives: Vec::with_capacity(negatives),
@@ -342,7 +427,7 @@ fn run_chunk<S, F>(
     }
 }
 
-fn train_single<S: Sequences + ?Sized>(
+pub(crate) fn train_single<S: Sequences + ?Sized>(
     seqs: &S,
     freqs: &[u64],
     config: &SgnsConfig,
@@ -408,7 +493,7 @@ fn train_single<S: Sequences + ?Sized>(
 }
 
 /// Publishes end-of-run throughput gauges.
-fn publish_throughput(stats: &TrainStats) {
+pub(crate) fn publish_throughput(stats: &TrainStats) {
     registry()
         .gauge(names::SGNS_PAIRS_PER_SEC)
         .set(stats.pairs_per_second());
@@ -522,7 +607,7 @@ fn train_parallel_into<S: Sequences + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sampler::WindowMode;
+    use crate::config::TrainEngine;
     use sisg_embedding::math::cosine;
 
     /// Two "topics" of tokens; sequences stay within a topic. Embeddings
@@ -677,5 +762,53 @@ mod tests {
             ..Default::default()
         };
         let _ = train(&seqs, 20, &cfg);
+    }
+
+    #[test]
+    fn resolve_engine_passes_explicit_choices_through() {
+        let freqs = vec![100u64; 8];
+        let cfg = small_config();
+        for engine in [TrainEngine::Partitioned, TrainEngine::AtomicHogwild] {
+            assert_eq!(
+                resolve_engine(&freqs, &cfg.clone().with_engine(engine)),
+                engine
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_engine_picks_partitioned_for_flat_corpora() {
+        // Flat frequency profile, generous vocabulary: the hottest row sees
+        // few updates per thread per round — the partitionable regime.
+        let freqs = vec![50u64; 1000];
+        let cfg = small_config()
+            .with_engine(TrainEngine::Auto)
+            .with_threads(4);
+        assert_eq!(resolve_engine(&freqs, &cfg), TrainEngine::Partitioned);
+    }
+
+    #[test]
+    fn resolve_engine_picks_hogwild_for_hot_dominated_corpora() {
+        // One super-hot token dominating a tiny vocabulary (the
+        // frequency-enriched regime): density on the hot row far exceeds
+        // the per-round limit even after subsampling.
+        let mut freqs = vec![10u64; 8];
+        freqs[0] = 10_000_000;
+        let cfg = small_config()
+            .with_engine(TrainEngine::Auto)
+            .with_threads(4);
+        assert_eq!(resolve_engine(&freqs, &cfg), TrainEngine::AtomicHogwild);
+    }
+
+    #[test]
+    fn resolve_engine_picks_hogwild_for_directional_windows() {
+        // Directional retrieval scores input·output — routed to Hogwild
+        // regardless of density (see resolve_engine docs).
+        let freqs = vec![50u64; 1000];
+        let cfg = small_config()
+            .with_engine(TrainEngine::Auto)
+            .with_threads(4)
+            .with_window_mode(WindowMode::RightOnly);
+        assert_eq!(resolve_engine(&freqs, &cfg), TrainEngine::AtomicHogwild);
     }
 }

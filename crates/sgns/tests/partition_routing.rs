@@ -1,0 +1,58 @@
+//! Property tests for the ownership plan's routing invariants
+//! (docs/PARALLELISM.md §2): the vocabulary is exactly partitioned into
+//! hot-replicated and once-owned tokens, and every pair routes
+//! deterministically to one shard where its context — and therefore all
+//! its locally-drawn negatives — is local.
+
+use proptest::prelude::*;
+use sisg_corpus::TokenId;
+use sisg_sgns::OwnershipPlan;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn every_pair_routes_to_exactly_one_shard_with_a_local_context(
+        freqs in proptest::collection::vec(0u64..50, 2..40),
+        threads in 1usize..6,
+        hot_k in 0usize..16,
+    ) {
+        let plan = OwnershipPlan::balanced_by_frequency(&freqs, threads, hot_k);
+
+        // Exact partition: every token is replicated (hot) xor owned by
+        // exactly one shard.
+        let mut owned = vec![0usize; freqs.len()];
+        for s in 0..threads {
+            for &t in plan.shard_tokens(s) {
+                owned[t.index()] += 1;
+            }
+        }
+        for (i, &count) in owned.iter().enumerate() {
+            let t = TokenId(i as u32);
+            if plan.is_hot(t) {
+                prop_assert_eq!(count, 0, "hot token {} also owned", i);
+                prop_assert!(plan.hot_slot(t).is_some());
+            } else {
+                prop_assert_eq!(count, 1, "token {} owned {} times", i, count);
+            }
+        }
+
+        for a in 0..freqs.len() as u32 {
+            for b in 0..freqs.len() as u32 {
+                let (target, context) = (TokenId(a), TokenId(b));
+                let s = plan.route(target, context);
+                // In range, deterministic, and the context (hence every
+                // local negative) is writable on the routed shard.
+                prop_assert!(s < threads);
+                prop_assert_eq!(plan.route(target, context), s);
+                prop_assert!(plan.is_local(s, context));
+                // The only remote-target pairs are cold-cold cut pairs —
+                // the ones the engine trains against the stale snapshot.
+                if !plan.is_local(s, target) {
+                    prop_assert!(!plan.is_hot(target));
+                    prop_assert!(!plan.is_hot(context));
+                    prop_assert!(plan.owner(target) != plan.owner(context));
+                }
+            }
+        }
+    }
+}

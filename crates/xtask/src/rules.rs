@@ -60,8 +60,8 @@ pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: 6,
         name: "kernel-path",
-        scope: "crates/sgns, crates/eges, non-test",
-        summary: "per-element `RowPtr` accessors banned in training crates; hot loops use the DESIGN.md §8 kernels",
+        scope: "crates/sgns, crates/eges, embedding/replica.rs, non-test",
+        summary: "per-element `RowPtr` accessors banned in training crates and the replica-merge path; hot loops use the DESIGN.md §8 kernels",
     },
     RuleInfo {
         id: 7,
@@ -153,6 +153,12 @@ pub const PANIC_FREE_FILES: &[&str] = &[
 /// (rule 6) — their hot loops go through the DESIGN.md §8 kernels.
 const KERNEL_PATH_CRATES: &[&str] = &["crates/sgns", "crates/eges"];
 
+/// Individual files under the same kernel-path rule: support code of the
+/// partitioned training hot path (docs/PARALLELISM.md) that lives outside
+/// the kernel-path crates. Replica merges run once per round over every
+/// hot row, so they stay on the slice kernels too.
+pub const KERNEL_PATH_FILES: &[&str] = &["crates/embedding/src/replica.rs"];
+
 /// Crates whose non-test code is checked for lock guards held across
 /// channel/thread operations (rule 9): the two crates whose bounded
 /// queues make the lock-then-blocking-send deadlock shape reachable.
@@ -226,7 +232,7 @@ pub fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
                 panic_free: panic_free || PANIC_FREE_FILES.contains(&rel_str.as_str()),
                 assert_free,
                 obs_timing,
-                kernel_path,
+                kernel_path: kernel_path || KERNEL_PATH_FILES.contains(&rel_str.as_str()),
                 ordering: !compat,
                 guard_channel,
                 no_sleep: !compat,
@@ -1225,6 +1231,19 @@ mod tests {
             assert!(
                 root.join(f).is_file(),
                 "PANIC_FREE_FILES entry `{f}` does not exist"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_path_file_list_points_at_real_files() {
+        // Same anchoring for rule 6's file-scoped entries: a moved
+        // replica-merge file must not silently escape the kernel-path ban.
+        let root = crate::workspace_root();
+        for f in KERNEL_PATH_FILES {
+            assert!(
+                root.join(f).is_file(),
+                "KERNEL_PATH_FILES entry `{f}` does not exist"
             );
         }
     }

@@ -76,10 +76,11 @@ step "simtest smoke: pinned fault seeds replay to their recorded traces"
 cargo test --release -q -p sisg-simtest --test determinism
 
 step "perf smoke: seconds-scale perf_train run + schema validation"
-# --smoke trains one small configuration end to end and writes a
-# BENCH_perf.json with the same sisg.perf.v1 schema as the full run, so
-# the perf pipeline (trainer, kernel micro-timings, JSON emission) is
-# exercised on every change without minutes of benching.
+# --smoke trains small 1- and 2-thread configurations end to end (the
+# 2-thread tier runs both engines: partitioned and atomic Hogwild) and
+# writes a BENCH_perf.json with the same sisg.perf.v1 schema as the full
+# run, so the perf pipeline (both trainer engines, kernel micro-timings,
+# JSON emission) is exercised on every change without minutes of benching.
 SISG_RESULTS=target/ci-results \
   cargo run --release --quiet -p sisg-bench --bin perf_train -- --smoke >/dev/null
 cargo run -p xtask --quiet -- validate-metrics \
