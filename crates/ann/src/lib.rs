@@ -10,6 +10,8 @@
 //! - [`ivf`] — an IVF-Flat index: cluster the vectors, probe the `nprobe`
 //!   nearest cells at query time, scan those exactly;
 //! - [`hnsw`] — a Hierarchical Navigable Small World graph index;
+//! - [`qhnsw`] — the same graph over int8 scale-per-row quantized vectors,
+//!   the bounded-memory variant behind the serve shards' cold paths;
 //! - [`recall`] — recall@K against exact brute force, the metric by which
 //!   index parameters are tuned.
 //!
@@ -21,11 +23,13 @@
 pub mod hnsw;
 pub mod ivf;
 pub mod kmeans;
+pub mod qhnsw;
 pub mod recall;
 
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use kmeans::{kmeans, KmeansConfig, KmeansResult};
+pub use qhnsw::QHnswIndex;
 pub use recall::{recall_at_k, RecallReport};
 
 use sisg_corpus::TokenId;

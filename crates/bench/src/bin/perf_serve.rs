@@ -1,32 +1,54 @@
 //! Load generator for the sharded serve engine (`crates/serve`).
 //!
-//! Replays one request stream twice — first through a sequential
-//! [`MatchingService`] loop (how PR-3 consumers called the serving layer),
-//! then through [`ServeEngine`] — and writes qps plus worker-side
-//! p50/p90/p99 (from the `serve.request.us` obs histogram) to
-//! `results/BENCH_serve.json`. The stream is skewed toward a small pool of
-//! repeating *cold* keys: production cold traffic concentrates on newly
-//! launched items going viral, and that repetition is exactly what the
-//! engine's admission-gated cache converts from a full Eq. (6) scan into a
-//! hash lookup. On a single-core host the speedup is therefore the cache
-//! (plus per-shard pipelining), not parallelism.
+//! Two tiers, one output file (`results/BENCH_serve.json`):
+//!
+//! **Cache tier** — replays one request stream twice, first through a
+//! sequential [`MatchingService`] loop (how PR-3 consumers called the
+//! serving layer), then through [`ServeEngine`], and reports qps plus
+//! worker-side p50/p90/p99 (from the `serve.request.ns` obs histogram,
+//! reported in µs). The stream is skewed toward a small pool of repeating
+//! *cold* keys: production cold traffic concentrates on newly launched
+//! items going viral, and that repetition is exactly what the engine's
+//! admission-gated cache converts from a full Eq. (6) scan into a hash
+//! lookup. On a single-core host the speedup is therefore the cache (plus
+//! per-shard pipelining), not parallelism.
+//!
+//! **Quantized tier** — a 100k-item catalog (synthesized from SI structure
+//! without training; training at this scale is not a serving benchmark's
+//! job) served all-cold with caching off, so every request pays the full
+//! cold path. Compares `ColdPathMode::BruteForce` against
+//! `ColdPathMode::QuantAnn` (int8 in-shard HNSW + exact f32 re-rank) and
+//! reports qps, client-observed latency percentiles, recall@10 against the
+//! brute-force ground truth, quantized bytes/item vs the f32 matrix, and
+//! the streaming `dot_q8` vs f32 `dot` kernel ratio.
 //!
 //! Scale knobs: `SISG_SERVE_ITEMS`, `SISG_SERVE_DIM`, `SISG_SERVE_REQS`,
-//! `SISG_SERVE_SHARDS`, `SISG_SEED`, `SISG_RESULTS`. `--smoke` runs a
-//! seconds-scale subset with the same output schema for CI validation
-//! (`xtask validate-metrics`).
+//! `SISG_SERVE_SHARDS`, `SISG_QUANT_ITEMS`, `SISG_QUANT_REQS`,
+//! `SISG_SEED`, `SISG_RESULTS`. `--smoke` runs a seconds-scale subset of
+//! both tiers with the same output schema for CI validation
+//! (`xtask validate-metrics`). The `reference` field preserves the
+//! pre-quantization committed numbers: when the existing output file
+//! carries no `reference`, the whole file becomes the reference of the
+//! next write (the `perf_train` pattern).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Value;
 use sisg_bench::{emit_metrics, env_u64, env_usize, results_dir};
 use sisg_core::{MatchingService, ServingConfig, SisgModel, Variant};
-use sisg_corpus::{CorpusConfig, GeneratedCorpus, ItemId};
+use sisg_corpus::schema::SchemaCardinalities;
+use sisg_corpus::vocab::TokenSpace;
+use sisg_corpus::{CorpusConfig, GeneratedCorpus, ItemFeature, ItemId, UserRegistry};
+use sisg_embedding::kernels::{dot, dot_q8};
+use sisg_embedding::{EmbeddingStore, Matrix, QuantMatrix, QuantQuery, QuantRows};
 use sisg_obs::Stopwatch;
-use sisg_serve::{ServeEngine, ServeEngineConfig, ServeRequest};
+use sisg_serve::{ColdPathMode, ServeEngine, ServeEngineConfig, ServeRequest, ServingSnapshot};
 use sisg_sgns::SgnsConfig;
 
 const K: usize = 10;
+/// Layer-0 beam width of the quantized cold path; ≈ 10× k keeps recall
+/// comfortably above the 0.95 gate at 100k items / 8 shards.
+const QUANT_EF_SEARCH: usize = 96;
 
 fn click_counts(corpus: &GeneratedCorpus) -> Vec<u64> {
     let mut clicks = vec![0u64; corpus.config.n_items as usize];
@@ -147,6 +169,182 @@ fn run_engine(engine: &ServeEngine, stream: &[ServeRequest], chunk: usize) -> f6
     watch.elapsed_seconds()
 }
 
+/// One blocking request at a time, stopwatch around each: client-observed
+/// cold-path latency in µs, for percentile reporting.
+fn run_engine_latencies(engine: &ServeEngine, stream: &[ServeRequest]) -> Vec<f64> {
+    stream
+        .iter()
+        .map(|req| {
+            let watch = Stopwatch::start();
+            let out = engine.serve(*req).expect("request is servable");
+            std::hint::black_box(out);
+            watch.elapsed_seconds() * 1e6
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Synthesizes a serving artifact of `n_items` cold items at `dim` dims
+/// without training: every SI token keeps its word2vec-style random init,
+/// and each item's input vector is the sum of its SI token vectors plus
+/// item-specific noise. Items sharing a shop/brand/category therefore
+/// cluster — the structure Eq. (6) cold inference exploits — while every
+/// item stays distinct. All click counts are zero, so the whole catalog is
+/// cold and every request exercises the cold path under test.
+fn synth_cold_service(
+    n_items: u32,
+    dim: usize,
+    seed: u64,
+) -> (MatchingService, Vec<[u32; ItemFeature::COUNT]>) {
+    let cards = SchemaCardinalities::for_items(n_items);
+    let users = UserRegistry::generate(64, 4, seed);
+    let space = TokenSpace::new(n_items, &cards, users.n_user_types());
+    let mut store = EmbeddingStore::new(space.len(), dim, seed);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA11C);
+    let si_values: Vec<[u32; ItemFeature::COUNT]> = (0..n_items)
+        .map(|_| {
+            let mut vals = [0u32; ItemFeature::COUNT];
+            for feature in ItemFeature::ALL {
+                vals[feature.slot()] = rng.gen_range(0..cards.cardinality(feature));
+            }
+            vals
+        })
+        .collect();
+
+    for (i, vals) in si_values.iter().enumerate() {
+        let mut row = vec![0.0f32; dim];
+        for feature in ItemFeature::ALL {
+            let token = space.side_info(feature, vals[feature.slot()]);
+            let si_row = store.input(token);
+            for (r, &v) in row.iter_mut().zip(si_row) {
+                *r += v;
+            }
+        }
+        for r in row.iter_mut() {
+            // Noise at the scale of one SI vector component keeps items
+            // sharing all eight SI values from collapsing onto one point.
+            *r += (rng.gen::<f32>() - 0.5) / dim as f32;
+        }
+        store.input_matrix_mut().row_mut(i).copy_from_slice(&row);
+    }
+
+    let model = SisgModel::from_store(Variant::SisgFU, space, store)
+        .expect("synthesized store covers the space");
+    let service = MatchingService::build(
+        model,
+        users,
+        &vec![0u64; n_items as usize],
+        ServingConfig {
+            k: K,
+            min_clicks_for_warm: 1,
+        },
+    )
+    .expect("valid serving config");
+    (service, si_values)
+}
+
+/// Uniform all-cold request stream over the synthesized catalog.
+fn quant_stream(
+    si_values: &[[u32; ItemFeature::COUNT]],
+    n_requests: usize,
+    seed: u64,
+) -> Vec<ServeRequest> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0AA7);
+    (0..n_requests)
+        .map(|_| {
+            let item = rng.gen_range(0..si_values.len());
+            ServeRequest::Candidates {
+                item: ItemId(item as u32),
+                si_values: si_values[item],
+                k: K,
+            }
+        })
+        .collect()
+}
+
+/// Streaming kernel comparison over a working set far larger than L2:
+/// scores every row of an `n × dim` matrix against one query, f32 `dot`
+/// vs int8 `dot_q8`. Returns (f32 ns/dot, q8 ns/dot). The quantized win
+/// is bandwidth: the int8 matrix is ~4× smaller, so at memory-bound
+/// shapes the ratio approaches 4×.
+fn kernel_bench(rows: usize, dim: usize, seed: u64) -> (f64, f64) {
+    let matrix = Matrix::uniform_init(rows, dim, seed ^ 0xD07);
+    let qmatrix = QuantMatrix::from_matrix(&matrix);
+    let query: Vec<f32> = (0..dim).map(|i| ((i as f32).sin() * 0.1) + 0.05).collect();
+    let qquery = QuantQuery::new(&query);
+
+    let reps = (2_000_000 / rows).max(1);
+    let time = |f: &mut dyn FnMut() -> f32| {
+        let watch = Stopwatch::start();
+        let mut acc = 0.0f32;
+        for _ in 0..reps {
+            acc += f();
+        }
+        std::hint::black_box(acc);
+        watch.elapsed_seconds() * 1e9 / (reps * rows) as f64
+    };
+
+    let f32_ns = time(&mut || {
+        let mut acc = 0.0f32;
+        for i in 0..rows {
+            acc += dot(matrix.row(i), &query);
+        }
+        acc
+    });
+    let q8_ns = time(&mut || {
+        let mut acc = 0.0f32;
+        for i in 0..rows {
+            acc += dot_q8(
+                qmatrix.row(i),
+                qquery.weights(),
+                qmatrix.scale(i) * qquery.scale(),
+            );
+        }
+        acc
+    });
+    (f32_ns, q8_ns)
+}
+
+/// Mean recall@k of the engine's answers against per-query ground truth.
+fn recall_against(engine: &ServeEngine, queries: &[(ServeRequest, Vec<ItemId>)]) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (req, truth) in queries {
+        let resp = engine.serve(*req).expect("query is servable");
+        hit += resp
+            .recommendations
+            .iter()
+            .filter(|r| truth.contains(&r.item))
+            .count();
+        total += truth.len();
+    }
+    hit as f64 / total.max(1) as f64
+}
+
+/// Reads the `reference` section out of the existing output file. A file
+/// from before the quantized tier carries no `reference`; its entire
+/// content *is* the pre-change baseline, so it becomes the reference.
+fn load_reference(path: &std::path::Path) -> Value {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Value::Null;
+    };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+        return Value::Null;
+    };
+    match doc.get_field("reference") {
+        Ok(Value::Null) | Err(_) => doc,
+        Ok(reference) => reference.clone(),
+    }
+}
+
 fn snapshot_to_value(snap: &sisg_obs::Snapshot) -> (Value, Value, Value) {
     let counters = Value::Object(
         snap.counters
@@ -182,6 +380,173 @@ fn snapshot_to_value(snap: &sisg_obs::Snapshot) -> (Value, Value, Value) {
     (counters, gauges, histograms)
 }
 
+/// The quantized 100k-item tier. Returns its JSON section.
+fn run_quant_tier(
+    n_items: u32,
+    dim: usize,
+    n_requests: usize,
+    n_shards: usize,
+    seed: u64,
+) -> Value {
+    eprintln!("quant tier: synthesizing {n_items} cold items at dim {dim}");
+    let (service, si_values) = synth_cold_service(n_items, dim, seed);
+
+    // Ground truth for recall@10: the exact brute-force answers, computed
+    // through the direct service before it moves into an engine.
+    let n_samples = (n_items as usize / 100).clamp(50, 200);
+    let sample_step = (si_values.len() / n_samples).max(1);
+    let recall_queries: Vec<(ServeRequest, Vec<ItemId>)> = (0..n_samples)
+        .map(|s| {
+            let item = ItemId((s * sample_step) as u32);
+            let truth: Vec<ItemId> = service
+                .candidates(item, &si_values[item.index()], K)
+                .expect("sampled item is in the catalog")
+                .into_iter()
+                .map(|r| r.item)
+                .collect();
+            (
+                ServeRequest::Candidates {
+                    item,
+                    si_values: si_values[item.index()],
+                    k: K,
+                },
+                truth,
+            )
+        })
+        .collect();
+
+    // Sequential brute-force baseline over a bounded slice (each request
+    // is a full catalog scan; the slice keeps the tier seconds-scale).
+    let stream = quant_stream(&si_values, n_requests, seed);
+    let n_seq = stream.len().min(1_000);
+    let seq_seconds = run_sequential(&service, &stream[..n_seq]);
+    let seq_qps = n_seq as f64 / seq_seconds;
+    eprintln!("quant tier: sequential brute force {seq_qps:.0} qps ({n_seq} reqs)");
+
+    // Quantized memory accounting, from a directly-built snapshot.
+    let (mem_service, _) = synth_cold_service(n_items, dim, seed);
+    let inspect = ServingSnapshot::from_service_with(
+        mem_service,
+        n_shards,
+        ColdPathMode::QuantAnn {
+            ef_search: QUANT_EF_SEARCH,
+        },
+    );
+    let cold_index = inspect.cold_index().expect("quant snapshot built");
+    let bytes_per_item = cold_index.bytes_per_item();
+    let link_bytes_per_item = cold_index.link_bytes() as f64 / f64::from(n_items);
+    let f32_bytes_per_item = dim * std::mem::size_of::<f32>();
+    drop(inspect);
+
+    // Engine A: brute-force cold path, cache off.
+    let engine_section = |engine: &ServeEngine, stream: &[ServeRequest]| {
+        let lat_slice = &stream[..stream.len().min(400)];
+        let mut lat = run_engine_latencies(engine, lat_slice);
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let seconds = run_engine(engine, stream, 256);
+        let qps = stream.len() as f64 / seconds;
+        (
+            qps,
+            Value::Object(vec![
+                ("requests".into(), Value::U64(stream.len() as u64)),
+                ("seconds".into(), Value::F64(seconds)),
+                ("qps".into(), Value::F64(qps)),
+                ("p50_us".into(), Value::F64(percentile(&lat, 0.50))),
+                ("p99_us".into(), Value::F64(percentile(&lat, 0.99))),
+            ]),
+        )
+    };
+    let brute_config = ServeEngineConfig::builder()
+        .n_shards(n_shards)
+        .queue_capacity(256)
+        .cache_capacity(0)
+        .build()
+        .expect("valid engine config");
+    let brute_engine = ServeEngine::start(service, brute_config).expect("engine starts");
+    let (brute_qps, brute_section) = engine_section(&brute_engine, &stream);
+    let brute_recall = recall_against(&brute_engine, &recall_queries);
+    drop(brute_engine);
+    eprintln!("quant tier: brute engine {brute_qps:.0} qps, recall {brute_recall:.3}");
+
+    // Engine B: quantized in-shard ANN + exact f32 re-rank, cache off.
+    let (quant_service, _) = synth_cold_service(n_items, dim, seed);
+    let quant_config = ServeEngineConfig::builder()
+        .n_shards(n_shards)
+        .queue_capacity(256)
+        .cache_capacity(0)
+        .cold_path(ColdPathMode::QuantAnn {
+            ef_search: QUANT_EF_SEARCH,
+        })
+        .build()
+        .expect("valid engine config");
+    let build_watch = Stopwatch::start();
+    let quant_engine = ServeEngine::start(quant_service, quant_config).expect("engine starts");
+    let index_build_seconds = build_watch.elapsed_seconds();
+    let (quant_qps, quant_section) = engine_section(&quant_engine, &stream);
+    let recall = recall_against(&quant_engine, &recall_queries);
+    drop(quant_engine);
+    eprintln!(
+        "quant tier: quant engine {quant_qps:.0} qps ({:.1}x brute), recall@{K} {recall:.3}, \
+         {bytes_per_item} B/item vs {f32_bytes_per_item} B/item f32",
+        quant_qps / brute_qps
+    );
+
+    let (f32_ns, q8_ns) = kernel_bench(n_items as usize, dim, seed);
+    eprintln!(
+        "kernel: f32 dot {f32_ns:.2} ns, dot_q8 {q8_ns:.2} ns ({:.2}x) at d{dim}",
+        f32_ns / q8_ns
+    );
+
+    Value::Object(vec![
+        ("items".into(), Value::U64(u64::from(n_items))),
+        ("dim".into(), Value::U64(dim as u64)),
+        ("requests".into(), Value::U64(stream.len() as u64)),
+        ("shards".into(), Value::U64(n_shards as u64)),
+        ("ef_search".into(), Value::U64(QUANT_EF_SEARCH as u64)),
+        ("k".into(), Value::U64(K as u64)),
+        ("recall_at_10".into(), Value::F64(recall)),
+        ("brute_recall_at_10".into(), Value::F64(brute_recall)),
+        (
+            "bytes_per_item_quant".into(),
+            Value::U64(bytes_per_item as u64),
+        ),
+        (
+            "bytes_per_item_f32".into(),
+            Value::U64(f32_bytes_per_item as u64),
+        ),
+        (
+            "memory_ratio".into(),
+            Value::F64(bytes_per_item as f64 / f32_bytes_per_item as f64),
+        ),
+        (
+            "link_bytes_per_item".into(),
+            Value::F64(link_bytes_per_item),
+        ),
+        (
+            "index_build_seconds".into(),
+            Value::F64(index_build_seconds),
+        ),
+        (
+            "sequential_brute".into(),
+            Value::Object(vec![
+                ("requests".into(), Value::U64(n_seq as u64)),
+                ("seconds".into(), Value::F64(seq_seconds)),
+                ("qps".into(), Value::F64(seq_qps)),
+            ]),
+        ),
+        ("engine_brute".into(), brute_section),
+        ("engine_quant".into(), quant_section),
+        (
+            "kernel".into(),
+            Value::Object(vec![
+                ("f32_ns_per_dot".into(), Value::F64(f32_ns)),
+                ("q8_ns_per_dot".into(), Value::F64(q8_ns)),
+                ("speedup".into(), Value::F64(f32_ns / q8_ns)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (n_items, dim, n_requests) = if smoke {
@@ -191,6 +556,15 @@ fn main() {
             env_usize("SISG_SERVE_ITEMS", 2_400) as u32,
             env_usize("SISG_SERVE_DIM", 64),
             env_usize("SISG_SERVE_REQS", 24_000),
+        )
+    };
+    let (quant_items, quant_dim, quant_requests) = if smoke {
+        (6_000u32, 32usize, 600usize)
+    } else {
+        (
+            env_usize("SISG_QUANT_ITEMS", 100_000) as u32,
+            env_usize("SISG_SERVE_DIM", 64),
+            env_usize("SISG_QUANT_REQS", 4_000),
         )
     };
     let n_shards = env_usize("SISG_SERVE_SHARDS", 8);
@@ -257,21 +631,35 @@ fn main() {
         stats.cache_hits,
         stats.cache_misses
     );
+    drop(engine);
+
+    // The worker-side latency histogram records nanoseconds (a whole-µs
+    // histogram collapses sub-µs cache hits into bucket 0, zeroing every
+    // percentile); report µs. Snapshot now, before the quantized tier adds
+    // its own traffic to the histogram.
+    let cache_snap = sisg_obs::registry().snapshot("perf_serve_cache_tier");
+    let request_ns = cache_snap
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "serve.request.ns")
+        .map(|(_, h)| h.clone());
+    let ns_to_us = |v: Option<f64>| v.map_or(Value::Null, |ns| Value::F64(ns / 1_000.0));
+    if let Some(h) = &request_ns {
+        println!(
+            "worker latency (us): p50 {:?} p90 {:?} p99 {:?} max {:.3}",
+            h.p50.map(|v| v / 1_000.0),
+            h.p90.map(|v| v / 1_000.0),
+            h.p99.map(|v| v / 1_000.0),
+            h.max as f64 / 1_000.0
+        );
+    }
+
+    let quantized = run_quant_tier(quant_items, quant_dim, quant_requests, n_shards, seed);
 
     let snap = sisg_obs::registry().snapshot("perf_serve");
     let (counters, gauges, histograms) = snapshot_to_value(&snap);
-    let request_us = snap
-        .histograms
-        .iter()
-        .find(|(k, _)| k == "serve.request.us")
-        .map(|(_, h)| h.clone());
-    if let Some(h) = &request_us {
-        println!(
-            "worker latency (us): p50 {:?} p90 {:?} p99 {:?} max {}",
-            h.p50, h.p90, h.p99, h.max
-        );
-    }
-    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::F64);
+    let out_path = results_dir().join("BENCH_serve.json");
+    let reference = load_reference(&out_path);
     let doc = Value::Object(vec![
         ("name".into(), Value::Str("perf_serve".into())),
         (
@@ -304,26 +692,27 @@ fn main() {
                 ("overloaded".into(), Value::U64(stats.overloaded)),
                 (
                     "request_us_p50".into(),
-                    opt(request_us.as_ref().and_then(|h| h.p50)),
+                    ns_to_us(request_ns.as_ref().and_then(|h| h.p50)),
                 ),
                 (
                     "request_us_p90".into(),
-                    opt(request_us.as_ref().and_then(|h| h.p90)),
+                    ns_to_us(request_ns.as_ref().and_then(|h| h.p90)),
                 ),
                 (
                     "request_us_p99".into(),
-                    opt(request_us.as_ref().and_then(|h| h.p99)),
+                    ns_to_us(request_ns.as_ref().and_then(|h| h.p99)),
                 ),
             ]),
         ),
+        ("quantized".into(), quantized),
         ("counters".into(), counters),
         ("gauges".into(), gauges),
         ("histograms".into(), histograms),
+        ("reference".into(), reference),
     ]);
-    let path = results_dir().join("BENCH_serve.json");
     let text = serde_json::to_string_pretty(&doc).expect("serve doc serializes");
-    std::fs::write(&path, text + "\n").expect("write BENCH_serve.json");
-    println!("wrote {}", path.display());
+    std::fs::write(&out_path, text + "\n").expect("write BENCH_serve.json");
+    println!("wrote {}", out_path.display());
     let metrics = emit_metrics("perf_serve");
     println!("metrics: {}", metrics.display());
 }

@@ -20,7 +20,7 @@ use sisg_distributed::{train_distributed_channels, CrashSpec, DistConfig, FaultP
 use sisg_eges::{EgesConfig, EgesModel, WalkConfig};
 use sisg_embedding::Matrix;
 use sisg_obs::{names, registry};
-use sisg_serve::{ServeEngine, ServeEngineConfig, ServeError, ServeRequest};
+use sisg_serve::{ColdPathMode, ServeEngine, ServeEngineConfig, ServeError, ServeRequest};
 use sisg_sgns::{SgnsConfig, TrainEngine};
 use std::path::Path;
 
@@ -144,6 +144,29 @@ fn exercise_every_layer() -> GeneratedCorpus {
     let next =
         MatchingService::build(model, corpus.users.clone(), &mixed_clicks, serving).expect("build");
     assert_eq!(engine.swap(next), 1);
+
+    // A quantized-ANN engine so the serve.quant.* counters, the
+    // bytes-per-item gauge, and the per-search hop histogram all record
+    // from a live cold path.
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns).expect("train");
+    let quant_svc =
+        MatchingService::build(model, corpus.users.clone(), &mixed_clicks, serving).expect("build");
+    let quant_engine = ServeEngine::start(
+        quant_svc,
+        ServeEngineConfig::builder()
+            .n_shards(1)
+            .cache_capacity(0)
+            .cold_path(ColdPathMode::QuantAnn { ef_search: 32 })
+            .build()
+            .expect("valid engine config"),
+    )
+    .expect("quantized engine starts");
+    quant_engine
+        .serve(cold_req)
+        .expect("quantized cold-item serve");
+    quant_engine
+        .serve(user_req)
+        .expect("quantized cold-user serve");
 
     // EGES.
     EgesModel::train(

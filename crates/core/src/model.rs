@@ -246,6 +246,30 @@ impl SisgModel {
         )
     }
 
+    /// Re-ranks an explicit candidate set against an arbitrary query
+    /// vector with the exact f32 scorer — the re-rank half of the
+    /// quantized cold path in `crates/serve`: an in-shard ANN proposes
+    /// candidate ids, this restores exact cosine order among them.
+    /// Candidate ids index the item matrix (`0..n_items`).
+    pub fn rerank_items_to_vector(
+        &self,
+        query: &[f32],
+        candidates: impl Iterator<Item = TokenId>,
+        k: usize,
+    ) -> Vec<Neighbor> {
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        retrieve_top_k(&q, &self.item_norm, candidates, k, None)
+    }
+
+    /// The L2-normalized item input matrix the cosine scorers run over —
+    /// the corpus a quantized in-shard index is built from (rows are
+    /// unit-norm, so inner product is navigable without augmentation).
+    #[inline]
+    pub fn item_norm_matrix(&self) -> &Matrix {
+        &self.item_norm
+    }
+
     /// The input vector of any token (item, SI instance, or user type) in
     /// the joint space.
     pub fn token_input(&self, token: TokenId) -> &[f32] {

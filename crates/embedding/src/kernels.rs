@@ -193,6 +193,95 @@ pub fn fused_step(g: f32, v: &[f32], vp: &mut [f32], grad: &mut [f32]) {
     }
 }
 
+/// Serial-sum reference for the quantized kernels. Integer addition is
+/// associative, so unlike the f32 pair ([`dot`] vs [`dot_scalar_ref`])
+/// any blocking of [`dot_q8_i32`] must return *exactly* this sum — the
+/// blocked kernel is held to it at 0 ULP (it is the same integer) for
+/// every length by the remainder-sweep test below.
+#[inline]
+pub fn dot_q8_scalar_ref(x: &[i8], y: &[i8]) -> i32 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a as i32 * b as i32).sum()
+}
+
+/// Raw quantized dot product: i32 accumulation over i8 weights in
+/// 32-element blocks, each block a plain widening multiply-add loop that
+/// LLVM's loop vectorizer turns into SIMD code. The f32 [`dot`]'s manual
+/// 4-lane unroll is deliberately *not* mirrored here: it defeats integer
+/// vectorization and measures ~3× slower at baseline x86-64 than this
+/// shape. Unlike the f32 kernels the blocking is invisible in the result
+/// — integer addition is associative, so every shape returns exactly the
+/// serial sum of [`dot_q8_scalar_ref`] (i8·i8 products and their sums
+/// never overflow i32 below 2³¹/127² ≈ 133k elements, far past any
+/// embedding dim here).
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn dot_q8_i32(x: &[i8], y: &[i8]) -> i32 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let mut acc = 0i32;
+    let mut xc = x.chunks_exact(32);
+    let mut yc = y.chunks_exact(32);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        let mut block = 0i32;
+        for d in 0..32 {
+            block += xs[d] as i32 * ys[d] as i32;
+        }
+        acc += block;
+    }
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        acc += a as i32 * b as i32;
+    }
+    acc
+}
+
+/// Quantized dot product rescaled to f32 score space: accumulates in i32
+/// via [`dot_q8_i32`] and multiplies by the *combined* scale
+/// (`row_scale · query_scale`) exactly once. The serving-side quantized
+/// scorer.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn dot_q8(x: &[i8], y: &[i8], combined_scale: f32) -> f32 {
+    dot_q8_i32(x, y) as f32 * combined_scale
+}
+
+/// Four quantized dot products against a shared right-hand side, i32
+/// accumulation chains interleaved for instruction-level parallelism —
+/// the quantized sibling of [`dot_ordered_x4`]. Each result is exactly
+/// `dot_q8(rows[i], y, scales[i])` (integer accumulation makes the
+/// interleaving invisible).
+///
+/// # Panics
+/// Panics when any row's length differs from `y.len()`.
+#[inline]
+pub fn dot_q8_x4(rows: [&[i8]; 4], scales: [f32; 4], y: &[i8]) -> [f32; 4] {
+    let n = y.len();
+    for r in rows {
+        assert_eq!(r.len(), n, "length mismatch");
+    }
+    let [r0, r1, r2, r3] = rows;
+    let mut a0 = 0i32;
+    let mut a1 = 0i32;
+    let mut a2 = 0i32;
+    let mut a3 = 0i32;
+    for d in 0..n {
+        let v = y[d] as i32;
+        a0 += r0[d] as i32 * v;
+        a1 += r1[d] as i32 * v;
+        a2 += r2[d] as i32 * v;
+        a3 += r3[d] as i32 * v;
+    }
+    [
+        a0 as f32 * scales[0],
+        a1 as f32 * scales[1],
+        a2 as f32 * scales[2],
+        a3 as f32 * scales[3],
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +370,66 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    fn qseq(n: usize, salt: i32) -> Vec<i8> {
+        (0..n)
+            .map(|i| (((i as i32 * 37 + salt * 13) % 255) - 127) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn dot_q8_matches_scalar_ref_exactly_across_remainders() {
+        // The ISSUE-level 0-ULP sweep: every length through two full
+        // 32-element blocks plus every partial tail agrees bit-for-bit
+        // with the i32 scalar reference, and with the plain serial sum.
+        for n in 0..=70usize {
+            let x = qseq(n, 1);
+            let y = qseq(n, 7);
+            let unrolled = dot_q8_i32(&x, &y);
+            let reference = dot_q8_scalar_ref(&x, &y);
+            assert_eq!(unrolled, reference, "n={n}");
+            let serial: i32 = x.iter().zip(&y).map(|(&a, &b)| a as i32 * b as i32).sum();
+            assert_eq!(unrolled, serial, "n={n}");
+            // The rescaled form is the same integer times the scale: 0 ULP.
+            let s = 0.0371f32;
+            assert_eq!(
+                dot_q8(&x, &y, s).to_bits(),
+                (reference as f32 * s).to_bits(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_q8_saturated_rows_do_not_overflow() {
+        // 127·127·4096 = 66 060 288 « i32::MAX: the worst case at any
+        // realistic dim stays exact.
+        let x = vec![127i8; 4096];
+        let y = vec![-127i8; 4096];
+        assert_eq!(dot_q8_i32(&x, &y), -127 * 127 * 4096);
+    }
+
+    #[test]
+    fn dot_q8_x4_matches_four_single_dots() {
+        for n in [0usize, 1, 7, 16, 31] {
+            let rows: Vec<Vec<i8>> = (0..4).map(|r| qseq(n, r)).collect();
+            let y = qseq(n, 9);
+            let scales = [0.1f32, 0.2, 0.3, 0.4];
+            let got = dot_q8_x4([&rows[0], &rows[1], &rows[2], &rows[3]], scales, &y);
+            for r in 0..4 {
+                assert_eq!(
+                    got[r].to_bits(),
+                    dot_q8(&rows[r], &y, scales[r]).to_bits(),
+                    "n={n} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_q8_length_mismatch_panics() {
+        let _ = dot_q8_i32(&[1i8], &[1i8, 2]);
     }
 }

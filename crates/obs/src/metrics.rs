@@ -255,9 +255,24 @@ impl Histogram {
 
     /// Records a duration in whole microseconds (the unit every `*.us`
     /// histogram in the catalog uses).
+    ///
+    /// Only suitable when observations are reliably ≥ 1µs: sub-µs
+    /// durations truncate to 0 and collapse into bucket 0, flattening
+    /// every percentile to zero. Sub-µs paths (e.g. `serve.request.ns`)
+    /// use [`Histogram::record_duration_ns`] instead.
     #[inline]
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records a duration in whole nanoseconds — the unit of `*.ns`
+    /// histograms, whose observations are routinely below a microsecond.
+    /// At ns resolution the exact `0..=7` buckets cover only sub-8ns
+    /// noise and real observations land in the quarter-log2 octaves, so
+    /// quantiles stay non-degenerate (see the regression test below).
+    #[inline]
+    pub fn record_duration_ns(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
     /// Number of recorded observations.
@@ -441,6 +456,49 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn sub_microsecond_durations_round_trip_at_ns_resolution() {
+        // Regression for the BENCH_serve percentile-zero bug: a known
+        // sub-µs latency distribution recorded in whole µs collapses into
+        // bucket 0 (all percentiles 0), while the same distribution at ns
+        // resolution keeps non-zero, monotone, bucket-accurate quantiles.
+        use std::time::Duration;
+        let durations: Vec<Duration> = (0..1000)
+            .map(|i| Duration::from_nanos(100 + (i % 10) * 150)) // 100..=1450ns
+            .collect();
+
+        let us = Histogram::new();
+        let ns = Histogram::new();
+        for d in &durations {
+            us.record_duration(*d);
+            ns.record_duration_ns(*d);
+        }
+        // The whole-µs histogram degenerates: p99 rounds to 0 or 1.
+        assert!(us.quantile(0.99).unwrap() <= 1.0);
+
+        // The ns histogram round-trips the distribution: each quantile is
+        // non-zero, the sequence is monotone, and each estimate sits
+        // within its bucket's ≤ 12.5% mid-point error of the exact value.
+        let mut exact: Vec<u64> = durations.iter().map(|d| d.as_nanos() as u64).collect();
+        exact.sort_unstable();
+        let mut last = 0.0f64;
+        for q in [0.5, 0.9, 0.99] {
+            let est = ns.quantile(q).unwrap();
+            assert!(est > 0.0, "p{} is zero at ns resolution", q * 100.0);
+            assert!(est >= last, "quantiles must be monotone");
+            last = est;
+            let rank = ((q * exact.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = exact[rank] as f64;
+            assert!(
+                (est - truth).abs() <= truth * 0.25,
+                "q={q}: est {est} vs exact {truth}"
+            );
+        }
+        assert_eq!(ns.count(), 1000);
+        assert_eq!(ns.max(), *exact.last().unwrap());
     }
 
     #[test]

@@ -108,8 +108,24 @@ pub const SERVE_CACHE_MISSES_TOTAL: &str = "serve.cache_misses_total";
 pub const SERVE_OVERLOADED_TOTAL: &str = "serve.overloaded_total";
 /// Snapshot hot-swaps installed by the engine.
 pub const SERVE_SWAPS_TOTAL: &str = "serve.swaps_total";
-/// Histogram: in-worker request service time in microseconds.
-pub const SERVE_REQUEST_US: &str = "serve.request.us";
+/// Histogram: in-worker request service time in **nanoseconds**. The one
+/// deliberate exception to the `.us` convention: typical engine requests
+/// finish in well under a microsecond (a cache hit is a map probe), so a
+/// whole-µs histogram collapses every percentile into bucket 0; ns
+/// resolution keeps p50/p90/p99 meaningful. Consumers divide by 1000.
+pub const SERVE_REQUEST_NS: &str = "serve.request.ns";
+/// Cold-path searches answered by a shard's quantized ANN index (int8
+/// HNSW + f32 re-rank) instead of a brute-force scan.
+pub const SERVE_QUANT_COLD_SEARCHES_TOTAL: &str = "serve.quant.cold_searches_total";
+/// ANN candidates re-ranked with the exact f32 scorer across all
+/// quantized cold-path searches.
+pub const SERVE_QUANT_RERANKED_TOTAL: &str = "serve.quant.reranked_total";
+/// Gauge: quantized payload bytes per item in the serve shards
+/// (`dim` int8 weights + 4-byte scale; link-graph overhead excluded).
+pub const SERVE_QUANT_BYTES_PER_ITEM: &str = "serve.quant.bytes_per_item";
+/// Histogram: nodes scored per quantized in-shard ANN search, summed over
+/// the shards a cold request fanned out to.
+pub const SERVE_ANN_HOPS: &str = "serve.ann_hops";
 
 /// Histogram: ANN index `search()` latency in microseconds.
 pub const ANN_SEARCH_US: &str = "ann.search.us";
@@ -170,7 +186,11 @@ pub const ALL: &[&str] = &[
     SERVE_CACHE_MISSES_TOTAL,
     SERVE_OVERLOADED_TOTAL,
     SERVE_SWAPS_TOTAL,
-    SERVE_REQUEST_US,
+    SERVE_REQUEST_NS,
+    SERVE_QUANT_COLD_SEARCHES_TOTAL,
+    SERVE_QUANT_RERANKED_TOTAL,
+    SERVE_QUANT_BYTES_PER_ITEM,
+    SERVE_ANN_HOPS,
     ANN_SEARCH_US,
     ANN_HNSW_HOPS,
     ANN_RECALL_PROBES_TOTAL,

@@ -4,6 +4,23 @@
 
 use sisg_core::CoreError;
 
+/// How a snapshot answers cold-item / cold-user requests (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColdPathMode {
+    /// Exact brute-force scan over the full f32 item matrix — the
+    /// pre-quantization behavior, fine at bench scale, linear in catalog
+    /// size.
+    BruteForce,
+    /// int8 scale-per-row quantized HNSW inside each shard, with an exact
+    /// f32 re-rank of the merged candidates so final scores match the
+    /// brute-force path bit-for-bit on the items both return.
+    QuantAnn {
+        /// Layer-0 beam width per shard index (≥ k for good recall; the
+        /// per-shard candidate fetch is also bounded by it). Must be ≥ 1.
+        ef_search: usize,
+    },
+}
+
 /// Tuning knobs of the sharded engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeEngineConfig {
@@ -20,6 +37,12 @@ pub struct ServeEngineConfig {
     /// cache (an admission gate keeps one-off requests from churning the
     /// cache). Must be at least 1; `1` admits on first sight.
     pub cache_admit_after: u32,
+    /// Cold-path execution strategy; snapshots built by [`start`] and
+    /// [`swap`] inherit it.
+    ///
+    /// [`start`]: crate::ServeEngine::start
+    /// [`swap`]: crate::ServeEngine::swap
+    pub cold_path: ColdPathMode,
 }
 
 impl Default for ServeEngineConfig {
@@ -29,6 +52,7 @@ impl Default for ServeEngineConfig {
             queue_capacity: 64,
             cache_capacity: 1024,
             cache_admit_after: 2,
+            cold_path: ColdPathMode::BruteForce,
         }
     }
 }
@@ -61,6 +85,12 @@ impl ServeEngineConfig {
         if self.cache_admit_after == 0 {
             return Err(CoreError::InvalidConfig {
                 field: "cache_admit_after",
+                reason: "must be at least 1",
+            });
+        }
+        if let ColdPathMode::QuantAnn { ef_search: 0 } = self.cold_path {
+            return Err(CoreError::InvalidConfig {
+                field: "cold_path.ef_search",
                 reason: "must be at least 1",
             });
         }
@@ -99,6 +129,13 @@ impl ServeEngineConfigBuilder {
         self
     }
 
+    /// Cold-path execution strategy (brute force vs in-shard quantized
+    /// ANN).
+    pub fn cold_path(mut self, mode: ColdPathMode) -> Self {
+        self.config.cold_path = mode;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ServeEngineConfig, CoreError> {
         self.config.validate()?;
@@ -122,6 +159,12 @@ mod tests {
                 ServeEngineConfig::builder().cache_admit_after(0).build(),
                 "cache_admit_after",
             ),
+            (
+                ServeEngineConfig::builder()
+                    .cold_path(ColdPathMode::QuantAnn { ef_search: 0 })
+                    .build(),
+                "cold_path.ef_search",
+            ),
         ] {
             match build {
                 Err(CoreError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
@@ -137,11 +180,17 @@ mod tests {
             .queue_capacity(16)
             .cache_capacity(0)
             .cache_admit_after(3)
+            .cold_path(ColdPathMode::QuantAnn { ef_search: 96 })
             .build()
             .expect("valid");
         assert_eq!(cfg.n_shards, 4);
         assert_eq!(cfg.queue_capacity, 16);
         assert_eq!(cfg.cache_capacity, 0);
         assert_eq!(cfg.cache_admit_after, 3);
+        assert_eq!(cfg.cold_path, ColdPathMode::QuantAnn { ef_search: 96 });
+        assert_eq!(
+            ServeEngineConfig::default().cold_path,
+            ColdPathMode::BruteForce
+        );
     }
 }

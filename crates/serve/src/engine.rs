@@ -189,7 +189,16 @@ impl ServeEngine {
         config.validate()?;
         let metrics = serve_metrics();
         let baseline = EngineStats::now(metrics);
-        let snapshot = Arc::new(ServingSnapshot::from_service(service, config.n_shards));
+        let snapshot = Arc::new(ServingSnapshot::from_service_with(
+            service,
+            config.n_shards,
+            config.cold_path,
+        ));
+        if let Some(index) = snapshot.cold_index() {
+            metrics
+                .quant_bytes_per_item
+                .set(index.bytes_per_item() as f64);
+        }
         let shared = Arc::new(EngineShared {
             snapshot: RwLock::new(Arc::clone(&snapshot)),
             epoch: AtomicU64::new(0),
@@ -328,7 +337,16 @@ impl ServeEngine {
     /// workers pick up the new one (and drop their cold caches) on their
     /// next request.
     pub fn swap(&self, service: MatchingService) -> u64 {
-        let next = Arc::new(ServingSnapshot::from_service(service, self.config.n_shards));
+        let next = Arc::new(ServingSnapshot::from_service_with(
+            service,
+            self.config.n_shards,
+            self.config.cold_path,
+        ));
+        if let Some(index) = next.cold_index() {
+            serve_metrics()
+                .quant_bytes_per_item
+                .set(index.bytes_per_item() as f64);
+        }
         let mut guard = write_snapshot(&self.shared.snapshot);
         *guard = next;
         // The bump must happen inside the write critical section: readers

@@ -63,6 +63,6 @@ pub mod snapshot;
 
 pub use api::{ServeError, ServeRequest, ServeResponse};
 pub use cache::{AdmissionCache, CacheKey};
-pub use config::{ServeEngineConfig, ServeEngineConfigBuilder};
+pub use config::{ColdPathMode, ServeEngineConfig, ServeEngineConfigBuilder};
 pub use engine::{EngineStats, PendingResponse, ServeEngine, ShardHold};
-pub use snapshot::ServingSnapshot;
+pub use snapshot::{ColdIndex, ServingSnapshot};

@@ -4,7 +4,7 @@
 //! [`EngineStats`](crate::EngineStats) reads deltas from these counters
 //! rather than keeping a second set of atomics.
 
-use sisg_obs::{names, registry, Counter, Histogram};
+use sisg_obs::{names, registry, Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 /// `&'static` metric handles, fetched once per process so the request path
@@ -18,7 +18,14 @@ pub(crate) struct ServeMetrics {
     pub(crate) cache_misses: &'static Counter,
     pub(crate) overloaded: &'static Counter,
     pub(crate) swaps: &'static Counter,
-    pub(crate) request_us: &'static Histogram,
+    /// Nanosecond-resolution service time — typical requests finish in
+    /// well under a microsecond, so a whole-µs histogram degenerates
+    /// (every percentile 0). See `names::SERVE_REQUEST_NS`.
+    pub(crate) request_ns: &'static Histogram,
+    pub(crate) quant_cold_searches: &'static Counter,
+    pub(crate) quant_reranked: &'static Counter,
+    pub(crate) quant_bytes_per_item: &'static Gauge,
+    pub(crate) ann_hops: &'static Histogram,
 }
 
 pub(crate) fn serve_metrics() -> &'static ServeMetrics {
@@ -32,6 +39,10 @@ pub(crate) fn serve_metrics() -> &'static ServeMetrics {
         cache_misses: registry().counter(names::SERVE_CACHE_MISSES_TOTAL),
         overloaded: registry().counter(names::SERVE_OVERLOADED_TOTAL),
         swaps: registry().counter(names::SERVE_SWAPS_TOTAL),
-        request_us: registry().histogram(names::SERVE_REQUEST_US),
+        request_ns: registry().histogram(names::SERVE_REQUEST_NS),
+        quant_cold_searches: registry().counter(names::SERVE_QUANT_COLD_SEARCHES_TOTAL),
+        quant_reranked: registry().counter(names::SERVE_QUANT_RERANKED_TOTAL),
+        quant_bytes_per_item: registry().gauge(names::SERVE_QUANT_BYTES_PER_ITEM),
+        ann_hops: registry().histogram(names::SERVE_ANN_HOPS),
     })
 }

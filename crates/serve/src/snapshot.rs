@@ -6,15 +6,102 @@
 //! contiguous slice of the artifact. The lists are moved out of the
 //! service verbatim — a snapshot answers bit-identically to the service it
 //! came from, by construction rather than by re-derivation.
+//!
+//! **Cold paths** (Eq. 6 cold items, demographic cold users) score an
+//! arbitrary query vector against the whole catalog. Under
+//! [`ColdPathMode::BruteForce`] that is an exact linear scan of the f32
+//! item matrix — fine at bench scale, hopeless at millions of items.
+//! Under [`ColdPathMode::QuantAnn`] each shard instead carries a
+//! [`ColdIndex`] slice: its items' normalized vectors quantized to int8
+//! scale-per-row, serialized into the mmap-friendly codec blob
+//! (`sisg_embedding::codec`), and navigated zero-copy by a quantized HNSW
+//! (`sisg_ann::qhnsw`). A cold request fans the ANN search out over every
+//! shard's index, merges the candidates, and re-ranks them with the exact
+//! f32 scorer — so the ids it returns come from the quantized graph but
+//! the scores (and the order among surviving candidates) are identical to
+//! brute force.
 
 use crate::api::{ServeError, ServeRequest, ServeResponse};
 use crate::cache::{AdmissionCache, CacheKey};
+use crate::config::ColdPathMode;
 use crate::metrics::ServeMetrics;
+use sisg_ann::qhnsw::{HnswConfig, QHnswIndex};
 use sisg_core::cold_start;
 use sisg_core::serving::MatchingParts;
 use sisg_core::{MatchingService, Recommendation, SisgModel};
-use sisg_corpus::{ItemId, UserRegistry};
+use sisg_corpus::{ItemId, TokenId, UserRegistry};
+use sisg_embedding::codec::{encode_quant, QuantBlob};
+use sisg_embedding::{Neighbor, QuantMatrix};
 use sisg_obs::Stopwatch;
+
+/// Per-shard quantized ANN indexes over the normalized item matrix —
+/// the bounded-memory cold path (DESIGN.md §11).
+pub struct ColdIndex {
+    /// `indexes[s]` covers items `s, s + n_shards, s + 2·n_shards, …`
+    /// (local id `l` ↔ global item `l · n_shards + s`), each scoring
+    /// zero-copy out of its encoded codec blob.
+    indexes: Vec<QHnswIndex<QuantBlob>>,
+    /// Quantized payload bytes per item (`dim` int8 weights + f32 scale).
+    bytes_per_item: usize,
+    /// Link-graph overhead across all shards, reported separately from
+    /// the payload in the memory accounting.
+    link_bytes: usize,
+}
+
+impl ColdIndex {
+    /// Quantizes and indexes the model's normalized item matrix, sharded
+    /// the same way as the warm lists. Returns `None` only if an encoded
+    /// shard blob fails to parse back (cannot happen for blobs we just
+    /// encoded; the caller degrades to brute force rather than panicking —
+    /// this crate's API is panic-free).
+    fn build(model: &SisgModel, n_shards: usize, ef_search: usize) -> Option<Self> {
+        let item_norm = model.item_norm_matrix();
+        let n_items = item_norm.rows();
+        let dim = item_norm.dim();
+        let config = HnswConfig {
+            ef_search,
+            ..HnswConfig::default()
+        };
+        let mut indexes = Vec::with_capacity(n_shards);
+        let mut link_bytes = 0usize;
+        for s in 0..n_shards {
+            let count = if s < n_items {
+                (n_items - s - 1) / n_shards + 1
+            } else {
+                0
+            };
+            let qm = QuantMatrix::from_rows(count, dim, |l| item_norm.row(l * n_shards + s));
+            let blob = QuantBlob::new(encode_quant(&qm)).ok()?;
+            let index = QHnswIndex::build(blob, config);
+            link_bytes += index.link_bytes();
+            indexes.push(index);
+        }
+        Some(Self {
+            indexes,
+            bytes_per_item: dim + std::mem::size_of::<f32>(),
+            link_bytes,
+        })
+    }
+
+    /// Quantized payload bytes per item.
+    pub fn bytes_per_item(&self) -> usize {
+        self.bytes_per_item
+    }
+
+    /// Link-graph bytes across all shard indexes.
+    pub fn link_bytes(&self) -> usize {
+        self.link_bytes
+    }
+}
+
+impl std::fmt::Debug for ColdIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColdIndex")
+            .field("shards", &self.indexes.len())
+            .field("bytes_per_item", &self.bytes_per_item)
+            .finish_non_exhaustive()
+    }
+}
 
 /// One immutable generation of the serving artifact, sharded by item.
 pub struct ServingSnapshot {
@@ -26,6 +113,8 @@ pub struct ServingSnapshot {
     cold: Vec<bool>,
     model: SisgModel,
     users: UserRegistry,
+    /// Present under [`ColdPathMode::QuantAnn`]; `None` = brute force.
+    cold_index: Option<ColdIndex>,
 }
 
 impl std::fmt::Debug for ServingSnapshot {
@@ -33,15 +122,28 @@ impl std::fmt::Debug for ServingSnapshot {
         f.debug_struct("ServingSnapshot")
             .field("n_shards", &self.n_shards)
             .field("n_items", &self.cold.len())
+            .field("quant_ann", &self.cold_index.is_some())
             .finish_non_exhaustive()
     }
 }
 
 impl ServingSnapshot {
-    /// Reshards a built [`MatchingService`] across `n_shards` workers.
+    /// Reshards a built [`MatchingService`] across `n_shards` workers with
+    /// brute-force cold paths (the pre-quantization default).
     /// `n_shards` must already be validated (the engine config builder
     /// does); a zero value is lifted to 1 rather than dividing by zero.
     pub fn from_service(service: MatchingService, n_shards: usize) -> Self {
+        Self::from_service_with(service, n_shards, ColdPathMode::BruteForce)
+    }
+
+    /// Reshards a built [`MatchingService`] and equips the requested cold
+    /// path. Building [`ColdPathMode::QuantAnn`] quantizes and indexes the
+    /// catalog once, here — the request path never allocates an index.
+    pub fn from_service_with(
+        service: MatchingService,
+        n_shards: usize,
+        cold_path: ColdPathMode,
+    ) -> Self {
         let n_shards = n_shards.max(1);
         let MatchingParts {
             lists,
@@ -56,12 +158,17 @@ impl ServingSnapshot {
         for (i, list) in lists.into_iter().enumerate() {
             shards[i % n_shards].push(list);
         }
+        let cold_index = match cold_path {
+            ColdPathMode::BruteForce => None,
+            ColdPathMode::QuantAnn { ef_search } => ColdIndex::build(&model, n_shards, ef_search),
+        };
         Self {
             n_shards,
             shards,
             cold,
             model,
             users,
+            cold_index,
         }
     }
 
@@ -90,6 +197,11 @@ impl ServingSnapshot {
     /// The model this snapshot answers from.
     pub fn model(&self) -> &SisgModel {
         &self.model
+    }
+
+    /// The quantized in-shard cold index, when this snapshot carries one.
+    pub fn cold_index(&self) -> Option<&ColdIndex> {
+        self.cold_index.as_ref()
     }
 
     /// The warm list of `item`; `None` for cold or unknown items.
@@ -145,7 +257,7 @@ impl ServingSnapshot {
                         respond(hit.clone(), true)
                     } else {
                         metrics.cache_misses.inc();
-                        let computed = self.cold_item_answer(item, &si_values, k)?;
+                        let computed = self.cold_item_answer(item, &si_values, k, metrics)?;
                         cache.admit(key, computed.clone());
                         respond(computed, false)
                     }
@@ -169,14 +281,61 @@ impl ServingSnapshot {
                     respond(hit.clone(), true)
                 } else {
                     metrics.cache_misses.inc();
-                    let computed = self.cold_user_answer(gender, age, purchase, k)?;
+                    let computed = self.cold_user_answer(gender, age, purchase, k, metrics)?;
                     cache.admit(key, computed.clone());
                     respond(computed, false)
                 }
             }
         };
-        metrics.request_us.record_duration(watch.elapsed());
+        metrics.request_ns.record_duration_ns(watch.elapsed());
         Ok(out)
+    }
+
+    /// Fans one cold query out over every shard's quantized index,
+    /// fetching up to `fetch` candidates per shard, and returns the merged
+    /// global item ids. Records search effort (`serve.ann_hops`, summed
+    /// over shards) and candidate volume.
+    fn quant_candidates(
+        &self,
+        index: &ColdIndex,
+        query: &[f32],
+        fetch: usize,
+        metrics: &ServeMetrics,
+    ) -> Vec<TokenId> {
+        let mut hops = 0u64;
+        let mut candidates = Vec::with_capacity(fetch * self.n_shards);
+        for (s, shard_index) in index.indexes.iter().enumerate() {
+            let (hits, h) = shard_index.search_with_effort(query, fetch);
+            hops += h;
+            candidates.extend(
+                hits.into_iter()
+                    .map(|hit| TokenId((hit.id.0 as usize * self.n_shards + s) as u32)),
+            );
+        }
+        metrics.quant_cold_searches.inc();
+        metrics.quant_reranked.add(candidates.len() as u64);
+        metrics.ann_hops.record(hops);
+        candidates
+    }
+
+    /// Retrieves the `fetch` best items for an arbitrary cold query
+    /// vector: quantized ANN + exact f32 re-rank when this snapshot
+    /// carries a [`ColdIndex`], exact brute force otherwise. Either way
+    /// the returned scores come from the f32 scorer.
+    fn cold_query_neighbors(
+        &self,
+        query: &[f32],
+        fetch: usize,
+        metrics: &ServeMetrics,
+    ) -> Vec<Neighbor> {
+        match &self.cold_index {
+            Some(index) => {
+                let candidates = self.quant_candidates(index, query, fetch, metrics);
+                self.model
+                    .rerank_items_to_vector(query, candidates.into_iter(), fetch)
+            }
+            None => self.model.similar_items_to_vector(query, fetch),
+        }
     }
 
     /// The Eq. (6) cold-item path, mirroring
@@ -187,18 +346,19 @@ impl ServingSnapshot {
         item: ItemId,
         si_values: &[u32; sisg_corpus::schema::ItemFeature::COUNT],
         k: usize,
+        metrics: &ServeMetrics,
     ) -> Result<Vec<Recommendation>, ServeError> {
-        Ok(
-            cold_start::cold_item_recommendations(&self.model, si_values, k + 1)?
-                .into_iter()
-                .map(|n| Recommendation {
-                    item: ItemId(n.token.0),
-                    score: n.score,
-                })
-                .filter(|r| r.item != item)
-                .take(k)
-                .collect(),
-        )
+        let query = cold_start::cold_item_vector(&self.model, si_values)?;
+        Ok(self
+            .cold_query_neighbors(&query, k + 1, metrics)
+            .into_iter()
+            .map(|n| Recommendation {
+                item: ItemId(n.token.0),
+                score: n.score,
+            })
+            .filter(|r| r.item != item)
+            .take(k)
+            .collect())
     }
 
     /// The cold-user path, mirroring [`MatchingService::cold_user_candidates`].
@@ -208,20 +368,16 @@ impl ServingSnapshot {
         age: Option<u8>,
         purchase: Option<u8>,
         k: usize,
+        metrics: &ServeMetrics,
     ) -> Result<Vec<Recommendation>, ServeError> {
-        Ok(cold_start::cold_user_recommendations(
-            &self.model,
-            &self.users,
-            gender,
-            age,
-            purchase,
-            k,
-        )?
-        .into_iter()
-        .map(|n| Recommendation {
-            item: ItemId(n.token.0),
-            score: n.score,
-        })
-        .collect())
+        let query = cold_start::cold_user_vector(&self.model, &self.users, gender, age, purchase)?;
+        Ok(self
+            .cold_query_neighbors(&query, k, metrics)
+            .into_iter()
+            .map(|n| Recommendation {
+                item: ItemId(n.token.0),
+                score: n.score,
+            })
+            .collect())
     }
 }

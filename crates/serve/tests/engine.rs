@@ -4,7 +4,7 @@
 
 use sisg_core::{CoreError, MatchingService, ServingConfig, SisgModel, Variant};
 use sisg_corpus::{CorpusConfig, GeneratedCorpus, ItemId};
-use sisg_serve::{ServeEngine, ServeEngineConfig, ServeError, ServeRequest};
+use sisg_serve::{ColdPathMode, ServeEngine, ServeEngineConfig, ServeError, ServeRequest};
 use sisg_sgns::SgnsConfig;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -135,6 +135,79 @@ fn engine_answers_match_the_direct_service_and_cache_is_bit_identical() {
     assert!(
         second.cache_hit,
         "repeated cold-user key must hit the cache"
+    );
+}
+
+#[test]
+fn quantized_cold_path_with_saturating_ef_is_bit_identical_to_brute_force() {
+    let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+    let service = build_service(&corpus, 1);
+    let k = 10;
+
+    let items: Vec<ItemId> = (0..corpus.config.n_items).map(ItemId).collect();
+    let reference: Vec<Vec<sisg_core::Recommendation>> = items
+        .iter()
+        .map(|&i| {
+            service
+                .candidates(i, corpus.catalog.si_values(i), k)
+                .expect("known item")
+        })
+        .collect();
+    let cold: Vec<bool> = items.iter().map(|&i| service.is_cold(i)).collect();
+    assert!(cold.iter().any(|&c| c), "corpus must have cold items");
+    let user_reference = service
+        .cold_user_candidates(None, None, None, k)
+        .expect("all user types match");
+
+    // ef_search ≥ the whole catalog makes every per-shard beam exhaustive:
+    // the quantized index proposes every item, and the exact f32 re-rank
+    // then reproduces the brute-force answer bit for bit. This isolates
+    // re-rank correctness from ANN recall (which crates/ann gates
+    // separately).
+    let config = ServeEngineConfig::builder()
+        .n_shards(2)
+        .cache_capacity(0)
+        .cold_path(ColdPathMode::QuantAnn {
+            ef_search: corpus.config.n_items as usize,
+        })
+        .build()
+        .expect("valid config");
+    let quant_searches_before = sisg_obs::registry()
+        .counter(sisg_obs::names::SERVE_QUANT_COLD_SEARCHES_TOTAL)
+        .get();
+    let engine = ServeEngine::start(service, config).expect("engine starts");
+
+    for (idx, &item) in items.iter().enumerate() {
+        let resp = engine
+            .serve(candidates_request(&corpus, item, k))
+            .expect("serve");
+        assert_eq!(
+            resp.recommendations, reference[idx],
+            "item {item:?} (cold = {}) diverged from brute force under \
+             QuantAnn with a saturating beam",
+            cold[idx]
+        );
+    }
+    let resp = engine
+        .serve(ServeRequest::ColdUser {
+            gender: None,
+            age: None,
+            purchase: None,
+            k,
+        })
+        .expect("cold user");
+    assert_eq!(resp.recommendations, user_reference);
+
+    // The cold answers above must actually have come from the quantized
+    // index, not a silent brute-force fallback.
+    let quant_searches = sisg_obs::registry()
+        .counter(sisg_obs::names::SERVE_QUANT_COLD_SEARCHES_TOTAL)
+        .get()
+        - quant_searches_before;
+    let n_cold = cold.iter().filter(|&&c| c).count() as u64;
+    assert!(
+        quant_searches > n_cold,
+        "expected > {n_cold} quantized cold searches, saw {quant_searches}"
     );
 }
 

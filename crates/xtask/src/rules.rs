@@ -60,7 +60,7 @@ pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: 6,
         name: "kernel-path",
-        scope: "crates/sgns, crates/eges, embedding/replica.rs, non-test",
+        scope: "crates/sgns, crates/eges, embedding/{quant,replica}.rs, non-test",
         summary: "per-element `RowPtr` accessors banned in training crates and the replica-merge path; hot loops use the DESIGN.md §8 kernels",
     },
     RuleInfo {
@@ -153,11 +153,15 @@ pub const PANIC_FREE_FILES: &[&str] = &[
 /// (rule 6) — their hot loops go through the DESIGN.md §8 kernels.
 const KERNEL_PATH_CRATES: &[&str] = &["crates/sgns", "crates/eges"];
 
-/// Individual files under the same kernel-path rule: support code of the
-/// partitioned training hot path (docs/PARALLELISM.md) that lives outside
-/// the kernel-path crates. Replica merges run once per round over every
-/// hot row, so they stay on the slice kernels too.
-pub const KERNEL_PATH_FILES: &[&str] = &["crates/embedding/src/replica.rs"];
+/// Individual files under the same kernel-path rule: support code of hot
+/// paths that lives outside the kernel-path crates. Replica merges run
+/// once per round over every hot row (docs/PARALLELISM.md), and the
+/// quantized store is scored on every cold-path ANN hop (DESIGN.md §11),
+/// so both stay on the slice kernels too.
+pub const KERNEL_PATH_FILES: &[&str] = &[
+    "crates/embedding/src/quant.rs",
+    "crates/embedding/src/replica.rs",
+];
 
 /// Crates whose non-test code is checked for lock guards held across
 /// channel/thread operations (rule 9): the two crates whose bounded
