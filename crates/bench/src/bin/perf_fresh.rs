@@ -1,0 +1,418 @@
+//! Freshness benchmark for the streaming ingest pipeline
+//! (`crates/stream`): how quickly does a click become servable, and what
+//! is recency worth in hit rate?
+//!
+//! One output file (`results/BENCH_fresh.json`), one scenario:
+//!
+//! 1. A scaled corpus is split at a virtual day boundary — the first 60%
+//!    of sessions are **today**, the rest are **tomorrow**. The pipeline
+//!    warm-starts on today and a serve engine boots from that frozen
+//!    snapshot.
+//! 2. The frozen snapshot's HR@10 is measured on the tomorrow slice
+//!    under the paper's next-item protocol (`NextItemSplit`, Eq. 5) —
+//!    each tomorrow sequence's last click is held out, so the eval
+//!    targets never reach training in either condition.
+//! 3. Tomorrow's *prefixes* then replay through `run_live`: a producer
+//!    thread streams batches over a bounded channel while the pipeline
+//!    folds incremental SGNS updates and publishes snapshots through
+//!    `ServeEngine::install` — all while query threads hammer the same
+//!    engine. The benchmark asserts zero hard failures under this
+//!    concurrent swap load (`Overloaded` sheds are tolerated and
+//!    reported; anything else fails the run).
+//! 4. Reported: p50/p90/p99 event-to-servable freshness (from the
+//!    `stream.freshness.us` histogram, real microseconds in live mode),
+//!    ingest throughput, concurrent query qps + client latency
+//!    percentiles, swap/cache-clear accounting, and frozen-vs-fresh
+//!    HR@10 on the identical tomorrow cases.
+//!
+//! Scale knobs: `SISG_FRESH_ITEMS`, `SISG_FRESH_DIM`,
+//! `SISG_FRESH_THREADS`, `SISG_FRESH_SHARDS`, `SISG_SEED`,
+//! `SISG_RESULTS`. `--smoke` runs a seconds-scale subset with the same
+//! output schema for CI validation (`xtask validate-metrics`). The
+//! `reference` field preserves the first committed numbers (the
+//! `perf_serve` pattern).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use sisg_bench::{emit_metrics, env_u64, env_usize, results_dir};
+use sisg_core::{ServingConfig, Variant};
+use sisg_corpus::split::{NextItemSplit, SplitStage};
+use sisg_corpus::{Corpus, CorpusConfig, EventLog, GeneratedCorpus, ItemId};
+use sisg_eval::evaluate_hit_rates;
+use sisg_obs::Stopwatch;
+use sisg_serve::{ServeEngine, ServeEngineConfig, ServeError, ServeRequest};
+use sisg_sgns::SgnsConfig;
+use sisg_stream::{IngestPipeline, StreamConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+const K: usize = 10;
+/// Fraction of sessions that belong to "today" (the warm-start set).
+const TODAY_FRACTION: f64 = 0.6;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Reads the `reference` section out of the existing output file; a file
+/// without one *is* the baseline and becomes the reference of this write.
+fn load_reference(path: &std::path::Path) -> Value {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Value::Null;
+    };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+        return Value::Null;
+    };
+    match doc.get_field("reference") {
+        Ok(Value::Null) | Err(_) => doc,
+        Ok(reference) => reference.clone(),
+    }
+}
+
+fn snapshot_to_value(snap: &sisg_obs::Snapshot) -> (Value, Value, Value) {
+    let counters = Value::Object(
+        snap.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::U64(*v)))
+            .collect(),
+    );
+    let gauges = Value::Object(
+        snap.gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::F64(*v)))
+            .collect(),
+    );
+    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::F64);
+    let histograms = Value::Object(
+        snap.histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Value::Object(vec![
+                        ("count".into(), Value::U64(h.count)),
+                        ("sum".into(), Value::U64(h.sum)),
+                        ("max".into(), Value::U64(h.max)),
+                        ("p50".into(), opt(h.p50)),
+                        ("p90".into(), opt(h.p90)),
+                        ("p99".into(), opt(h.p99)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    (counters, gauges, histograms)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_items, dim, query_threads) = if smoke {
+        (400u32, 16usize, 2usize)
+    } else {
+        (
+            env_usize("SISG_FRESH_ITEMS", 2_400) as u32,
+            env_usize("SISG_FRESH_DIM", 32),
+            env_usize("SISG_FRESH_THREADS", 2),
+        )
+    };
+    let n_shards = env_usize("SISG_FRESH_SHARDS", 4);
+    let seed = env_u64("SISG_SEED", 42);
+
+    let corpus = GeneratedCorpus::generate(CorpusConfig::scaled(n_items, seed));
+    let boundary = (corpus.sessions.len() as f64 * TODAY_FRACTION) as usize;
+    let mut today = Corpus::new();
+    let mut tomorrow = Corpus::new();
+    for (i, s) in corpus.sessions.iter().enumerate() {
+        if i < boundary {
+            today.push(s.user, s.items);
+        } else {
+            tomorrow.push(s.user, s.items);
+        }
+    }
+    // Next-item protocol on the tomorrow slice: the held-out targets are
+    // invisible to BOTH conditions; only the prefixes stream in.
+    let split = NextItemSplit::default().split(&tomorrow, SplitStage::Test);
+    eprintln!(
+        "corpus: {} items, {} today sessions, {} tomorrow sessions ({} eval cases)",
+        n_items,
+        today.len(),
+        tomorrow.len(),
+        split.eval.len()
+    );
+
+    let stream_config = StreamConfig {
+        variant: Variant::SisgFU,
+        sgns: SgnsConfig {
+            dim,
+            window: 2,
+            negatives: 3,
+            epochs: 1,
+            threads: 1,
+            seed,
+            ..Default::default()
+        },
+        serving: ServingConfig {
+            k: K,
+            min_clicks_for_warm: 2,
+        },
+        batch_sessions: if smoke { 32 } else { 64 },
+        publish_every: 4,
+    };
+    let mut pipeline =
+        IngestPipeline::new(corpus.catalog.clone(), corpus.users.clone(), stream_config)
+            .expect("valid stream config");
+
+    let warm_watch = Stopwatch::start();
+    pipeline.warm_start(&today).expect("warm start trains");
+    let warm_seconds = warm_watch.elapsed_seconds();
+    eprintln!("warm start: {} sessions in {warm_seconds:.2}s", today.len());
+
+    let engine = ServeEngine::start(
+        pipeline.freeze().expect("warm-start freeze"),
+        ServeEngineConfig::builder()
+            .n_shards(n_shards)
+            .queue_capacity(256)
+            .cache_capacity(1024)
+            .cache_admit_after(1)
+            .build()
+            .expect("valid engine config"),
+    )
+    .expect("engine starts");
+
+    // Frozen baseline: tomorrow's hit rate straight off today's snapshot.
+    let frozen_snapshot = engine.snapshot();
+    let frozen = evaluate_hit_rates("frozen", frozen_snapshot.model(), &split.eval, &[K]);
+    drop(frozen_snapshot);
+    let frozen_hr = frozen.at(K).unwrap_or(0.0);
+    eprintln!("frozen HR@{K} on tomorrow slice: {frozen_hr:.4}");
+
+    // Live ingest of tomorrow's prefixes under sustained query load.
+    let log = EventLog::from_sessions(&split.train, seed, 500);
+    let query_pool: Vec<ServeRequest> = (0..corpus.config.n_items)
+        .map(|i| {
+            let item = ItemId(i);
+            ServeRequest::Candidates {
+                item,
+                si_values: *corpus.catalog.si_values(item),
+                k: K,
+            }
+        })
+        .collect();
+
+    // ORDERING: Relaxed throughout the load section — stop/ok/overloaded/
+    // failed are plain progress counters with no payload behind them; the
+    // scoped-thread join orders the final reads, and the engine does its
+    // own synchronization.
+    let stop = AtomicBool::new(false);
+    let ok = AtomicU64::new(0);
+    let overloaded = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let mut outcome = None;
+    let mut latencies: Vec<f64> = Vec::new();
+    let ingest_watch = Stopwatch::start();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..query_threads {
+            let query_pool = &query_pool;
+            let engine = &engine;
+            let (stop, ok, overloaded, failed) = (&stop, &ok, &overloaded, &failed);
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ ((t as u64 + 1) * 0x9E37));
+                let mut lat = Vec::new();
+                // ORDERING: Relaxed — see the load-section note above.
+                while !stop.load(Ordering::Relaxed) {
+                    let req = query_pool[rng.gen_range(0..query_pool.len())];
+                    let watch = Stopwatch::start();
+                    match engine.serve(req) {
+                        Ok(resp) => {
+                            std::hint::black_box(&resp);
+                            lat.push(watch.elapsed_seconds() * 1e6);
+                            // ORDERING: Relaxed — load-section note above.
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::Overloaded { .. }) => {
+                            // ORDERING: Relaxed — load-section note above.
+                            overloaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // ORDERING: Relaxed — load-section note above.
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                lat
+            }));
+        }
+        let result = pipeline.run_live(&log, &engine);
+        // ORDERING: Relaxed — see the load-section note above.
+        stop.store(true, Ordering::Relaxed);
+        outcome = Some(result);
+        for h in handles {
+            latencies.extend(h.join().expect("query thread joins"));
+        }
+    });
+    let ingest_seconds = ingest_watch.elapsed_seconds();
+    let outcome = outcome.expect("scope ran").expect("live ingest completes");
+
+    // ORDERING: Relaxed — single-threaded again after the scope join.
+    let (queries_ok, queries_overloaded, queries_failed) = (
+        ok.load(Ordering::Relaxed),
+        overloaded.load(Ordering::Relaxed),
+        failed.load(Ordering::Relaxed),
+    );
+    assert_eq!(
+        queries_failed, 0,
+        "hard failures under concurrent ingest+query (Overloaded sheds \
+         are counted separately and tolerated)"
+    );
+    let stats = engine.stats();
+    assert!(
+        outcome.publishes > 0 && stats.swaps >= outcome.publishes,
+        "every publication must hot-swap: {outcome:?} vs {stats:?}"
+    );
+
+    // Fresh condition: the exact same eval cases against the last
+    // published snapshot.
+    let fresh_snapshot = engine.snapshot();
+    let fresh = evaluate_hit_rates("fresh", fresh_snapshot.model(), &split.eval, &[K]);
+    drop(fresh_snapshot);
+    let fresh_hr = fresh.at(K).unwrap_or(0.0);
+    let hr_gain_pct = if frozen_hr > 0.0 {
+        (fresh_hr - frozen_hr) / frozen_hr * 100.0
+    } else {
+        0.0
+    };
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let query_qps = queries_ok as f64 / ingest_seconds;
+    let events_per_sec = outcome.events as f64 / ingest_seconds;
+
+    let snap = sisg_obs::registry().snapshot("perf_fresh");
+    let freshness = snap
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "stream.freshness.us")
+        .map(|(_, h)| h.clone());
+    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::F64);
+
+    println!(
+        "ingest: {} events / {} batches / {} publishes in {ingest_seconds:.2}s \
+         ({events_per_sec:.0} events/s), {} vocab admissions",
+        outcome.events, outcome.batches, outcome.publishes, outcome.vocab_admitted
+    );
+    if let Some(h) = &freshness {
+        println!(
+            "freshness (event → servable, us): p50 {:?} p90 {:?} p99 {:?} max {}",
+            h.p50, h.p90, h.p99, h.max
+        );
+    }
+    println!(
+        "query side: {queries_ok} ok ({query_qps:.0} qps), {queries_overloaded} shed, \
+         client p50 {:.1}us p99 {:.1}us",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99)
+    );
+    println!(
+        "swap accounting: {} swaps, {} cache clears, final epoch {}",
+        stats.swaps, stats.cache_clears, outcome.final_epoch
+    );
+    println!(
+        "HR@{K} on tomorrow slice: frozen {frozen_hr:.4} → fresh {fresh_hr:.4} \
+         ({hr_gain_pct:+.1}%, {} cases)",
+        split.eval.len()
+    );
+
+    let (counters, gauges, histograms) = snapshot_to_value(&snap);
+    let out_path = results_dir().join("BENCH_fresh.json");
+    let reference = load_reference(&out_path);
+    let doc = Value::Object(vec![
+        ("name".into(), Value::Str("perf_fresh".into())),
+        (
+            "workload".into(),
+            Value::Object(vec![
+                ("items".into(), Value::U64(u64::from(n_items))),
+                ("dim".into(), Value::U64(dim as u64)),
+                ("today_sessions".into(), Value::U64(today.len() as u64)),
+                (
+                    "tomorrow_sessions".into(),
+                    Value::U64(tomorrow.len() as u64),
+                ),
+                ("eval_cases".into(), Value::U64(split.eval.len() as u64)),
+                ("query_threads".into(), Value::U64(query_threads as u64)),
+                ("shards".into(), Value::U64(n_shards as u64)),
+                ("k".into(), Value::U64(K as u64)),
+                ("smoke".into(), Value::Bool(smoke)),
+            ]),
+        ),
+        (
+            "ingest".into(),
+            Value::Object(vec![
+                ("warm_start_seconds".into(), Value::F64(warm_seconds)),
+                ("seconds".into(), Value::F64(ingest_seconds)),
+                ("events".into(), Value::U64(outcome.events)),
+                ("batches".into(), Value::U64(outcome.batches)),
+                ("publishes".into(), Value::U64(outcome.publishes)),
+                ("vocab_admitted".into(), Value::U64(outcome.vocab_admitted)),
+                ("events_per_sec".into(), Value::F64(events_per_sec)),
+                ("swaps".into(), Value::U64(stats.swaps)),
+                ("cache_clears".into(), Value::U64(stats.cache_clears)),
+            ]),
+        ),
+        (
+            "freshness_us".into(),
+            Value::Object(vec![
+                (
+                    "count".into(),
+                    Value::U64(freshness.as_ref().map_or(0, |h| h.count)),
+                ),
+                ("p50".into(), opt(freshness.as_ref().and_then(|h| h.p50))),
+                ("p90".into(), opt(freshness.as_ref().and_then(|h| h.p90))),
+                ("p99".into(), opt(freshness.as_ref().and_then(|h| h.p99))),
+                (
+                    "max".into(),
+                    Value::U64(freshness.as_ref().map_or(0, |h| h.max)),
+                ),
+            ]),
+        ),
+        (
+            "query_load".into(),
+            Value::Object(vec![
+                ("ok".into(), Value::U64(queries_ok)),
+                ("overloaded".into(), Value::U64(queries_overloaded)),
+                ("failed".into(), Value::U64(queries_failed)),
+                ("qps".into(), Value::F64(query_qps)),
+                (
+                    "client_p50_us".into(),
+                    Value::F64(percentile(&latencies, 0.50)),
+                ),
+                (
+                    "client_p99_us".into(),
+                    Value::F64(percentile(&latencies, 0.99)),
+                ),
+            ]),
+        ),
+        (
+            "hitrate".into(),
+            Value::Object(vec![
+                ("k".into(), Value::U64(K as u64)),
+                ("cases".into(), Value::U64(split.eval.len() as u64)),
+                ("frozen_hr".into(), Value::F64(frozen_hr)),
+                ("fresh_hr".into(), Value::F64(fresh_hr)),
+                ("gain_pct".into(), Value::F64(hr_gain_pct)),
+            ]),
+        ),
+        ("counters".into(), counters),
+        ("gauges".into(), gauges),
+        ("histograms".into(), histograms),
+        ("reference".into(), reference),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("fresh doc serializes");
+    std::fs::write(&out_path, text + "\n").expect("write BENCH_fresh.json");
+    println!("wrote {}", out_path.display());
+    let metrics = emit_metrics("perf_fresh");
+    println!("metrics: {}", metrics.display());
+}

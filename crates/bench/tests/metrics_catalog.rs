@@ -14,7 +14,7 @@
 
 use sisg_ann::{recall_at_k, AnnIndex, HnswConfig, HnswIndex};
 use sisg_core::{MatchingService, ServingConfig, SisgModel, Variant};
-use sisg_corpus::{CorpusConfig, EnrichOptions, EnrichedCorpus, GeneratedCorpus, ItemId};
+use sisg_corpus::{CorpusConfig, EnrichOptions, EnrichedCorpus, EventLog, GeneratedCorpus, ItemId};
 use sisg_distributed::runtime::{train_distributed_on, PartitionStrategy};
 use sisg_distributed::{train_distributed_channels, CrashSpec, DistConfig, FaultPlan};
 use sisg_eges::{EgesConfig, EgesModel, WalkConfig};
@@ -22,6 +22,7 @@ use sisg_embedding::Matrix;
 use sisg_obs::{names, registry};
 use sisg_serve::{ColdPathMode, ServeEngine, ServeEngineConfig, ServeError, ServeRequest};
 use sisg_sgns::{SgnsConfig, TrainEngine};
+use sisg_stream::{IngestPipeline, StreamConfig};
 use std::path::Path;
 
 fn exercise_every_layer() -> GeneratedCorpus {
@@ -167,6 +168,43 @@ fn exercise_every_layer() -> GeneratedCorpus {
     quant_engine
         .serve(user_req)
         .expect("quantized cold-user serve");
+
+    // The streaming ingest pipeline end-to-end: a seeded click-stream
+    // folded into incremental SGNS updates with repeated snapshot
+    // publications, so every stream.* name (counters, the freshness
+    // histogram, the train span) plus serve.cache_clears_total records
+    // from a live run.
+    let log = EventLog::from_sessions(&corpus.sessions, 3, 400);
+    let mut pipeline = IngestPipeline::new(
+        corpus.catalog.clone(),
+        corpus.users.clone(),
+        StreamConfig {
+            variant: Variant::SisgFU,
+            sgns: SgnsConfig {
+                seed: 9,
+                ..sgns.clone()
+            },
+            serving: ServingConfig {
+                k: 10,
+                min_clicks_for_warm: 2,
+            },
+            batch_sessions: 64,
+            publish_every: 2,
+        },
+    )
+    .expect("stream config is valid");
+    let stream_engine = ServeEngine::start(
+        pipeline.freeze().expect("cold freeze"),
+        ServeEngineConfig::builder()
+            .n_shards(2)
+            .build()
+            .expect("valid engine config"),
+    )
+    .expect("stream engine starts");
+    let outcome = pipeline
+        .run_replay(&log, &stream_engine)
+        .expect("stream replay");
+    assert!(outcome.publishes > 0, "the stream drive must publish");
 
     // EGES.
     EgesModel::train(

@@ -14,8 +14,12 @@
 //! - a [`generator`] producing synthetic corpora whose statistical shape
 //!   (Zipfian popularity, category-coherent sessions, asymmetric transitions,
 //!   informative SI) mirrors the Taobao datasets of Table II,
-//! - [`stats`] reproducing the Table II dataset-statistics columns, and
-//! - the next-item train/validation/test [`split`] protocol of Section IV-A.
+//! - [`stats`] reproducing the Table II dataset-statistics columns,
+//! - the next-item train/validation/test [`split`] protocol of Section IV-A,
+//!   and
+//! - the [`stream`] module: sessions as timestamped [`stream::SessionEvent`]s
+//!   in a replayable [`stream::EventLog`] — the seeded click-stream source of
+//!   the online-learning pipeline (`crates/stream`).
 
 #![warn(missing_docs)]
 
@@ -27,6 +31,7 @@ pub mod schema;
 pub mod session;
 pub mod split;
 pub mod stats;
+pub mod stream;
 pub mod token;
 pub mod users;
 pub mod vocab;
@@ -39,6 +44,7 @@ pub use schema::{ItemFeature, UserFeature};
 pub use session::{Corpus, Session, SessionRef};
 pub use split::{NextItemSplit, SplitSequences};
 pub use stats::DatasetStats;
+pub use stream::{EventLog, SessionEvent};
 pub use token::{ItemId, LeafCategoryId, TokenId, UserId, UserTypeId};
 pub use users::UserRegistry;
 pub use vocab::{Vocab, VocabBuilder};

@@ -108,6 +108,8 @@ pub const SERVE_CACHE_MISSES_TOTAL: &str = "serve.cache_misses_total";
 pub const SERVE_OVERLOADED_TOTAL: &str = "serve.overloaded_total";
 /// Snapshot hot-swaps installed by the engine.
 pub const SERVE_SWAPS_TOTAL: &str = "serve.swaps_total";
+/// Admission-cache clears performed by workers after observing a new epoch.
+pub const SERVE_CACHE_CLEARS_TOTAL: &str = "serve.cache_clears_total";
 /// Histogram: in-worker request service time in **nanoseconds**. The one
 /// deliberate exception to the `.us` convention: typical engine requests
 /// finish in well under a microsecond (a cache hit is a map probe), so a
@@ -126,6 +128,22 @@ pub const SERVE_QUANT_BYTES_PER_ITEM: &str = "serve.quant.bytes_per_item";
 /// Histogram: nodes scored per quantized in-shard ANN search, summed over
 /// the shards a cold request fanned out to.
 pub const SERVE_ANN_HOPS: &str = "serve.ann_hops";
+
+/// Session events consumed by the streaming ingest pipeline.
+pub const STREAM_EVENTS_TOTAL: &str = "stream.events_total";
+/// Ingest batches folded into the incremental trainer.
+pub const STREAM_BATCHES_TOTAL: &str = "stream.batches_total";
+/// Serving snapshots frozen and published through the serve engine.
+pub const STREAM_PUBLISHES_TOTAL: &str = "stream.publishes_total";
+/// Vocabulary tokens admitted online (first nonzero frequency observed
+/// after warm start, via the SI enrichment path).
+pub const STREAM_VOCAB_ADMITTED_TOTAL: &str = "stream.vocab_admitted_total";
+/// Histogram: event-to-servable freshness in microseconds — time from an
+/// event's (virtual or real) arrival to the publication that made its
+/// updates servable.
+pub const STREAM_FRESHNESS_US: &str = "stream.freshness.us";
+/// Span: one incremental training fold over an ingest batch.
+pub const STREAM_TRAIN_SPAN: &str = "stream.train";
 
 /// Histogram: ANN index `search()` latency in microseconds.
 pub const ANN_SEARCH_US: &str = "ann.search.us";
@@ -186,11 +204,18 @@ pub const ALL: &[&str] = &[
     SERVE_CACHE_MISSES_TOTAL,
     SERVE_OVERLOADED_TOTAL,
     SERVE_SWAPS_TOTAL,
+    SERVE_CACHE_CLEARS_TOTAL,
     SERVE_REQUEST_NS,
     SERVE_QUANT_COLD_SEARCHES_TOTAL,
     SERVE_QUANT_RERANKED_TOTAL,
     SERVE_QUANT_BYTES_PER_ITEM,
     SERVE_ANN_HOPS,
+    STREAM_EVENTS_TOTAL,
+    STREAM_BATCHES_TOTAL,
+    STREAM_PUBLISHES_TOTAL,
+    STREAM_VOCAB_ADMITTED_TOTAL,
+    STREAM_FRESHNESS_US,
+    "stream.train.us",
     ANN_SEARCH_US,
     ANN_HNSW_HOPS,
     ANN_RECALL_PROBES_TOTAL,
@@ -223,6 +248,7 @@ mod tests {
             super::DIST_SYNC_SPAN,
             super::DIST_TRAIN_SPAN,
             super::DIST_CHANNELS_TRAIN_SPAN,
+            super::STREAM_TRAIN_SPAN,
         ] {
             let us = format!("{span}.us");
             assert!(

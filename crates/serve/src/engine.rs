@@ -130,6 +130,9 @@ pub struct EngineStats {
     pub overloaded: u64,
     /// Snapshot hot-swaps installed.
     pub swaps: u64,
+    /// Worker admission-cache clears (each worker clears once per epoch
+    /// it observes, so one swap yields up to `n_shards` clears).
+    pub cache_clears: u64,
 }
 
 impl EngineStats {
@@ -143,6 +146,7 @@ impl EngineStats {
             cache_misses: m.cache_misses.get(),
             overloaded: m.overloaded.get(),
             swaps: m.swaps.get(),
+            cache_clears: m.cache_clears.get(),
         }
     }
 
@@ -160,6 +164,7 @@ impl EngineStats {
             cache_misses: self.cache_misses.saturating_sub(baseline.cache_misses),
             overloaded: self.overloaded.saturating_sub(baseline.overloaded),
             swaps: self.swaps.saturating_sub(baseline.swaps),
+            cache_clears: self.cache_clears.saturating_sub(baseline.cache_clears),
         }
     }
 }
@@ -337,11 +342,33 @@ impl ServeEngine {
     /// workers pick up the new one (and drop their cold caches) on their
     /// next request.
     pub fn swap(&self, service: MatchingService) -> u64 {
-        let next = Arc::new(ServingSnapshot::from_service_with(
+        self.install_unchecked(Arc::new(ServingSnapshot::from_service_with(
             service,
             self.config.n_shards,
             self.config.cold_path,
-        ));
+        )))
+    }
+
+    /// Atomically installs a pre-built [`ServingSnapshot`] (the streaming
+    /// pipeline's publication path: the snapshot is frozen off-thread, the
+    /// engine only pays the pointer swap) and returns the new epoch.
+    ///
+    /// The snapshot must have been resharded for this engine's worker
+    /// count; a mismatched shard count would misroute every request, so it
+    /// is rejected instead of installed.
+    pub fn install(&self, snapshot: ServingSnapshot) -> Result<u64, ServeError> {
+        if snapshot.n_shards() != self.config.n_shards {
+            return Err(ServeError::Rejected(sisg_core::CoreError::InvalidConfig {
+                field: "n_shards",
+                reason: "snapshot was resharded for a different worker count",
+            }));
+        }
+        Ok(self.install_unchecked(Arc::new(snapshot)))
+    }
+
+    /// The shared swap/install tail: publishes `next` under the write lock
+    /// and bumps the epoch inside the same critical section.
+    fn install_unchecked(&self, next: Arc<ServingSnapshot>) -> u64 {
         if let Some(index) = next.cold_index() {
             serve_metrics()
                 .quant_bytes_per_item
@@ -425,6 +452,7 @@ fn worker_loop(
                     snapshot = Arc::clone(&guard);
                     drop(guard);
                     cache.clear();
+                    metrics.cache_clears.inc();
                 }
                 let result = snapshot.serve(&req, shard, epoch, &mut cache, metrics);
                 // The caller may have abandoned its PendingResponse; a

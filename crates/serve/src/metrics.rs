@@ -18,6 +18,7 @@ pub(crate) struct ServeMetrics {
     pub(crate) cache_misses: &'static Counter,
     pub(crate) overloaded: &'static Counter,
     pub(crate) swaps: &'static Counter,
+    pub(crate) cache_clears: &'static Counter,
     /// Nanosecond-resolution service time — typical requests finish in
     /// well under a microsecond, so a whole-µs histogram degenerates
     /// (every percentile 0). See `names::SERVE_REQUEST_NS`.
@@ -39,6 +40,7 @@ pub(crate) fn serve_metrics() -> &'static ServeMetrics {
         cache_misses: registry().counter(names::SERVE_CACHE_MISSES_TOTAL),
         overloaded: registry().counter(names::SERVE_OVERLOADED_TOTAL),
         swaps: registry().counter(names::SERVE_SWAPS_TOTAL),
+        cache_clears: registry().counter(names::SERVE_CACHE_CLEARS_TOTAL),
         request_ns: registry().histogram(names::SERVE_REQUEST_NS),
         quant_cold_searches: registry().counter(names::SERVE_QUANT_COLD_SEARCHES_TOTAL),
         quant_reranked: registry().counter(names::SERVE_QUANT_RERANKED_TOTAL),

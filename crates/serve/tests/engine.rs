@@ -330,6 +330,156 @@ fn hot_swap_drops_no_requests_and_post_swap_answers_match_a_fresh_build() {
 }
 
 #[test]
+fn repeated_installs_under_load_stay_coherent_and_clear_caches() {
+    let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
+    let k = 10;
+    let seeds = [11u64, 12, 13];
+    let items: Vec<ItemId> = (0..corpus.config.n_items).map(ItemId).collect();
+
+    // Per-epoch reference answers from fresh builds (training is
+    // deterministic, so a rebuild is the fresh-engine reference).
+    let answers: Vec<Vec<Vec<sisg_core::Recommendation>>> = seeds
+        .iter()
+        .map(|&seed| {
+            let reference = build_service(&corpus, seed);
+            items
+                .iter()
+                .map(|&i| {
+                    reference
+                        .candidates(i, corpus.catalog.si_values(i), k)
+                        .expect("known item")
+                })
+                .collect()
+        })
+        .collect();
+
+    let config = ServeEngineConfig::builder()
+        .n_shards(2)
+        .queue_capacity(64)
+        .cache_capacity(128)
+        .cache_admit_after(1)
+        .build()
+        .expect("valid config");
+    let engine =
+        ServeEngine::start(build_service(&corpus, seeds[0]), config).expect("engine starts");
+
+    // Pre-freeze the publications (the streaming pipeline's off-thread
+    // freeze) so the install loop below is pure pointer swaps under load.
+    let publications: Vec<sisg_serve::ServingSnapshot> = seeds[1..]
+        .iter()
+        .map(|&seed| {
+            sisg_serve::ServingSnapshot::from_service_with(
+                build_service(&corpus, seed),
+                config.n_shards,
+                config.cold_path,
+            )
+        })
+        .collect();
+
+    // A snapshot resharded for the wrong worker count must be rejected,
+    // not installed (it would misroute every request).
+    let mismatched = sisg_serve::ServingSnapshot::from_service_with(
+        build_service(&corpus, seeds[0]),
+        config.n_shards + 1,
+        config.cold_path,
+    );
+    let err = engine
+        .install(mismatched)
+        .map(|_| ())
+        .expect_err("mismatched shard count must be rejected");
+    assert!(matches!(
+        err,
+        ServeError::Rejected(CoreError::InvalidConfig {
+            field: "n_shards",
+            ..
+        })
+    ));
+    assert_eq!(engine.epoch(), 0, "a rejected install must not swap");
+
+    // ORDERING: Relaxed everywhere below — stop/served/torn/failed are
+    // plain test counters with no payload behind them; the scoped-thread
+    // join orders the final reads, and the engine under test does its
+    // own synchronization.
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    let torn = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                // ORDERING: Relaxed — see the counter note above.
+                while !stop.load(Ordering::Relaxed) {
+                    for (idx, &item) in items.iter().enumerate() {
+                        match engine.serve(candidates_request(&corpus, item, k)) {
+                            Ok(resp) => {
+                                served.fetch_add(1, Ordering::Relaxed);
+                                match answers.get(resp.epoch as usize) {
+                                    Some(expected) if expected[idx] == resp.recommendations => {}
+                                    // ORDERING: Relaxed — counter note above.
+                                    _ => {
+                                        torn.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                // ORDERING: Relaxed — counter note above.
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        // Repeated publications, each landing mid-traffic.
+        let mut watermark = 150u64;
+        for (i, snapshot) in publications.into_iter().enumerate() {
+            // ORDERING: Relaxed — monotone progress probe; counter note above.
+            while served.load(Ordering::Relaxed) < watermark {
+                std::thread::yield_now();
+            }
+            let epoch = engine.install(snapshot).expect("install accepted");
+            assert_eq!(epoch, i as u64 + 1);
+            watermark += 150;
+        }
+        // ORDERING: Relaxed — monotone progress probe; counter note above.
+        while served.load(Ordering::Relaxed) < watermark {
+            std::thread::yield_now();
+        }
+        // ORDERING: Relaxed — see the counter note above.
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // ORDERING: Relaxed — reads after scope join; see the counter note.
+    assert_eq!(
+        failed.load(Ordering::Relaxed),
+        0,
+        "sustained traffic across repeated publications saw errors"
+    );
+    assert_eq!(torn.load(Ordering::Relaxed), 0, "torn epoch/answer pair");
+
+    // Quiesced: every answer comes from the last publication and matches
+    // the fresh build; visiting every item makes both workers observe the
+    // final epoch (and clear their admission caches).
+    let last = seeds.len() - 1;
+    for (idx, &item) in items.iter().enumerate() {
+        let resp = engine
+            .serve(candidates_request(&corpus, item, k))
+            .expect("serve");
+        assert_eq!(resp.epoch, last as u64);
+        assert_eq!(
+            resp.recommendations, answers[last][idx],
+            "post-publication answer for {item:?} diverged from a fresh build"
+        );
+    }
+    let stats = engine.stats();
+    assert!(stats.swaps >= 2, "every install must count: {stats:?}");
+    assert!(
+        stats.cache_clears >= 1,
+        "workers must clear caches after observing a new epoch: {stats:?}"
+    );
+}
+
+#[test]
 fn saturated_shard_sheds_with_a_typed_error_and_recovers() {
     let corpus = GeneratedCorpus::generate(CorpusConfig::tiny());
     let service = build_service(&corpus, 1);

@@ -39,6 +39,6 @@ pub use partitioned::{train_partitioned, train_partitioned_into};
 pub use sampler::{PairSampler, SubsampleTable, WindowMode};
 pub use sgd::{train_pair, train_pair_mut, PairScratch};
 pub use trainer::{
-    count_freqs, resolve_engine, train, train_into, train_parallel, train_with_freqs, Sequences,
-    TrainStats,
+    count_freqs, resolve_engine, train, train_increment, train_into, train_parallel,
+    train_with_freqs, Sequences, TrainStats,
 };

@@ -140,13 +140,17 @@ const PANIC_FREE_CRATES: &[&str] = &["crates/core", "crates/ann", "crates/serve"
 const ASSERT_FREE_CRATES: &[&str] = &["crates/core", "crates/serve"];
 
 /// Individual files under the same panic-free rule: the retry, recovery,
-/// and fault-simulation paths. A panic while absorbing a fault turns a
-/// recoverable event into a crash, so these propagate errors instead.
+/// and fault-simulation paths — a panic while absorbing a fault turns a
+/// recoverable event into a crash, so these propagate errors instead —
+/// plus the streaming ingest pipeline, which feeds live serve engines
+/// and must poison itself with a typed error rather than take down the
+/// ingest thread.
 pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/distributed/src/protocol.rs",
     "crates/distributed/src/fault.rs",
     "crates/distributed/src/recovery.rs",
     "crates/simtest/src/lib.rs",
+    "crates/stream/src/pipeline.rs",
 ];
 
 /// Crates whose non-test code must not use per-element `RowPtr` accessors
@@ -155,12 +159,14 @@ const KERNEL_PATH_CRATES: &[&str] = &["crates/sgns", "crates/eges"];
 
 /// Individual files under the same kernel-path rule: support code of hot
 /// paths that lives outside the kernel-path crates. Replica merges run
-/// once per round over every hot row (docs/PARALLELISM.md), and the
+/// once per round over every hot row (docs/PARALLELISM.md), the
 /// quantized store is scored on every cold-path ANN hop (DESIGN.md §11),
-/// so both stay on the slice kernels too.
+/// and the streaming pipeline folds an incremental train step per ingest
+/// batch (DESIGN.md §12), so all three stay on the slice kernels too.
 pub const KERNEL_PATH_FILES: &[&str] = &[
     "crates/embedding/src/quant.rs",
     "crates/embedding/src/replica.rs",
+    "crates/stream/src/pipeline.rs",
 ];
 
 /// Crates whose non-test code is checked for lock guards held across

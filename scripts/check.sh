@@ -95,4 +95,14 @@ SISG_RESULTS=target/ci-results \
 cargo run -p xtask --quiet -- validate-metrics \
   --catalog docs/OBSERVABILITY.md target/ci-results/BENCH_serve.json
 
+step "fresh smoke: seconds-scale perf_fresh run + schema validation"
+# --smoke streams a tomorrow slice through the ingest pipeline while query
+# threads hammer the engine across repeated snapshot publications, then
+# writes a snapshot-shaped BENCH_fresh.json (freshness percentiles, swap
+# accounting, frozen-vs-fresh HR@10); validate-metrics checks it.
+SISG_RESULTS=target/ci-results \
+  cargo run --release --quiet -p sisg-bench --bin perf_fresh -- --smoke >/dev/null
+cargo run -p xtask --quiet -- validate-metrics \
+  --catalog docs/OBSERVABILITY.md target/ci-results/BENCH_fresh.json
+
 printf '\ncheck.sh: all gates passed\n'
