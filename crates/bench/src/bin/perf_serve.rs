@@ -1,6 +1,7 @@
 //! Load generator for the sharded serve engine (`crates/serve`).
 //!
-//! Two tiers, one output file (`results/BENCH_serve.json`):
+//! Three tiers, two output files (`results/BENCH_serve.json` and
+//! `results/BENCH_scenario.json`):
 //!
 //! **Cache tier** — replays one request stream twice, first through a
 //! sequential [`MatchingService`] loop (how PR-3 consumers called the
@@ -22,6 +23,13 @@
 //! brute-force ground truth, quantized bytes/item vs the f32 matrix, and
 //! the streaming `dot_q8` vs f32 `dot` kernel ratio.
 //!
+//! **Scenario tier** — the multi-tenant matrix from `crates/scenario`:
+//! four named tenant profiles (two under `--smoke`) replayed
+//! deterministically against one tenanted engine, judged per tenant
+//! against declared SLOs (p99 latency, shed rate, CTR). Writes
+//! `results/BENCH_scenario.json` with per-tenant outcomes, verdicts, the
+//! replay trace hash, and the obs snapshot.
+//!
 //! Scale knobs: `SISG_SERVE_ITEMS`, `SISG_SERVE_DIM`, `SISG_SERVE_REQS`,
 //! `SISG_SERVE_SHARDS`, `SISG_QUANT_ITEMS`, `SISG_QUANT_REQS`,
 //! `SISG_SEED`, `SISG_RESULTS`. `--smoke` runs a seconds-scale subset of
@@ -42,7 +50,12 @@ use sisg_corpus::{CorpusConfig, GeneratedCorpus, ItemFeature, ItemId, UserRegist
 use sisg_embedding::kernels::{dot, dot_q8};
 use sisg_embedding::{EmbeddingStore, Matrix, QuantMatrix, QuantQuery, QuantRows};
 use sisg_obs::Stopwatch;
-use sisg_serve::{ColdPathMode, ServeEngine, ServeEngineConfig, ServeRequest, ServingSnapshot};
+use sisg_scenario::{
+    adversarial_hot_key, head_heavy, run_scenario, standard_matrix, ScenarioConfig, TenantOutcome,
+};
+use sisg_serve::{
+    ColdPathMode, ServeEngine, ServeEngineConfig, ServeRequest, ServingSnapshot, TenantId,
+};
 use sisg_sgns::SgnsConfig;
 
 const K: usize = 10;
@@ -547,6 +560,164 @@ fn run_quant_tier(
     ])
 }
 
+/// One tenant's scenario outcome as a JSON section: traffic accounting,
+/// per-tenant p99/shed/CTR, and the SLO verdict.
+fn tenant_section(t: &TenantOutcome) -> Value {
+    Value::Object(vec![
+        ("tenant_id".into(), Value::U64(u64::from(t.tenant_id))),
+        ("label".into(), Value::Str(t.label.clone())),
+        ("submitted".into(), Value::U64(t.submitted)),
+        ("completed".into(), Value::U64(t.completed)),
+        ("shed".into(), Value::U64(t.shed)),
+        ("shed_rate".into(), Value::F64(t.shed_rate)),
+        (
+            "p99_latency_us".into(),
+            Value::F64(t.p99_latency_ns / 1_000.0),
+        ),
+        ("shown".into(), Value::U64(t.shown)),
+        ("clicks".into(), Value::U64(t.clicks)),
+        ("ctr".into(), Value::F64(t.ctr)),
+        ("warm_hits".into(), Value::U64(t.warm_hits)),
+        (
+            "cold_item_requests".into(),
+            Value::U64(t.cold_item_requests),
+        ),
+        (
+            "cold_user_requests".into(),
+            Value::U64(t.cold_user_requests),
+        ),
+        ("cache_hits".into(), Value::U64(t.cache_hits)),
+        (
+            "slo".into(),
+            Value::Object(vec![
+                (
+                    "p99_latency_us".into(),
+                    Value::F64(t.slo.p99_latency_ns / 1_000.0),
+                ),
+                ("max_shed_rate".into(), Value::F64(t.slo.max_shed_rate)),
+                ("min_ctr".into(), Value::F64(t.slo.min_ctr)),
+            ]),
+        ),
+        (
+            "verdict".into(),
+            Value::Object(vec![
+                ("latency_ok".into(), Value::Bool(t.verdict.latency_ok)),
+                ("shed_ok".into(), Value::Bool(t.verdict.shed_ok)),
+                ("ctr_ok".into(), Value::Bool(t.verdict.ctr_ok)),
+                ("all_ok".into(), Value::Bool(t.verdict.all_ok())),
+            ]),
+        ),
+    ])
+}
+
+/// The multi-tenant scenario tier: the standard four-tenant matrix (a
+/// two-tenant subset under `--smoke`) replayed against one tenanted
+/// engine via `sisg_scenario::run_scenario`, then written as
+/// `results/BENCH_scenario.json`. Deterministic per seed: the committed
+/// full-matrix file pins the trace hash and every per-tenant count.
+fn run_scenario_tier(corpus: &GeneratedCorpus, smoke: bool, seed: u64) {
+    let profiles = if smoke {
+        vec![head_heavy(TenantId(1)), adversarial_hot_key(TenantId(2))]
+    } else {
+        standard_matrix()
+    };
+    let ticks = if smoke {
+        16
+    } else {
+        env_usize("SISG_SCENARIO_TICKS", 48) as u32
+    };
+    eprintln!(
+        "scenario tier: {} tenants, {ticks} ticks, seed {seed}",
+        profiles.len()
+    );
+
+    // A fresh deterministic artifact with a real cold tail, so every
+    // request class in the tenant mixes is exercised.
+    let (model, _) = SisgModel::train(
+        corpus,
+        Variant::SisgFU,
+        &SgnsConfig {
+            dim: 16,
+            window: 3,
+            negatives: 3,
+            epochs: 1,
+            threads: 1,
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("valid training config");
+    let service = MatchingService::build(
+        model,
+        corpus.users.clone(),
+        &click_counts(corpus),
+        ServingConfig {
+            k: 20,
+            min_clicks_for_warm: 3,
+        },
+    )
+    .expect("valid serving config");
+    let config = sisg_scenario::engine_config(&profiles).expect("tenant matrix validates");
+    let engine = ServeEngine::start(service, config).expect("engine starts");
+    let report = run_scenario(corpus, &engine, &profiles, &ScenarioConfig { ticks, seed })
+        .expect("scenario runs");
+    drop(engine);
+
+    for t in &report.tenants {
+        println!(
+            "scenario tenant {}: {} submitted, {} shed (rate {:.3}), p99 {:.1}us, \
+             ctr {:.4}, verdict latency={} shed={} ctr={}",
+            t.label,
+            t.submitted,
+            t.shed,
+            t.shed_rate,
+            t.p99_latency_ns / 1_000.0,
+            t.ctr,
+            t.verdict.latency_ok,
+            t.verdict.shed_ok,
+            t.verdict.ctr_ok
+        );
+    }
+
+    let snap = sisg_obs::registry().snapshot("perf_scenario");
+    let (counters, gauges, histograms) = snapshot_to_value(&snap);
+    let out_path = results_dir().join("BENCH_scenario.json");
+    let reference = load_reference(&out_path);
+    let doc = Value::Object(vec![
+        ("name".into(), Value::Str("perf_scenario".into())),
+        (
+            "workload".into(),
+            Value::Object(vec![
+                ("tenants".into(), Value::U64(report.tenants.len() as u64)),
+                ("ticks".into(), Value::U64(u64::from(report.ticks))),
+                ("seed".into(), Value::U64(report.seed)),
+                ("smoke".into(), Value::Bool(smoke)),
+            ]),
+        ),
+        (
+            "trace_hash".into(),
+            Value::Str(format!("{:016x}", report.trace_hash)),
+        ),
+        (
+            "tenants".into(),
+            Value::Object(
+                report
+                    .tenants
+                    .iter()
+                    .map(|t| (t.label.clone(), tenant_section(t)))
+                    .collect(),
+            ),
+        ),
+        ("counters".into(), counters),
+        ("gauges".into(), gauges),
+        ("histograms".into(), histograms),
+        ("reference".into(), reference),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("scenario doc serializes");
+    std::fs::write(&out_path, text + "\n").expect("write BENCH_scenario.json");
+    println!("wrote {}", out_path.display());
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (n_items, dim, n_requests) = if smoke {
@@ -713,6 +884,9 @@ fn main() {
     let text = serde_json::to_string_pretty(&doc).expect("serve doc serializes");
     std::fs::write(&out_path, text + "\n").expect("write BENCH_serve.json");
     println!("wrote {}", out_path.display());
+
+    run_scenario_tier(&corpus, smoke, seed);
+
     let metrics = emit_metrics("perf_serve");
     println!("metrics: {}", metrics.display());
 }

@@ -20,7 +20,9 @@ use sisg_distributed::{train_distributed_channels, CrashSpec, DistConfig, FaultP
 use sisg_eges::{EgesConfig, EgesModel, WalkConfig};
 use sisg_embedding::Matrix;
 use sisg_obs::{names, registry};
-use sisg_serve::{ColdPathMode, ServeEngine, ServeEngineConfig, ServeError, ServeRequest};
+use sisg_serve::{
+    ColdPathMode, ServeEngine, ServeEngineConfig, ServeError, ServeRequest, TenantConfig, TenantId,
+};
 use sisg_sgns::{SgnsConfig, TrainEngine};
 use sisg_stream::{IngestPipeline, StreamConfig};
 use std::path::Path;
@@ -169,6 +171,49 @@ fn exercise_every_layer() -> GeneratedCorpus {
         .serve(user_req)
         .expect("quantized cold-user serve");
 
+    // A tenant-labeled engine so every declared `serve.tenant.<label>.*`
+    // suffix records: a warm hit, a cold miss then a cache hit, a
+    // cold-user request, and a deterministic budget shed (the tenant's
+    // single per-shard slot held by an uncollected submit).
+    let (model, _) = SisgModel::train(&corpus, Variant::SisgFU, &sgns).expect("train");
+    let tenant_svc =
+        MatchingService::build(model, corpus.users.clone(), &mixed_clicks, serving).expect("build");
+    let tenant = TenantId(1);
+    let tenant_engine = ServeEngine::start(
+        tenant_svc,
+        ServeEngineConfig::builder()
+            .n_shards(1)
+            .queue_capacity(1)
+            .cache_capacity(16)
+            .cache_admit_after(1)
+            .tenant(TenantConfig::new(tenant, "catalog_probe"))
+            .build()
+            .expect("valid engine config"),
+    )
+    .expect("tenant engine starts");
+    tenant_engine
+        .serve(warm_req.for_tenant(tenant))
+        .expect("tenant warm serve");
+    tenant_engine
+        .serve(cold_req.for_tenant(tenant))
+        .expect("tenant cold serve");
+    let hit = tenant_engine
+        .serve(cold_req.for_tenant(tenant))
+        .expect("tenant cached serve");
+    assert!(hit.cache_hit, "repeated tenant cold key must hit the cache");
+    tenant_engine
+        .serve(user_req.for_tenant(tenant))
+        .expect("tenant cold-user serve");
+    let held = tenant_engine
+        .submit(warm_req.for_tenant(tenant))
+        .expect("the tenant's one slot fits");
+    match tenant_engine.submit(warm_req.for_tenant(tenant)) {
+        Err(ServeError::SloBudgetExhausted { .. }) => {}
+        Err(other) => panic!("expected a budget shed, got {other}"),
+        Ok(_) => panic!("second submit must exhaust the tenant budget"),
+    }
+    held.wait().expect("held tenant request completes");
+
     // The streaming ingest pipeline end-to-end: a seeded click-stream
     // folded into incremental SGNS updates with repeated snapshot
     // publications, so every stream.* name (counters, the freshness
@@ -282,6 +327,15 @@ fn every_emitted_metric_is_declared_and_documented() {
             "metric `{name}` is not documented in docs/OBSERVABILITY.md"
         );
     }
+    // The per-tenant family is cataloged as templates, one documented row
+    // per declared suffix with a literal `<label>` segment.
+    for suffix in names::SERVE_TENANT_SUFFIXES {
+        let row = format!("serve.tenant.<label>.{suffix}");
+        assert!(
+            doc.contains(&row),
+            "tenant template `{row}` is not documented in docs/OBSERVABILITY.md"
+        );
+    }
 
     exercise_every_layer();
     let snapshot = registry().snapshot("metrics_catalog");
@@ -292,10 +346,11 @@ fn every_emitted_metric_is_declared_and_documented() {
     }
 
     // Emitted ⊆ declared: no instrumentation site invents a name outside
-    // the catalog.
+    // the catalog. Tenant-labeled names are declared when they
+    // instantiate a `serve.tenant.<label>.<suffix>` template.
     for name in &emitted {
         assert!(
-            names::ALL.contains(name),
+            names::ALL.contains(name) || names::split_tenant_metric(name).is_some(),
             "metric `{name}` is emitted but not declared in sisg_obs::names::ALL"
         );
     }
@@ -306,6 +361,16 @@ fn every_emitted_metric_is_declared_and_documented() {
         assert!(
             emitted.contains(name),
             "metric `{name}` is declared but none of the workloads emitted it"
+        );
+    }
+    // Every declared tenant suffix too: the tenant engine above must
+    // instantiate each template at least once.
+    for suffix in names::SERVE_TENANT_SUFFIXES {
+        assert!(
+            emitted
+                .iter()
+                .any(|n| names::split_tenant_metric(n).is_some_and(|(_, s)| s == *suffix)),
+            "tenant template suffix `{suffix}` was never instantiated by the workloads"
         );
     }
 }

@@ -21,6 +21,33 @@ use sisg_corpus::{UserRegistry, UserTypeId};
 use sisg_embedding::math::{add_assign, scale};
 use sisg_embedding::Neighbor;
 
+/// How the SI token vectors of a cold item are aggregated into its
+/// inferred embedding.
+///
+/// The paper's SISG formulation (Eq. 6) is a plain sum. EGES (Wang et
+/// al., "Billion-scale Commodity Embedding for E-commerce Recommendation
+/// in Alibaba") instead learns per-item attention over the SI slots and
+/// aggregates with a weighted average, on the observation that features
+/// contribute unequally — a brand says more about a flagship phone than
+/// its shipping bucket does. SISG has no learned attention, so
+/// [`SiAggregation::Weighted`] uses the training signal the model *does*
+/// carry: each SI token's input-vector norm. Tokens that absorbed more
+/// gradient (frequent, discriminative features) grow longer vectors, so
+/// norm-proportional weights are a training-derived stand-in for the
+/// EGES attention — and dot-product ranking is invariant to positive
+/// scaling of the query, so the weighted *average* ranks directly
+/// against the item matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SiAggregation {
+    /// Plain SISG sum of the SI token vectors (Eq. 6 verbatim).
+    #[default]
+    Sum,
+    /// EGES-style weighted average, each SI token weighted by its
+    /// input-vector norm (see the type-level docs for why norms stand in
+    /// for the learned EGES attention).
+    Weighted,
+}
+
 /// Eq. (6): the inferred embedding of an item from its SI values alone.
 /// Fails with [`CoreError::SiValueOutOfRange`] when a value exceeds the
 /// trained feature cardinality.
@@ -28,7 +55,18 @@ pub fn cold_item_vector(
     model: &SisgModel,
     si_values: &[u32; ItemFeature::COUNT],
 ) -> Result<Vec<f32>, CoreError> {
+    cold_item_vector_with(model, si_values, SiAggregation::Sum)
+}
+
+/// The inferred cold-item embedding under an explicit [`SiAggregation`]
+/// mode — the per-tenant SI-weighting knob of the serving tier.
+pub fn cold_item_vector_with(
+    model: &SisgModel,
+    si_values: &[u32; ItemFeature::COUNT],
+    aggregation: SiAggregation,
+) -> Result<Vec<f32>, CoreError> {
     let mut v = vec![0.0f32; model.store().dim()];
+    let mut norm_sum = 0.0f32;
     for feature in ItemFeature::ALL {
         let value = si_values[feature.slot()];
         let token =
@@ -40,7 +78,20 @@ pub fn cold_item_vector(
                     value,
                     cardinality: model.space().si_cardinality(feature),
                 })?;
-        add_assign(&mut v, model.token_input(token));
+        let row = model.token_input(token);
+        match aggregation {
+            SiAggregation::Sum => add_assign(&mut v, row),
+            SiAggregation::Weighted => {
+                let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+                norm_sum += norm;
+                for (acc, &x) in v.iter_mut().zip(row) {
+                    *acc += norm * x;
+                }
+            }
+        }
+    }
+    if aggregation == SiAggregation::Weighted && norm_sum > 0.0 {
+        scale(&mut v, 1.0 / norm_sum);
     }
     Ok(v)
 }
@@ -142,6 +193,70 @@ mod tests {
         assert!(
             same_cat >= 5,
             "only {same_cat}/20 recommendations share the category"
+        );
+    }
+
+    #[test]
+    fn weighted_aggregation_is_a_norm_weighted_average_of_the_sum_terms() {
+        let (corpus, model) = trained();
+        let si = *corpus.catalog.si_values(ItemId(3));
+        let sum = cold_item_vector_with(&model, &si, SiAggregation::Sum).expect("sum");
+        let weighted =
+            cold_item_vector_with(&model, &si, SiAggregation::Weighted).expect("weighted");
+        assert_eq!(
+            sum,
+            cold_item_vector(&model, &si).expect("default"),
+            "Sum must be the Eq. 6 default"
+        );
+        // Reference computation: norm-weighted average over the SI rows.
+        let mut expected = vec![0.0f32; model.store().dim()];
+        let mut norm_sum = 0.0f32;
+        for feature in ItemFeature::ALL {
+            let token = model
+                .space()
+                .try_side_info(feature, si[feature.slot()])
+                .expect("trained SI");
+            let row = model.token_input(token);
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            norm_sum += norm;
+            for (e, &x) in expected.iter_mut().zip(row) {
+                *e += norm * x;
+            }
+        }
+        // Multiply by the reciprocal, exactly as `scale` does — dividing
+        // here would round differently and fail the bit-exact compare.
+        let inv = 1.0 / norm_sum;
+        for e in &mut expected {
+            *e *= inv;
+        }
+        assert_eq!(weighted, expected, "weighted path must match the reference");
+        assert_ne!(
+            sum, weighted,
+            "the two aggregation modes must actually differ on trained vectors"
+        );
+    }
+
+    #[test]
+    fn weighted_aggregation_reranks_relative_to_sum() {
+        // The quality knob is real only if the two modes can produce
+        // different candidate rankings somewhere in the catalog.
+        let (corpus, model) = trained();
+        let diverged = (0..corpus.config.n_items).map(ItemId).any(|item| {
+            let si = *corpus.catalog.si_values(item);
+            let a = cold_item_vector_with(&model, &si, SiAggregation::Sum).expect("sum");
+            let b = cold_item_vector_with(&model, &si, SiAggregation::Weighted).expect("weighted");
+            let rank = |v: &[f32]| {
+                model
+                    .similar_items_to_vector(v, 10)
+                    .into_iter()
+                    .map(|n| n.token.0)
+                    .collect::<Vec<_>>()
+            };
+            rank(&a) != rank(&b)
+        });
+        assert!(
+            diverged,
+            "Sum and Weighted produced identical top-10 lists for every item"
         );
     }
 

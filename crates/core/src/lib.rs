@@ -31,6 +31,7 @@ pub mod recommender;
 pub mod serving;
 pub mod variants;
 
+pub use cold_start::SiAggregation;
 pub use error::CoreError;
 pub use model::{SisgModel, SisgTrainReport};
 pub use recommender::{Recommendation, Recommender};

@@ -129,6 +129,67 @@ pub const SERVE_QUANT_BYTES_PER_ITEM: &str = "serve.quant.bytes_per_item";
 /// the shards a cold request fanned out to.
 pub const SERVE_ANN_HOPS: &str = "serve.ann_hops";
 
+/// Prefix of the tenant-labeled `serve.tenant.<label>.<suffix>` family.
+///
+/// Unlike every other catalog entry, tenant metrics carry a runtime
+/// label — the tenant name declared in the serve engine's
+/// `TenantConfig` — so they are cataloged as *templates*: each suffix in
+/// [`SERVE_TENANT_SUFFIXES`] is documented once in
+/// `docs/OBSERVABILITY.md` with a literal `<label>` segment, and
+/// [`split_tenant_metric`] decides whether a concrete emitted name
+/// instantiates a declared template. Labels are validated by
+/// [`is_valid_tenant_label`] (lowercase ascii, digits, `_`; nonempty) so
+/// a tenant name can never collide with the `.`-separated catalog
+/// grammar.
+pub const SERVE_TENANT_PREFIX: &str = "serve.tenant.";
+
+/// The declared per-tenant metric suffixes — the only names allowed
+/// after `serve.tenant.<label>.`. Each is the tenant-sliced counterpart
+/// of a global `serve.*` metric.
+pub const SERVE_TENANT_SUFFIXES: &[&str] = &[
+    "requests_total",
+    "shed_total",
+    "warm_hits_total",
+    "cold_item_requests_total",
+    "cold_user_requests_total",
+    "cache_hits_total",
+    "request.ns",
+];
+
+/// True when `label` is usable as the tenant segment of a metric name:
+/// nonempty, lowercase ascii letters, digits, or underscores only.
+pub fn is_valid_tenant_label(label: &str) -> bool {
+    !label.is_empty()
+        && label
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// The concrete metric name for one tenant and one declared suffix, e.g.
+/// `tenant_metric("browse", "shed_total")` → `serve.tenant.browse.shed_total`.
+pub fn tenant_metric(label: &str, suffix: &str) -> String {
+    let mut name =
+        String::with_capacity(SERVE_TENANT_PREFIX.len() + label.len() + 1 + suffix.len());
+    name.push_str(SERVE_TENANT_PREFIX);
+    name.push_str(label);
+    name.push('.');
+    name.push_str(suffix);
+    name
+}
+
+/// Splits a concrete `serve.tenant.<label>.<suffix>` name into its label
+/// and suffix, returning `None` unless the label is valid and the suffix
+/// is declared in [`SERVE_TENANT_SUFFIXES`].
+pub fn split_tenant_metric(name: &str) -> Option<(&str, &str)> {
+    let rest = name.strip_prefix(SERVE_TENANT_PREFIX)?;
+    let (label, suffix) = rest.split_once('.')?;
+    if is_valid_tenant_label(label) && SERVE_TENANT_SUFFIXES.contains(&suffix) {
+        Some((label, suffix))
+    } else {
+        None
+    }
+}
+
 /// Session events consumed by the streaming ingest pipeline.
 pub const STREAM_EVENTS_TOTAL: &str = "stream.events_total";
 /// Ingest batches folded into the incremental trainer.
@@ -225,6 +286,54 @@ pub const ALL: &[&str] = &[
 #[cfg(test)]
 mod tests {
     use super::ALL;
+
+    #[test]
+    fn tenant_metric_round_trips_through_split() {
+        for suffix in super::SERVE_TENANT_SUFFIXES {
+            let name = super::tenant_metric("promo_burst", suffix);
+            assert_eq!(
+                super::split_tenant_metric(&name),
+                Some(("promo_burst", *suffix)),
+                "round trip failed for {name}"
+            );
+        }
+        assert_eq!(
+            super::tenant_metric("browse", "shed_total"),
+            "serve.tenant.browse.shed_total"
+        );
+    }
+
+    #[test]
+    fn split_tenant_metric_rejects_non_template_names() {
+        for bad in [
+            "serve.requests_total",            // no tenant prefix
+            "serve.tenant.browse.bogus_total", // undeclared suffix
+            "serve.tenant..shed_total",        // empty label
+            "serve.tenant.Browse.shed_total",  // uppercase label
+            "serve.tenant.a-b.shed_total",     // dash in label
+            "serve.tenant.browse",             // missing suffix
+            "serve.tenant.browse.request",     // truncated declared suffix
+            "stream.tenant.browse.shed_total", // wrong family
+        ] {
+            assert_eq!(super::split_tenant_metric(bad), None, "accepted {bad}");
+        }
+        // `request.ns` itself contains a dot; the split must treat the
+        // first dot after the label as the boundary and still match.
+        assert_eq!(
+            super::split_tenant_metric("serve.tenant.t0.request.ns"),
+            Some(("t0", "request.ns"))
+        );
+    }
+
+    #[test]
+    fn tenant_label_validation_matches_catalog_grammar() {
+        assert!(super::is_valid_tenant_label("head_heavy"));
+        assert!(super::is_valid_tenant_label("t0"));
+        assert!(!super::is_valid_tenant_label(""));
+        assert!(!super::is_valid_tenant_label("Head"));
+        assert!(!super::is_valid_tenant_label("a.b"));
+        assert!(!super::is_valid_tenant_label("a b"));
+    }
 
     #[test]
     fn catalog_has_no_duplicates_and_sane_names() {

@@ -1,5 +1,6 @@
 //! The typed request/response surface of the serve engine.
 
+use crate::config::TenantId;
 use sisg_core::{CoreError, Recommendation};
 use sisg_corpus::schema::ItemFeature;
 use sisg_corpus::ItemId;
@@ -40,6 +41,36 @@ impl ServeRequest {
             ServeRequest::Candidates { k, .. } | ServeRequest::ColdUser { k, .. } => *k,
         }
     }
+
+    /// Tags this request with a tenant. Requests submitted without a tag
+    /// are attributed to [`TenantId::DEFAULT`].
+    pub fn for_tenant(self, tenant: TenantId) -> TenantRequest {
+        TenantRequest {
+            tenant,
+            request: self,
+        }
+    }
+}
+
+/// A [`ServeRequest`] tagged with the tenant it belongs to. Engine entry
+/// points take `impl Into<TenantRequest>`, so existing callers passing a
+/// bare [`ServeRequest`] keep compiling and are attributed to
+/// [`TenantId::DEFAULT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantRequest {
+    /// The tenant this request is accounted against.
+    pub tenant: TenantId,
+    /// The query itself.
+    pub request: ServeRequest,
+}
+
+impl From<ServeRequest> for TenantRequest {
+    fn from(request: ServeRequest) -> Self {
+        TenantRequest {
+            tenant: TenantId::DEFAULT,
+            request,
+        }
+    }
 }
 
 /// A successful answer from the engine.
@@ -55,6 +86,9 @@ pub struct ServeResponse {
     pub shard: usize,
     /// True when a cold-path answer came from the admission-gated cache.
     pub cache_hit: bool,
+    /// The tenant this response was accounted against
+    /// ([`TenantId::DEFAULT`] for untagged traffic).
+    pub tenant: TenantId,
 }
 
 /// Every way a request can fail. No panic is reachable from the public
@@ -71,6 +105,18 @@ pub enum ServeError {
         /// The saturated shard.
         shard: usize,
     },
+    /// The tenant's in-flight budget on the target shard is exhausted —
+    /// the request is shed against the tenant's own SLO budget, leaving
+    /// other tenants' slots untouched.
+    SloBudgetExhausted {
+        /// The tenant whose budget ran out.
+        tenant: TenantId,
+        /// The shard the request was headed for.
+        shard: usize,
+    },
+    /// The request was tagged with a tenant id absent from the engine's
+    /// tenant table.
+    UnknownTenant(TenantId),
     /// The engine (or the target worker) has shut down.
     Disconnected,
     /// The OS refused to spawn a worker thread at engine start.
@@ -83,6 +129,15 @@ impl std::fmt::Display for ServeError {
             ServeError::Rejected(e) => write!(f, "request rejected: {e}"),
             ServeError::Overloaded { shard } => {
                 write!(f, "shard {shard} queue full — request shed")
+            }
+            ServeError::SloBudgetExhausted { tenant, shard } => {
+                write!(
+                    f,
+                    "{tenant} budget exhausted on shard {shard} — request shed"
+                )
+            }
+            ServeError::UnknownTenant(tenant) => {
+                write!(f, "{tenant} is not in the engine's tenant table")
             }
             ServeError::Disconnected => write!(f, "serve engine is shut down"),
             ServeError::Spawn => write!(f, "could not spawn a worker thread"),
@@ -108,6 +163,28 @@ mod tests {
         assert!(overloaded.to_string().contains("shard 3"));
         let rejected = ServeError::Rejected(CoreError::UnknownItem(ItemId(9)));
         assert!(rejected.to_string().contains('9'));
+        let shed = ServeError::SloBudgetExhausted {
+            tenant: TenantId(4),
+            shard: 1,
+        };
+        assert!(shed.to_string().contains("tenant#4"));
+        assert!(shed.to_string().contains("shard 1"));
+        let unknown = ServeError::UnknownTenant(TenantId(8));
+        assert!(unknown.to_string().contains("tenant#8"));
+    }
+
+    #[test]
+    fn untagged_requests_land_on_the_default_tenant() {
+        let req = ServeRequest::ColdUser {
+            gender: None,
+            age: None,
+            purchase: None,
+            k: 5,
+        };
+        let tagged: TenantRequest = req.into();
+        assert_eq!(tagged.tenant, TenantId::DEFAULT);
+        assert_eq!(tagged.request, req);
+        assert_eq!(req.for_tenant(TenantId(3)).tenant, TenantId(3));
     }
 
     #[test]

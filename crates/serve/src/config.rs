@@ -1,8 +1,19 @@
 //! Engine configuration, built through a validating builder so a zero
-//! shard count or zero-capacity queue is a typed build-time error, never a
-//! mid-request assertion.
+//! shard count, zero-capacity queue, or malformed tenant table is a typed
+//! build-time error, never a mid-request assertion.
+//!
+//! The per-tenant layer (DESIGN.md §13) declares the workloads one engine
+//! serves concurrently: each [`TenantConfig`] names a tenant, weights its
+//! share of the shed budget and the admission cache, fixes its cold-path
+//! SI aggregation mode, and declares its nominal request mix. The builder
+//! is the only construction path outside this crate — fields are private
+//! and every invalid shape (duplicate tenant ids, zero-share shed
+//! budgets, empty mixes, labels that do not fit the metric-catalog
+//! grammar, budget oversubscription) is rejected with a typed
+//! [`CoreError::InvalidConfig`].
 
-use sisg_core::CoreError;
+use sisg_core::{CoreError, SiAggregation};
+use sisg_obs::names::is_valid_tenant_label;
 
 /// How a snapshot answers cold-item / cold-user requests (DESIGN.md §11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,28 +32,134 @@ pub enum ColdPathMode {
     },
 }
 
-/// Tuning knobs of the sharded engine.
+/// Identity of a serving tenant. Tenant ids are caller-chosen small
+/// integers; [`TenantId::DEFAULT`] is the implicit tenant that absorbs
+/// untagged traffic when the engine runs without a tenant table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The implicit tenant untagged requests are attributed to.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// A tenant's nominal request mix, as relative weights over the three
+/// request classes. Weights need not sum to anything in particular, but
+/// at least one must be nonzero — an all-zero mix describes a tenant
+/// that can never send a request and is rejected at build time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestMix {
+    /// Relative weight of warm (known-item) candidate requests.
+    pub warm: u32,
+    /// Relative weight of cold-item (Eq. 6 SI-only) requests.
+    pub cold_item: u32,
+    /// Relative weight of cold-user (demographics-only) requests.
+    pub cold_user: u32,
+}
+
+impl RequestMix {
+    /// The 75/20/5 mix `perf_serve` has always driven — the head-heavy
+    /// browse profile of the paper's deployment setting.
+    pub const BROWSE: RequestMix = RequestMix {
+        warm: 75,
+        cold_item: 20,
+        cold_user: 5,
+    };
+
+    /// Sum of the three weights.
+    pub fn total(&self) -> u64 {
+        self.warm as u64 + self.cold_item as u64 + self.cold_user as u64
+    }
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        Self::BROWSE
+    }
+}
+
+/// One tenant's declared serving contract: identity, metric label, shed
+/// and cache shares, cold-path SI aggregation, and nominal mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Tenant identity; must be unique within the engine's tenant table.
+    pub id: TenantId,
+    /// Metric label — the `<label>` segment of the tenant's
+    /// `serve.tenant.<label>.*` metric family. Must be unique and fit the
+    /// catalog grammar (lowercase ascii, digits, `_`; nonempty).
+    pub label: String,
+    /// Relative share of the engine's shed budget (in-flight request
+    /// slots per shard). Must be nonzero: a zero-share tenant would be
+    /// shed on every request, which is a misconfiguration, not a policy.
+    pub shed_budget: u32,
+    /// Relative share of each worker's admission-cache capacity. Zero is
+    /// allowed and disables caching for this tenant.
+    pub cache_share: u32,
+    /// How the cold-item path aggregates SI token vectors for this
+    /// tenant: the plain Eq. 6 sum, or the EGES-style norm-weighted
+    /// average (see [`SiAggregation`]).
+    pub si_weighting: SiAggregation,
+    /// Nominal request mix, used by scenario generators and reported in
+    /// per-tenant stats. At least one weight must be nonzero.
+    pub mix: RequestMix,
+}
+
+impl TenantConfig {
+    /// A tenant with the default contract: equal shed and cache shares,
+    /// Eq. 6 sum aggregation, browse mix.
+    pub fn new(id: TenantId, label: impl Into<String>) -> Self {
+        Self {
+            id,
+            label: label.into(),
+            shed_budget: 1,
+            cache_share: 1,
+            si_weighting: SiAggregation::Sum,
+            mix: RequestMix::default(),
+        }
+    }
+
+    /// Sets the relative shed-budget share.
+    pub fn shed_budget(mut self, weight: u32) -> Self {
+        self.shed_budget = weight;
+        self
+    }
+
+    /// Sets the relative admission-cache share.
+    pub fn cache_share(mut self, weight: u32) -> Self {
+        self.cache_share = weight;
+        self
+    }
+
+    /// Sets the cold-path SI aggregation mode.
+    pub fn si_weighting(mut self, mode: SiAggregation) -> Self {
+        self.si_weighting = mode;
+        self
+    }
+
+    /// Sets the nominal request mix.
+    pub fn mix(mut self, mix: RequestMix) -> Self {
+        self.mix = mix;
+        self
+    }
+}
+
+/// Tuning knobs of the sharded engine. Construct through
+/// [`ServeEngineConfig::builder`]; fields are private so the builder's
+/// validation cannot be bypassed by a struct literal.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeEngineConfig {
-    /// Worker threads; candidate lists are item-sharded across them.
-    /// Must be at least 1.
-    pub n_shards: usize,
-    /// Per-shard bounded queue depth. A full queue sheds further requests
-    /// with [`ServeError::Overloaded`](crate::ServeError::Overloaded)
-    /// instead of blocking. Must be at least 1.
-    pub queue_capacity: usize,
-    /// Cold-path cache entries per shard; `0` disables caching.
-    pub cache_capacity: usize,
-    /// Times a cold key must be seen before its answer is admitted to the
-    /// cache (an admission gate keeps one-off requests from churning the
-    /// cache). Must be at least 1; `1` admits on first sight.
-    pub cache_admit_after: u32,
-    /// Cold-path execution strategy; snapshots built by [`start`] and
-    /// [`swap`] inherit it.
-    ///
-    /// [`start`]: crate::ServeEngine::start
-    /// [`swap`]: crate::ServeEngine::swap
-    pub cold_path: ColdPathMode,
+    n_shards: usize,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    cache_admit_after: u32,
+    cold_path: ColdPathMode,
+    tenants: Vec<TenantConfig>,
 }
 
 impl Default for ServeEngineConfig {
@@ -53,6 +170,7 @@ impl Default for ServeEngineConfig {
             cache_capacity: 1024,
             cache_admit_after: 2,
             cold_path: ColdPathMode::BruteForce,
+            tenants: Vec::new(),
         }
     }
 }
@@ -65,8 +183,80 @@ impl ServeEngineConfig {
         }
     }
 
-    /// Validates the configuration. [`ServeEngine::start`] re-checks, so a
-    /// hand-rolled struct literal cannot bypass the builder's guarantees.
+    /// Worker threads; candidate lists are item-sharded across them.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Per-shard bounded queue depth. A full queue sheds further requests
+    /// with [`ServeError::Overloaded`](crate::ServeError::Overloaded)
+    /// instead of blocking.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Cold-path cache entries per shard; `0` disables caching.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Times a cold key must be seen before its answer is admitted to the
+    /// cache.
+    pub fn cache_admit_after(&self) -> u32 {
+        self.cache_admit_after
+    }
+
+    /// Cold-path execution strategy; snapshots built by [`start`] and
+    /// [`swap`] inherit it.
+    ///
+    /// [`start`]: crate::ServeEngine::start
+    /// [`swap`]: crate::ServeEngine::swap
+    pub fn cold_path(&self) -> ColdPathMode {
+        self.cold_path
+    }
+
+    /// The declared tenant table. Empty means the engine runs
+    /// single-tenant: untagged traffic is attributed to
+    /// [`TenantId::DEFAULT`] with the whole queue as its shed budget.
+    pub fn tenants(&self) -> &[TenantConfig] {
+        &self.tenants
+    }
+
+    /// Per-tenant shed-budget slots: each tenant gets
+    /// `max(1, floor(queue_capacity · share / Σ shares))` in-flight
+    /// request slots per shard. Parallel to [`tenants`](Self::tenants);
+    /// empty when the tenant table is empty.
+    pub fn tenant_budget_slots(&self) -> Vec<usize> {
+        let total: u64 = self.tenants.iter().map(|t| t.shed_budget as u64).sum();
+        if total == 0 {
+            return vec![1; self.tenants.len()];
+        }
+        self.tenants
+            .iter()
+            .map(|t| {
+                let exact = (self.queue_capacity as u64 * t.shed_budget as u64) / total;
+                (exact as usize).max(1)
+            })
+            .collect()
+    }
+
+    /// Per-tenant admission-cache capacities (entries per worker):
+    /// `floor(cache_capacity · share / Σ shares)`; zero disables caching
+    /// for that tenant. Parallel to [`tenants`](Self::tenants).
+    pub fn tenant_cache_capacities(&self) -> Vec<usize> {
+        let total: u64 = self.tenants.iter().map(|t| t.cache_share as u64).sum();
+        self.tenants
+            .iter()
+            .map(|t| {
+                (self.cache_capacity as u64 * t.cache_share as u64)
+                    .checked_div(total)
+                    .unwrap_or(0) as usize
+            })
+            .collect()
+    }
+
+    /// Validates the configuration. [`ServeEngine::start`] re-checks, so
+    /// an in-crate struct literal cannot bypass the builder's guarantees.
     ///
     /// [`ServeEngine::start`]: crate::ServeEngine::start
     pub fn validate(&self) -> Result<(), CoreError> {
@@ -93,6 +283,55 @@ impl ServeEngineConfig {
                 field: "cold_path.ef_search",
                 reason: "must be at least 1",
             });
+        }
+        let mut ids = std::collections::BTreeSet::new();
+        let mut labels = std::collections::BTreeSet::new();
+        for tenant in &self.tenants {
+            if !ids.insert(tenant.id) {
+                return Err(CoreError::InvalidConfig {
+                    field: "tenants.id",
+                    reason: "duplicate tenant id",
+                });
+            }
+            if !is_valid_tenant_label(&tenant.label) {
+                return Err(CoreError::InvalidConfig {
+                    field: "tenants.label",
+                    reason: "must be nonempty lowercase ascii, digits, or '_'",
+                });
+            }
+            if !labels.insert(tenant.label.clone()) {
+                return Err(CoreError::InvalidConfig {
+                    field: "tenants.label",
+                    reason: "duplicate tenant label",
+                });
+            }
+            if tenant.shed_budget == 0 {
+                return Err(CoreError::InvalidConfig {
+                    field: "tenants.shed_budget",
+                    reason: "must be nonzero; a zero-share tenant is shed on every request",
+                });
+            }
+            if tenant.mix.total() == 0 {
+                return Err(CoreError::InvalidConfig {
+                    field: "tenants.mix",
+                    reason: "at least one request-class weight must be nonzero",
+                });
+            }
+        }
+        // Budget slots are the engine's deterministic shed mechanism:
+        // requests are refused per tenant *before* they can fill the
+        // shard queue, so queue-full `Overloaded` sheds (which depend on
+        // worker timing) never fire for tenant traffic. That only holds
+        // if the slots cannot oversubscribe the queue.
+        if !self.tenants.is_empty() {
+            let slots: usize = self.tenant_budget_slots().iter().sum();
+            if slots > self.queue_capacity {
+                return Err(CoreError::InvalidConfig {
+                    field: "tenants.shed_budget",
+                    reason: "summed per-tenant budget slots exceed queue_capacity; \
+                             raise queue_capacity or reduce the tenant count",
+                });
+            }
         }
         Ok(())
     }
@@ -136,6 +375,18 @@ impl ServeEngineConfigBuilder {
         self
     }
 
+    /// Replaces the tenant table.
+    pub fn tenants(mut self, tenants: Vec<TenantConfig>) -> Self {
+        self.config.tenants = tenants;
+        self
+    }
+
+    /// Appends one tenant to the table.
+    pub fn tenant(mut self, tenant: TenantConfig) -> Self {
+        self.config.tenants.push(tenant);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ServeEngineConfig, CoreError> {
         self.config.validate()?;
@@ -174,6 +425,130 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_duplicate_tenant_ids() {
+        let err = ServeEngineConfig::builder()
+            .tenant(TenantConfig::new(TenantId(1), "a"))
+            .tenant(TenantConfig::new(TenantId(1), "b"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                field: "tenants.id",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_tenant_labels() {
+        let err = ServeEngineConfig::builder()
+            .tenant(TenantConfig::new(TenantId(1), "same"))
+            .tenant(TenantConfig::new(TenantId(2), "same"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                field: "tenants.label",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_tenant_labels() {
+        for label in ["", "Upper", "has space", "dot.ted", "dash-ed"] {
+            let err = ServeEngineConfig::builder()
+                .tenant(TenantConfig::new(TenantId(1), label))
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CoreError::InvalidConfig {
+                        field: "tenants.label",
+                        ..
+                    }
+                ),
+                "label {label:?} not rejected: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_share_shed_budget() {
+        let err = ServeEngineConfig::builder()
+            .tenant(TenantConfig::new(TenantId(1), "a").shed_budget(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                field: "tenants.shed_budget",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_empty_request_mix() {
+        let err = ServeEngineConfig::builder()
+            .tenant(TenantConfig::new(TenantId(1), "a").mix(RequestMix {
+                warm: 0,
+                cold_item: 0,
+                cold_user: 0,
+            }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                field: "tenants.mix",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_budget_oversubscription() {
+        // queue_capacity 2 but 3 tenants: each gets the max(1, ·) floor
+        // slot, summing past the queue.
+        let err = ServeEngineConfig::builder()
+            .queue_capacity(2)
+            .tenant(TenantConfig::new(TenantId(1), "a"))
+            .tenant(TenantConfig::new(TenantId(2), "b"))
+            .tenant(TenantConfig::new(TenantId(3), "c"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                field: "tenants.shed_budget",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn budget_slots_split_the_queue_proportionally() {
+        let cfg = ServeEngineConfig::builder()
+            .queue_capacity(64)
+            .tenant(TenantConfig::new(TenantId(1), "big").shed_budget(3))
+            .tenant(TenantConfig::new(TenantId(2), "small").shed_budget(1))
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.tenant_budget_slots(), vec![48, 16]);
+        let caches = ServeEngineConfig::builder()
+            .cache_capacity(100)
+            .tenant(TenantConfig::new(TenantId(1), "cached").cache_share(1))
+            .tenant(TenantConfig::new(TenantId(2), "uncached").cache_share(0))
+            .build()
+            .expect("valid");
+        assert_eq!(caches.tenant_cache_capacities(), vec![100, 0]);
+    }
+
+    #[test]
     fn builder_accepts_and_applies_overrides() {
         let cfg = ServeEngineConfig::builder()
             .n_shards(4)
@@ -181,15 +556,32 @@ mod tests {
             .cache_capacity(0)
             .cache_admit_after(3)
             .cold_path(ColdPathMode::QuantAnn { ef_search: 96 })
+            .tenant(
+                TenantConfig::new(TenantId(7), "promo")
+                    .shed_budget(2)
+                    .cache_share(3)
+                    .si_weighting(sisg_core::SiAggregation::Weighted)
+                    .mix(RequestMix {
+                        warm: 10,
+                        cold_item: 80,
+                        cold_user: 10,
+                    }),
+            )
             .build()
             .expect("valid");
-        assert_eq!(cfg.n_shards, 4);
-        assert_eq!(cfg.queue_capacity, 16);
-        assert_eq!(cfg.cache_capacity, 0);
-        assert_eq!(cfg.cache_admit_after, 3);
-        assert_eq!(cfg.cold_path, ColdPathMode::QuantAnn { ef_search: 96 });
+        assert_eq!(cfg.n_shards(), 4);
+        assert_eq!(cfg.queue_capacity(), 16);
+        assert_eq!(cfg.cache_capacity(), 0);
+        assert_eq!(cfg.cache_admit_after(), 3);
+        assert_eq!(cfg.cold_path(), ColdPathMode::QuantAnn { ef_search: 96 });
+        assert_eq!(cfg.tenants().len(), 1);
+        assert_eq!(cfg.tenants()[0].id, TenantId(7));
         assert_eq!(
-            ServeEngineConfig::default().cold_path,
+            cfg.tenants()[0].si_weighting,
+            sisg_core::SiAggregation::Weighted
+        );
+        assert_eq!(
+            ServeEngineConfig::default().cold_path(),
             ColdPathMode::BruteForce
         );
     }

@@ -24,14 +24,14 @@
 //! only when it moves; requests already in flight finish on the old
 //! snapshot (its `Arc` keeps it alive) and nothing is dropped.
 
-use crate::api::{ServeError, ServeRequest, ServeResponse};
+use crate::api::{ServeError, ServeRequest, ServeResponse, TenantRequest};
 use crate::cache::AdmissionCache;
-use crate::config::ServeEngineConfig;
-use crate::metrics::{serve_metrics, ServeMetrics};
-use crate::snapshot::ServingSnapshot;
+use crate::config::{ServeEngineConfig, TenantId};
+use crate::metrics::{serve_metrics, ServeMetrics, TenantMetrics};
+use crate::snapshot::{ServingSnapshot, TenantCtx};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use sisg_core::MatchingService;
-use std::sync::atomic::{AtomicU64, Ordering};
+use sisg_core::{MatchingService, SiAggregation};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 
@@ -63,11 +63,94 @@ enum Task {
     /// Answer a request and reply on the enclosed channel.
     Serve {
         req: ServeRequest,
+        /// Tenant accounting context, resolved by `submit` so the worker
+        /// never consults the tenant table.
+        ctx: TenantCtx,
+        /// Index of the tenant's cache partition in the worker's cache
+        /// vector (0 when the engine runs without a tenant table).
+        cache_idx: usize,
         reply: Sender<Result<ServeResponse, ServeError>>,
     },
     /// Park until the paired [`ShardHold`] is dropped (test hook for
     /// deterministic backpressure).
     Hold { gate: Receiver<()> },
+}
+
+/// Values of one tenant's counters, for baseline/delta stats reads.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantCounters {
+    requests: u64,
+    shed: u64,
+    warm_hits: u64,
+    cold_items: u64,
+    cold_users: u64,
+    cache_hits: u64,
+}
+
+impl TenantCounters {
+    fn now(m: &TenantMetrics) -> Self {
+        Self {
+            requests: m.requests.get(),
+            shed: m.shed.get(),
+            warm_hits: m.warm_hits.get(),
+            cold_items: m.cold_items.get(),
+            cold_users: m.cold_users.get(),
+            cache_hits: m.cache_hits.get(),
+        }
+    }
+}
+
+/// Engine-side state of one declared tenant: its metric slice, shed
+/// budget, and per-shard in-flight accounting.
+struct TenantRuntime {
+    id: TenantId,
+    label: String,
+    /// In-flight request slots per shard
+    /// ([`ServeEngineConfig::tenant_budget_slots`]).
+    slots: u32,
+    si_weighting: SiAggregation,
+    metrics: TenantMetrics,
+    /// Counter values at engine start, so [`ServeEngine::tenant_stats`]
+    /// reports per-engine deltas off the process-global registry.
+    baseline: TenantCounters,
+    /// `in_flight[shard]` = requests submitted to `shard` and not yet
+    /// collected. Bounded by `slots`; the bound is what makes shed
+    /// decisions deterministic — they depend only on submission and
+    /// collection order, never on worker timing.
+    in_flight: Vec<AtomicU32>,
+}
+
+/// The engine's resolved tenant table. Shared with every
+/// [`PendingResponse`] so collecting (or abandoning) a response releases
+/// its budget slot.
+struct TenantTable {
+    tenants: Vec<TenantRuntime>,
+}
+
+impl TenantTable {
+    fn index_of(&self, id: TenantId) -> Option<usize> {
+        // Tenant tables are small (a handful of workload profiles); a
+        // linear scan beats a hash map at this size and allocates nothing.
+        self.tenants.iter().position(|t| t.id == id)
+    }
+}
+
+/// RAII release of one tenant budget slot; held by the
+/// [`PendingResponse`] so the slot frees exactly when the response is
+/// collected or abandoned.
+struct SlotGuard {
+    table: Arc<TenantTable>,
+    tenant: usize,
+    shard: usize,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        // ORDERING: Release — pairs with the AcqRel acquisition in
+        // `ServeEngine::submit`; a submitter that observes the freed slot
+        // also observes everything this request did.
+        self.table.tenants[self.tenant].in_flight[self.shard].fetch_sub(1, Ordering::Release);
+    }
 }
 
 /// A handle that keeps one worker parked; dropping it releases the worker.
@@ -84,9 +167,14 @@ impl std::fmt::Debug for ShardHold {
     }
 }
 
-/// An in-flight request submitted with [`ServeEngine::submit`].
+/// An in-flight request submitted with [`ServeEngine::submit`]. Holding
+/// it holds the tenant's budget slot: the slot frees when the response is
+/// collected with [`PendingResponse::wait`] or the handle is dropped.
 pub struct PendingResponse {
     reply: Receiver<Result<ServeResponse, ServeError>>,
+    /// Releases the tenant budget slot on drop; `None` for untenanted
+    /// engines.
+    _slot: Option<SlotGuard>,
 }
 
 impl std::fmt::Debug for PendingResponse {
@@ -169,10 +257,34 @@ impl EngineStats {
     }
 }
 
+/// One tenant's counters as deltas since [`ServeEngine::start`], read
+/// from the tenant's `serve.tenant.<label>.*` metric slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant these counters belong to.
+    pub tenant: TenantId,
+    /// The tenant's metric label.
+    pub label: String,
+    /// Requests that reached a worker (budget sheds are in `shed`).
+    pub requests: u64,
+    /// Requests shed against this tenant's own budget
+    /// ([`ServeError::SloBudgetExhausted`]).
+    pub shed: u64,
+    /// Warm artifact lookups.
+    pub warm_hits: u64,
+    /// Cold-item (Eq. 6) requests.
+    pub cold_item_requests: u64,
+    /// Cold-user requests.
+    pub cold_user_requests: u64,
+    /// Cold-path answers served from this tenant's cache partition.
+    pub cache_hits: u64,
+}
+
 /// The sharded, hot-swappable online matching engine.
 pub struct ServeEngine {
     config: ServeEngineConfig,
     shared: Arc<EngineShared>,
+    tenant_table: Arc<TenantTable>,
     senders: Vec<Sender<Task>>,
     workers: Vec<JoinHandle<()>>,
     baseline: EngineStats,
@@ -196,8 +308,8 @@ impl ServeEngine {
         let baseline = EngineStats::now(metrics);
         let snapshot = Arc::new(ServingSnapshot::from_service_with(
             service,
-            config.n_shards,
-            config.cold_path,
+            config.n_shards(),
+            config.cold_path(),
         ));
         if let Some(index) = snapshot.cold_index() {
             metrics
@@ -208,16 +320,49 @@ impl ServeEngine {
             snapshot: RwLock::new(Arc::clone(&snapshot)),
             epoch: AtomicU64::new(0),
         });
-        let mut senders = Vec::with_capacity(config.n_shards);
-        let mut workers = Vec::with_capacity(config.n_shards);
-        for shard in 0..config.n_shards {
-            let (tx, rx) = bounded::<Task>(config.queue_capacity);
+        let slots = config.tenant_budget_slots();
+        let cache_caps = config.tenant_cache_capacities();
+        let tenant_table = Arc::new(TenantTable {
+            tenants: config
+                .tenants()
+                .iter()
+                .zip(&slots)
+                .map(|(t, &s)| {
+                    let tm = TenantMetrics::for_label(&t.label);
+                    TenantRuntime {
+                        id: t.id,
+                        label: t.label.clone(),
+                        slots: s as u32,
+                        si_weighting: t.si_weighting,
+                        metrics: tm,
+                        baseline: TenantCounters::now(&tm),
+                        in_flight: (0..config.n_shards()).map(|_| AtomicU32::new(0)).collect(),
+                    }
+                })
+                .collect(),
+        });
+        let mut senders = Vec::with_capacity(config.n_shards());
+        let mut workers = Vec::with_capacity(config.n_shards());
+        for shard in 0..config.n_shards() {
+            let (tx, rx) = bounded::<Task>(config.queue_capacity());
             let worker_shared = Arc::clone(&shared);
             let worker_snapshot = Arc::clone(&snapshot);
-            let cache = AdmissionCache::new(config.cache_capacity, config.cache_admit_after);
+            // One cache partition per tenant, sized by its cache share —
+            // or a single full-capacity cache when running untenanted.
+            let caches: Vec<AdmissionCache> = if cache_caps.is_empty() {
+                vec![AdmissionCache::new(
+                    config.cache_capacity(),
+                    config.cache_admit_after(),
+                )]
+            } else {
+                cache_caps
+                    .iter()
+                    .map(|&cap| AdmissionCache::new(cap, config.cache_admit_after()))
+                    .collect()
+            };
             let spawned = std::thread::Builder::new()
                 .name(format!("sisg-serve-{shard}"))
-                .spawn(move || worker_loop(shard, rx, worker_shared, worker_snapshot, cache));
+                .spawn(move || worker_loop(shard, rx, worker_shared, worker_snapshot, caches));
             match spawned {
                 Ok(handle) => {
                     senders.push(tx);
@@ -236,6 +381,7 @@ impl ServeEngine {
         Ok(Self {
             config,
             shared,
+            tenant_table,
             senders,
             workers,
             baseline,
@@ -266,10 +412,32 @@ impl ServeEngine {
         EngineStats::now(serve_metrics()).since(self.baseline)
     }
 
+    /// Per-tenant counters as deltas since this engine started, in tenant
+    /// table order. Empty for an engine running without a tenant table.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.tenant_table
+            .tenants
+            .iter()
+            .map(|t| {
+                let now = TenantCounters::now(&t.metrics);
+                TenantStats {
+                    tenant: t.id,
+                    label: t.label.clone(),
+                    requests: now.requests.saturating_sub(t.baseline.requests),
+                    shed: now.shed.saturating_sub(t.baseline.shed),
+                    warm_hits: now.warm_hits.saturating_sub(t.baseline.warm_hits),
+                    cold_item_requests: now.cold_items.saturating_sub(t.baseline.cold_items),
+                    cold_user_requests: now.cold_users.saturating_sub(t.baseline.cold_users),
+                    cache_hits: now.cache_hits.saturating_sub(t.baseline.cache_hits),
+                }
+            })
+            .collect()
+    }
+
     /// The shard a request routes to.
     pub fn shard_for(&self, req: &ServeRequest) -> usize {
         match *req {
-            ServeRequest::Candidates { item, .. } => item.index() % self.config.n_shards,
+            ServeRequest::Candidates { item, .. } => item.index() % self.config.n_shards(),
             ServeRequest::ColdUser {
                 gender,
                 age,
@@ -291,23 +459,83 @@ impl ServeEngine {
                     h ^= u64::from(byte);
                     h = h.wrapping_mul(0x1000_0000_01b3);
                 }
-                (h % self.config.n_shards as u64) as usize
+                (h % self.config.n_shards() as u64) as usize
             }
         }
     }
 
-    /// Submits a request without waiting for the answer. Returns
-    /// immediately with [`ServeError::Overloaded`] when the target shard's
-    /// queue is full — never blocks.
-    pub fn submit(&self, req: ServeRequest) -> Result<PendingResponse, ServeError> {
-        let shard = self.shard_for(&req);
+    /// Submits a request without waiting for the answer. Never blocks:
+    ///
+    /// - With a tenant table, the request first claims one of its
+    ///   tenant's in-flight budget slots on the target shard; an
+    ///   exhausted budget sheds with [`ServeError::SloBudgetExhausted`]
+    ///   (the tenant's own verdict — other tenants' slots are untouched),
+    ///   and an undeclared tenant is [`ServeError::UnknownTenant`]. The
+    ///   slot is held by the returned [`PendingResponse`] and frees when
+    ///   it is collected or dropped, so shed decisions depend only on
+    ///   submission/collection order — deterministic under any worker
+    ///   timing. Budget slots never oversubscribe the queue (validated at
+    ///   build), so tenant traffic cannot hit queue-full `Overloaded`.
+    /// - Without a tenant table, a full shard queue sheds with
+    ///   [`ServeError::Overloaded`] as before.
+    ///
+    /// Untagged [`ServeRequest`]s convert to the default tenant.
+    pub fn submit(&self, req: impl Into<TenantRequest>) -> Result<PendingResponse, ServeError> {
+        let TenantRequest { tenant, request } = req.into();
+        let shard = self.shard_for(&request);
+        let (slot, ctx, cache_idx) = if self.tenant_table.tenants.is_empty() {
+            (
+                None,
+                TenantCtx {
+                    tenant,
+                    ..TenantCtx::untenanted()
+                },
+                0,
+            )
+        } else {
+            let idx = self
+                .tenant_table
+                .index_of(tenant)
+                .ok_or(ServeError::UnknownTenant(tenant))?;
+            let rt = &self.tenant_table.tenants[idx];
+            // ORDERING: AcqRel on success pairs with the Release decrement
+            // in `SlotGuard::drop`, so a claimed slot observes the prior
+            // holder's effects; Acquire on failure only observes the
+            // count.
+            let claimed =
+                rt.in_flight[shard].fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                    (v < rt.slots).then_some(v + 1)
+                });
+            if claimed.is_err() {
+                rt.metrics.shed.inc();
+                return Err(ServeError::SloBudgetExhausted { tenant, shard });
+            }
+            (
+                Some(SlotGuard {
+                    table: Arc::clone(&self.tenant_table),
+                    tenant: idx,
+                    shard,
+                }),
+                TenantCtx {
+                    tenant,
+                    si_weighting: rt.si_weighting,
+                    metrics: Some(rt.metrics),
+                },
+                idx,
+            )
+        };
         let (reply_tx, reply_rx) = bounded(1);
         let task = Task::Serve {
-            req,
+            req: request,
+            ctx,
+            cache_idx,
             reply: reply_tx,
         };
         match self.senders[shard].try_send(task) {
-            Ok(()) => Ok(PendingResponse { reply: reply_rx }),
+            Ok(()) => Ok(PendingResponse {
+                reply: reply_rx,
+                _slot: slot,
+            }),
             Err(TrySendError::Full(_)) => {
                 serve_metrics().overloaded.inc();
                 Err(ServeError::Overloaded { shard })
@@ -317,17 +545,17 @@ impl ServeEngine {
     }
 
     /// Submits a request and blocks for the answer.
-    pub fn serve(&self, req: ServeRequest) -> Result<ServeResponse, ServeError> {
+    pub fn serve(&self, req: impl Into<TenantRequest>) -> Result<ServeResponse, ServeError> {
         self.submit(req)?.wait()
     }
 
     /// Submits a batch, then collects every answer. Requests are pipelined
     /// per shard, so a batch overlaps queueing with computation; each slot
-    /// fails independently (a shed request is `Overloaded`, the rest
-    /// proceed).
-    pub fn serve_batch(
+    /// fails independently (a shed request is `Overloaded` or
+    /// `SloBudgetExhausted`, the rest proceed).
+    pub fn serve_batch<R: Into<TenantRequest>>(
         &self,
-        reqs: impl IntoIterator<Item = ServeRequest>,
+        reqs: impl IntoIterator<Item = R>,
     ) -> Vec<Result<ServeResponse, ServeError>> {
         let pending: Vec<Result<PendingResponse, ServeError>> =
             reqs.into_iter().map(|r| self.submit(r)).collect();
@@ -344,8 +572,8 @@ impl ServeEngine {
     pub fn swap(&self, service: MatchingService) -> u64 {
         self.install_unchecked(Arc::new(ServingSnapshot::from_service_with(
             service,
-            self.config.n_shards,
-            self.config.cold_path,
+            self.config.n_shards(),
+            self.config.cold_path(),
         )))
     }
 
@@ -357,7 +585,7 @@ impl ServeEngine {
     /// count; a mismatched shard count would misroute every request, so it
     /// is rejected instead of installed.
     pub fn install(&self, snapshot: ServingSnapshot) -> Result<u64, ServeError> {
-        if snapshot.n_shards() != self.config.n_shards {
+        if snapshot.n_shards() != self.config.n_shards() {
             return Err(ServeError::Rejected(sisg_core::CoreError::InvalidConfig {
                 field: "n_shards",
                 reason: "snapshot was resharded for a different worker count",
@@ -425,7 +653,7 @@ fn worker_loop(
     rx: Receiver<Task>,
     shared: Arc<EngineShared>,
     mut snapshot: Arc<ServingSnapshot>,
-    mut cache: AdmissionCache,
+    mut caches: Vec<AdmissionCache>,
 ) {
     let metrics = serve_metrics();
     // ORDERING: Acquire — pairs with `swap`'s AcqRel bump; see `epoch()`.
@@ -437,7 +665,12 @@ fn worker_loop(
                 // returns Err) or sends an explicit release.
                 let _ = gate.recv();
             }
-            Task::Serve { req, reply } => {
+            Task::Serve {
+                req,
+                ctx,
+                cache_idx,
+                reply,
+            } => {
                 // ORDERING: Acquire — the cheap per-request staleness probe; pairs
                 // with `swap`'s AcqRel bump.
                 let current = shared.epoch.load(Ordering::Acquire);
@@ -451,10 +684,16 @@ fn worker_loop(
                     epoch = shared.epoch.load(Ordering::Acquire);
                     snapshot = Arc::clone(&guard);
                     drop(guard);
-                    cache.clear();
+                    // All tenant partitions answer from the snapshot, so
+                    // a new epoch invalidates every one of them; this
+                    // still counts as one clear per worker.
+                    for cache in &mut caches {
+                        cache.clear();
+                    }
                     metrics.cache_clears.inc();
                 }
-                let result = snapshot.serve(&req, shard, epoch, &mut cache, metrics);
+                let idx = cache_idx.min(caches.len().saturating_sub(1));
+                let result = snapshot.serve(&req, &ctx, shard, epoch, &mut caches[idx], metrics);
                 // The caller may have abandoned its PendingResponse; a
                 // dead reply channel is not an engine error.
                 let _ = reply.try_send(result);

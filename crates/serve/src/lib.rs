@@ -61,8 +61,10 @@ pub mod engine;
 mod metrics;
 pub mod snapshot;
 
-pub use api::{ServeError, ServeRequest, ServeResponse};
+pub use api::{ServeError, ServeRequest, ServeResponse, TenantRequest};
 pub use cache::{AdmissionCache, CacheKey};
-pub use config::{ColdPathMode, ServeEngineConfig, ServeEngineConfigBuilder};
-pub use engine::{EngineStats, PendingResponse, ServeEngine, ShardHold};
+pub use config::{
+    ColdPathMode, RequestMix, ServeEngineConfig, ServeEngineConfigBuilder, TenantConfig, TenantId,
+};
+pub use engine::{EngineStats, PendingResponse, ServeEngine, ShardHold, TenantStats};
 pub use snapshot::{ColdIndex, ServingSnapshot};

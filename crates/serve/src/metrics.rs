@@ -29,6 +29,35 @@ pub(crate) struct ServeMetrics {
     pub(crate) ann_hops: &'static Histogram,
 }
 
+/// Per-tenant slices of the `serve.*` family, resolved once per engine
+/// start from the tenant's catalog-validated label
+/// (`serve.tenant.<label>.<suffix>`; see `sisg_obs::names`).
+#[derive(Clone, Copy)]
+pub(crate) struct TenantMetrics {
+    pub(crate) requests: &'static Counter,
+    pub(crate) shed: &'static Counter,
+    pub(crate) warm_hits: &'static Counter,
+    pub(crate) cold_items: &'static Counter,
+    pub(crate) cold_users: &'static Counter,
+    pub(crate) cache_hits: &'static Counter,
+    pub(crate) request_ns: &'static Histogram,
+}
+
+impl TenantMetrics {
+    pub(crate) fn for_label(label: &str) -> Self {
+        let counter = |suffix| registry().counter(&names::tenant_metric(label, suffix));
+        TenantMetrics {
+            requests: counter("requests_total"),
+            shed: counter("shed_total"),
+            warm_hits: counter("warm_hits_total"),
+            cold_items: counter("cold_item_requests_total"),
+            cold_users: counter("cold_user_requests_total"),
+            cache_hits: counter("cache_hits_total"),
+            request_ns: registry().histogram(&names::tenant_metric(label, "request.ns")),
+        }
+    }
+}
+
 pub(crate) fn serve_metrics() -> &'static ServeMetrics {
     static M: OnceLock<ServeMetrics> = OnceLock::new();
     M.get_or_init(|| ServeMetrics {

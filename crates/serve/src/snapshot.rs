@@ -23,16 +23,38 @@
 
 use crate::api::{ServeError, ServeRequest, ServeResponse};
 use crate::cache::{AdmissionCache, CacheKey};
-use crate::config::ColdPathMode;
-use crate::metrics::ServeMetrics;
+use crate::config::{ColdPathMode, TenantId};
+use crate::metrics::{ServeMetrics, TenantMetrics};
 use sisg_ann::qhnsw::{HnswConfig, QHnswIndex};
 use sisg_core::cold_start;
 use sisg_core::serving::MatchingParts;
-use sisg_core::{MatchingService, Recommendation, SisgModel};
+use sisg_core::{MatchingService, Recommendation, SiAggregation, SisgModel};
 use sisg_corpus::{ItemId, TokenId, UserRegistry};
 use sisg_embedding::codec::{encode_quant, QuantBlob};
 use sisg_embedding::{Neighbor, QuantMatrix};
 use sisg_obs::Stopwatch;
+
+/// Per-request tenant context threaded from the engine's submit path into
+/// the worker's serve call: who to account the request to, how to
+/// aggregate SI on the cold path, and which per-tenant metric slice to
+/// record into (`None` when the engine runs without a tenant table).
+pub(crate) struct TenantCtx {
+    pub(crate) tenant: TenantId,
+    pub(crate) si_weighting: SiAggregation,
+    pub(crate) metrics: Option<TenantMetrics>,
+}
+
+impl TenantCtx {
+    /// The untagged-traffic context: default tenant, Eq. 6 sum, no
+    /// per-tenant metric slice.
+    pub(crate) fn untenanted() -> Self {
+        TenantCtx {
+            tenant: TenantId::DEFAULT,
+            si_weighting: SiAggregation::Sum,
+            metrics: None,
+        }
+    }
+}
 
 /// Per-shard quantized ANN indexes over the normalized item matrix —
 /// the bounded-memory cold path (DESIGN.md §11).
@@ -218,10 +240,12 @@ impl ServingSnapshot {
 
     /// Answers one request on the calling (worker) thread. `shard` and
     /// `epoch` are stamped into the response; `cache` is the worker-local
-    /// cold-path cache.
+    /// cold-path cache partition of the request's tenant; `ctx` carries
+    /// the tenant's identity, SI-aggregation mode, and metric slice.
     pub(crate) fn serve(
         &self,
         req: &ServeRequest,
+        ctx: &TenantCtx,
         shard: usize,
         epoch: u64,
         cache: &mut AdmissionCache,
@@ -229,11 +253,15 @@ impl ServingSnapshot {
     ) -> Result<ServeResponse, ServeError> {
         let watch = Stopwatch::start();
         metrics.requests.inc();
+        if let Some(tm) = &ctx.metrics {
+            tm.requests.inc();
+        }
         let respond = |recommendations, cache_hit| ServeResponse {
             recommendations,
             epoch,
             shard,
             cache_hit,
+            tenant: ctx.tenant,
         };
         let out = match *req {
             ServeRequest::Candidates { item, si_values, k } => {
@@ -244,9 +272,15 @@ impl ServingSnapshot {
                 }
                 if let Some(list) = self.warm_list(item) {
                     metrics.warm_hits.inc();
+                    if let Some(tm) = &ctx.metrics {
+                        tm.warm_hits.inc();
+                    }
                     respond(list[..k.min(list.len())].to_vec(), false)
                 } else {
                     metrics.cold_items.inc();
+                    if let Some(tm) = &ctx.metrics {
+                        tm.cold_items.inc();
+                    }
                     let key = CacheKey::ColdItem {
                         item: item.0,
                         si_values,
@@ -254,10 +288,14 @@ impl ServingSnapshot {
                     };
                     if let Some(hit) = cache.lookup(&key) {
                         metrics.cache_hits.inc();
+                        if let Some(tm) = &ctx.metrics {
+                            tm.cache_hits.inc();
+                        }
                         respond(hit.clone(), true)
                     } else {
                         metrics.cache_misses.inc();
-                        let computed = self.cold_item_answer(item, &si_values, k, metrics)?;
+                        let computed =
+                            self.cold_item_answer(item, &si_values, k, ctx.si_weighting, metrics)?;
                         cache.admit(key, computed.clone());
                         respond(computed, false)
                     }
@@ -270,6 +308,9 @@ impl ServingSnapshot {
                 k,
             } => {
                 metrics.cold_users.inc();
+                if let Some(tm) = &ctx.metrics {
+                    tm.cold_users.inc();
+                }
                 let key = CacheKey::ColdUser {
                     gender,
                     age,
@@ -278,6 +319,9 @@ impl ServingSnapshot {
                 };
                 if let Some(hit) = cache.lookup(&key) {
                     metrics.cache_hits.inc();
+                    if let Some(tm) = &ctx.metrics {
+                        tm.cache_hits.inc();
+                    }
                     respond(hit.clone(), true)
                 } else {
                     metrics.cache_misses.inc();
@@ -287,7 +331,11 @@ impl ServingSnapshot {
                 }
             }
         };
-        metrics.request_ns.record_duration_ns(watch.elapsed());
+        let elapsed = watch.elapsed();
+        metrics.request_ns.record_duration_ns(elapsed);
+        if let Some(tm) = &ctx.metrics {
+            tm.request_ns.record_duration_ns(elapsed);
+        }
         Ok(out)
     }
 
@@ -340,15 +388,18 @@ impl ServingSnapshot {
 
     /// The Eq. (6) cold-item path, mirroring
     /// [`MatchingService::candidates`] exactly: over-fetch by one, drop
-    /// the queried item, take `k`.
+    /// the queried item, take `k`. The query vector is aggregated under
+    /// the tenant's [`SiAggregation`] mode (the plain sum for untagged
+    /// traffic).
     fn cold_item_answer(
         &self,
         item: ItemId,
         si_values: &[u32; sisg_corpus::schema::ItemFeature::COUNT],
         k: usize,
+        si_weighting: SiAggregation,
         metrics: &ServeMetrics,
     ) -> Result<Vec<Recommendation>, ServeError> {
-        let query = cold_start::cold_item_vector(&self.model, si_values)?;
+        let query = cold_start::cold_item_vector_with(&self.model, si_values, si_weighting)?;
         Ok(self
             .cold_query_neighbors(&query, k + 1, metrics)
             .into_iter()

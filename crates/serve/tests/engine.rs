@@ -360,8 +360,8 @@ fn repeated_installs_under_load_stay_coherent_and_clear_caches() {
         .cache_admit_after(1)
         .build()
         .expect("valid config");
-    let engine =
-        ServeEngine::start(build_service(&corpus, seeds[0]), config).expect("engine starts");
+    let engine = ServeEngine::start(build_service(&corpus, seeds[0]), config.clone())
+        .expect("engine starts");
 
     // Pre-freeze the publications (the streaming pipeline's off-thread
     // freeze) so the install loop below is pure pointer swaps under load.
@@ -370,8 +370,8 @@ fn repeated_installs_under_load_stay_coherent_and_clear_caches() {
         .map(|&seed| {
             sisg_serve::ServingSnapshot::from_service_with(
                 build_service(&corpus, seed),
-                config.n_shards,
-                config.cold_path,
+                config.n_shards(),
+                config.cold_path(),
             )
         })
         .collect();
@@ -380,8 +380,8 @@ fn repeated_installs_under_load_stay_coherent_and_clear_caches() {
     // not installed (it would misroute every request).
     let mismatched = sisg_serve::ServingSnapshot::from_service_with(
         build_service(&corpus, seeds[0]),
-        config.n_shards + 1,
-        config.cold_path,
+        config.n_shards() + 1,
+        config.cold_path(),
     );
     let err = engine
         .install(mismatched)
@@ -555,22 +555,43 @@ fn structural_failures_are_typed_not_panics() {
         .expect_err("out-of-range shard");
     assert!(matches!(err, ServeError::Rejected(_)));
 
-    // A degenerate config never reaches the worker pool.
-    let service = build_service(&corpus, 1);
-    let err = ServeEngine::start(
-        service,
-        ServeEngineConfig {
-            n_shards: 0,
-            ..Default::default()
-        },
-    )
-    .map(|_| ())
-    .expect_err("zero shards rejected at start");
+    // A degenerate config never reaches the builder's `build()`; with
+    // private fields that is the only construction path out here, so the
+    // worker pool can never see one.
+    let err = ServeEngineConfig::builder()
+        .n_shards(0)
+        .build()
+        .map(|_| ())
+        .expect_err("zero shards rejected at build");
     assert!(matches!(
         err,
-        ServeError::Rejected(CoreError::InvalidConfig {
+        CoreError::InvalidConfig {
             field: "n_shards",
             ..
-        })
+        }
     ));
+
+    // A request tagged with a tenant absent from the engine's tenant
+    // table is a typed error, not a panic.
+    let service = build_service(&corpus, 1);
+    let config = ServeEngineConfig::builder()
+        .tenant(sisg_serve::TenantConfig::new(
+            sisg_serve::TenantId(1),
+            "only",
+        ))
+        .build()
+        .expect("valid config");
+    let tenanted = ServeEngine::start(service, config).expect("engine starts");
+    let err = tenanted
+        .serve(
+            ServeRequest::ColdUser {
+                gender: None,
+                age: None,
+                purchase: None,
+                k: 3,
+            }
+            .for_tenant(sisg_serve::TenantId(9)),
+        )
+        .expect_err("undeclared tenant rejected");
+    assert_eq!(err, ServeError::UnknownTenant(sisg_serve::TenantId(9)));
 }

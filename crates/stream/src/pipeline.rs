@@ -304,8 +304,8 @@ impl IngestPipeline {
         let service = self.freeze()?;
         let snapshot = ServingSnapshot::from_service_with(
             service,
-            engine.config().n_shards,
-            engine.config().cold_path,
+            engine.config().n_shards(),
+            engine.config().cold_path(),
         );
         let epoch = engine.install(snapshot)?;
         self.publishes += 1;

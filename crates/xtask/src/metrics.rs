@@ -167,7 +167,7 @@ fn validate_snapshot(
                 return Err(shape(format!("`{section}.{metric}` has the wrong shape")));
             }
             if let Some(declared) = catalog {
-                if !declared.contains(metric) {
+                if !declared.contains(metric) && !declared_as_tenant_template(metric, declared) {
                     return Err(MetricsError::Undeclared {
                         metric: metric.clone(),
                     });
@@ -254,6 +254,16 @@ fn validate_perf_doc(doc: &Value) -> Result<usize, String> {
         }
     }
     Ok(kernels.len() + runs.len())
+}
+
+/// Per-tenant metrics are a *template* family: the engine mints one
+/// `serve.tenant.<label>.<suffix>` slice per configured tenant, so the
+/// catalog cannot enumerate concrete labels. A name that parses under
+/// the template grammar is declared iff the catalog carries the literal
+/// `serve.tenant.<label>.<suffix>` template row for its suffix.
+fn declared_as_tenant_template(metric: &str, declared: &BTreeSet<String>) -> bool {
+    sisg_obs::names::split_tenant_metric(metric)
+        .is_some_and(|(_, suffix)| declared.contains(&format!("serve.tenant.<label>.{suffix}")))
 }
 
 fn is_u64(v: &Value) -> bool {
@@ -345,6 +355,48 @@ mod tests {
     }
 
     #[test]
+    fn tenant_template_rows_declare_every_label_instantiation() {
+        let declared: BTreeSet<String> = [
+            "serve.tenant.<label>.requests_total".to_string(),
+            "serve.tenant.<label>.request.ns".to_string(),
+        ]
+        .into_iter()
+        .collect();
+        // Any well-formed label instantiates a declared template row.
+        let doc = snapshot(
+            r#"{"name": "r",
+                "counters": {"serve.tenant.head_heavy.requests_total": 3},
+                "gauges": {},
+                "histograms": {"serve.tenant.head_heavy.request.ns":
+                  {"count": 1, "sum": 9, "max": 9, "p50": 9.0, "p90": 9.0, "p99": 9.0}}}"#,
+        );
+        assert_eq!(validate_snapshot(&doc, Some(&declared)).expect("valid"), 2);
+        // A suffix outside the template family is still undeclared…
+        let bad_suffix = snapshot(
+            r#"{"name": "r", "counters": {"serve.tenant.head_heavy.invented_total": 1},
+                "gauges": {}, "histograms": {}}"#,
+        );
+        assert!(matches!(
+            validate_snapshot(&bad_suffix, Some(&declared)).expect_err("accepted"),
+            MetricsError::Undeclared { .. }
+        ));
+        // …as is a declared suffix whose template row is absent from the
+        // catalog, or a malformed label.
+        let only_requests: BTreeSet<String> =
+            ["serve.tenant.<label>.requests_total".to_string()].into();
+        let shed = snapshot(
+            r#"{"name": "r", "counters": {"serve.tenant.head_heavy.shed_total": 1},
+                "gauges": {}, "histograms": {}}"#,
+        );
+        assert!(validate_snapshot(&shed, Some(&only_requests)).is_err());
+        let bad_label = snapshot(
+            r#"{"name": "r", "counters": {"serve.tenant.Bad-Label.requests_total": 1},
+                "gauges": {}, "histograms": {}}"#,
+        );
+        assert!(validate_snapshot(&bad_label, Some(&declared)).is_err());
+    }
+
+    #[test]
     fn parse_catalog_reads_backticked_table_cells() {
         let md = "\
 # Catalog\n\
@@ -369,6 +421,13 @@ prose mentioning `not.a.row` stays out\n";
         let declared = load_catalog(&root.join("docs/OBSERVABILITY.md")).expect("catalog");
         for name in sisg_obs::names::ALL {
             assert!(declared.contains(*name), "`{name}` missing from catalog");
+        }
+        // The per-tenant template family must be declared suffix by
+        // suffix, or a tenanted engine's snapshot would fail the CI
+        // catalog check.
+        for suffix in sisg_obs::names::SERVE_TENANT_SUFFIXES {
+            let row = format!("serve.tenant.<label>.{suffix}");
+            assert!(declared.contains(&row), "`{row}` missing from catalog");
         }
     }
 

@@ -48,7 +48,7 @@ pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: 4,
         name: "no-unwrap",
-        scope: "crates/core, crates/ann, crates/serve + fault-path files, non-test",
+        scope: "crates/core, crates/ann, crates/serve, crates/scenario + fault-path files, non-test",
         summary: "`.unwrap()`/`.expect()` banned on the serving and fault-tolerance paths; propagate typed errors",
     },
     RuleInfo {
@@ -66,7 +66,7 @@ pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: 7,
         name: "no-assert",
-        scope: "crates/core, crates/serve, non-test",
+        scope: "crates/core, crates/serve, crates/scenario, non-test",
         summary: "`assert!`/`assert_eq!`/`assert_ne!` banned in serving code (`debug_assert!` allowed); return typed errors",
     },
     RuleInfo {
@@ -130,14 +130,19 @@ impl fmt::Display for Violation {
 }
 
 /// Crates whose non-test library code must be `unwrap()`/`expect()`-free.
-const PANIC_FREE_CRATES: &[&str] = &["crates/core", "crates/ann", "crates/serve"];
+const PANIC_FREE_CRATES: &[&str] = &[
+    "crates/core",
+    "crates/ann",
+    "crates/serve",
+    "crates/scenario",
+];
 
 /// Crates whose non-test library code must also be `assert!`-free
 /// (rule 7): these are the online serving crates, where a failed
 /// invariant must surface as a typed error on one request, not abort the
 /// process for every request. `debug_assert!` stays allowed — it
 /// vanishes in release builds.
-const ASSERT_FREE_CRATES: &[&str] = &["crates/core", "crates/serve"];
+const ASSERT_FREE_CRATES: &[&str] = &["crates/core", "crates/serve", "crates/scenario"];
 
 /// Individual files under the same panic-free rule: the retry, recovery,
 /// and fault-simulation paths — a panic while absorbing a fault turns a

@@ -88,12 +88,17 @@ cargo run -p xtask --quiet -- validate-metrics \
 
 step "serve smoke: seconds-scale perf_serve run + schema validation"
 # --smoke load-tests the sharded serve engine (warm/cold/cold-user mix,
-# cache, batching) against the sequential baseline on a small model and
-# writes a snapshot-shaped BENCH_serve.json; validate-metrics checks it.
+# cache, batching) against the sequential baseline on a small model, then
+# replays a two-tenant scenario matrix (head_heavy + adversarial hot-key)
+# through crates/scenario. Writes snapshot-shaped BENCH_serve.json and
+# BENCH_scenario.json; validate-metrics checks both, including the
+# per-tenant serve.tenant.<label>.* template instantiations.
 SISG_RESULTS=target/ci-results \
   cargo run --release --quiet -p sisg-bench --bin perf_serve -- --smoke >/dev/null
 cargo run -p xtask --quiet -- validate-metrics \
   --catalog docs/OBSERVABILITY.md target/ci-results/BENCH_serve.json
+cargo run -p xtask --quiet -- validate-metrics \
+  --catalog docs/OBSERVABILITY.md target/ci-results/BENCH_scenario.json
 
 step "fresh smoke: seconds-scale perf_fresh run + schema validation"
 # --smoke streams a tomorrow slice through the ingest pipeline while query
